@@ -1,0 +1,81 @@
+//! Criterion microbenchmarks of the anticipation primitives: FNIR
+//! selection, range computation, kernel scan, and the full anticipator.
+
+use ant_conv::ConvShape;
+use ant_core::anticipator::{AntConfig, Anticipator};
+use ant_core::range::compute_ranges;
+use ant_core::scan::scan_kernel;
+use ant_core::Fnir;
+use ant_sparse::{sparsify, CsrMatrix};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn sparse_pair(shape: &ConvShape, sparsity: f64, seed: u64) -> (CsrMatrix, CsrMatrix) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let kernel =
+        sparsify::random_with_sparsity(shape.kernel_h(), shape.kernel_w(), sparsity, &mut rng);
+    let image =
+        sparsify::random_with_sparsity(shape.image_h(), shape.image_w(), sparsity, &mut rng);
+    (
+        CsrMatrix::from_dense(&kernel),
+        CsrMatrix::from_dense(&image),
+    )
+}
+
+fn bench_fnir(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fnir_select");
+    for k in [8usize, 16, 32] {
+        let fnir = Fnir::new(4, k).unwrap();
+        let window: Vec<i64> = (0..k as i64).map(|i| (i * 7) % 31).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &window, |b, w| {
+            b.iter(|| black_box(fnir.select(black_box(5), black_box(20), w)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_range(c: &mut Criterion) {
+    let shape = ConvShape::new(32, 32, 34, 34, 1).unwrap();
+    let group_coords: Vec<(usize, usize)> = vec![(3, 7), (3, 20), (4, 1), (4, 29)];
+    c.bench_function("range_computation", |b| {
+        b.iter(|| black_box(compute_ranges(black_box(&shape), black_box(&group_coords))))
+    });
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let shape = ConvShape::new(32, 32, 34, 34, 1).unwrap();
+    let (kernel, _image) = sparse_pair(&shape, 0.9, 1);
+    let ranges = compute_ranges(&shape, &[(10, 5), (10, 17), (11, 2), (11, 30)]);
+    let fnir = Fnir::new(4, 16).unwrap();
+    c.bench_function("kernel_scan_update_phase", |b| {
+        b.iter(|| black_box(scan_kernel(black_box(&kernel), &ranges, &fnir)))
+    });
+}
+
+fn bench_anticipator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("anticipator_run_conv");
+    // Update-phase geometry at the paper's sparsity: the hot path of every
+    // network experiment.
+    let shape = ConvShape::new(32, 32, 34, 34, 1).unwrap();
+    for sparsity in [0.5f64, 0.9] {
+        let (kernel, image) = sparse_pair(&shape, sparsity, 2);
+        let ant = Anticipator::new(AntConfig::paper_default());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{:.0}pct", sparsity * 100.0)),
+            &(kernel, image),
+            |b, (k, i)| b.iter(|| black_box(ant.run_conv(k, i, &shape).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fnir,
+    bench_range,
+    bench_scan,
+    bench_anticipator
+);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion microbenchmarks of the simulator machines on the two
+//! characteristic pair geometries (forward and update phase).
+
+use ant_conv::ConvShape;
+use ant_sim::ant::AntAccelerator;
+use ant_sim::inner::{DenseInnerProduct, TensorDash};
+use ant_sim::scnn::ScnnPlus;
+use ant_sim::ConvSim;
+use ant_sparse::{sparsify, CsrMatrix};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn sparse_pair(shape: &ConvShape, sparsity: f64, seed: u64) -> (CsrMatrix, CsrMatrix) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let kernel =
+        sparsify::random_with_sparsity(shape.kernel_h(), shape.kernel_w(), sparsity, &mut rng);
+    let image =
+        sparsify::random_with_sparsity(shape.image_h(), shape.image_w(), sparsity, &mut rng);
+    (
+        CsrMatrix::from_dense(&kernel),
+        CsrMatrix::from_dense(&image),
+    )
+}
+
+fn bench_machines(c: &mut Criterion) {
+    let cases = [
+        ("forward_3x3", ConvShape::new(3, 3, 34, 34, 1).unwrap()),
+        ("update_32x32", ConvShape::new(32, 32, 34, 34, 1).unwrap()),
+    ];
+    for (label, shape) in cases {
+        let (kernel, image) = sparse_pair(&shape, 0.9, 7);
+        let mut group = c.benchmark_group(format!("simulate_pair/{label}"));
+        let scnn = ScnnPlus::paper_default();
+        let ant = AntAccelerator::paper_default();
+        let dense = DenseInnerProduct::paper_default();
+        let td = TensorDash::paper_default();
+        group.bench_function(BenchmarkId::from_parameter("scnn_plus"), |b| {
+            b.iter(|| black_box(scnn.simulate_conv_pair(&kernel, &image, &shape)))
+        });
+        group.bench_function(BenchmarkId::from_parameter("ant"), |b| {
+            b.iter(|| black_box(ant.simulate_conv_pair(&kernel, &image, &shape)))
+        });
+        group.bench_function(BenchmarkId::from_parameter("dense_ip"), |b| {
+            b.iter(|| black_box(dense.simulate_conv_pair(&kernel, &image, &shape)))
+        });
+        group.bench_function(BenchmarkId::from_parameter("tensordash"), |b| {
+            b.iter(|| black_box(td.simulate_conv_pair(&kernel, &image, &shape)))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_machines);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Figure 9: ANT speedup and energy consumption relative to SCNN+ for
+//! DenseNet-121, ResNet18, VGG16, WRN-16-8 (CIFAR, SWAT-style 90%) and
+//! ResNet-50 (ImageNet, synthetic 90%).
+//!
+//! Paper reference: geometric mean 3.71x speedup and 4.40x lower energy.
+
+use ant_bench::report::{geomean, percent, ratio, Table};
+use ant_bench::runner::{energy_ratio, simulate_network_parallel, speedup, ExperimentConfig};
+use ant_sim::ant::AntAccelerator;
+use ant_sim::scnn::ScnnPlus;
+use ant_sim::EnergyModel;
+use ant_workloads::models::figure9_networks;
+
+fn main() {
+    let cfg = ExperimentConfig::paper_default();
+    let energy = EnergyModel::paper_7nm();
+    let scnn = ScnnPlus::paper_default();
+    let ant = AntAccelerator::paper_default();
+
+    println!("Figure 9: ANT vs SCNN+ at 90% sparse training");
+    println!(
+        "(config: n={}, k={}, {} PEs, channel sample {})\n",
+        4, 16, cfg.num_pes, cfg.max_channels
+    );
+
+    let mut table = Table::new(&[
+        "network",
+        "SCNN+ cycles",
+        "ANT cycles",
+        "speedup",
+        "energy ratio",
+        "RCPs avoided",
+    ]);
+    let mut speedups = Vec::new();
+    let mut energies = Vec::new();
+    for net in figure9_networks() {
+        let s = simulate_network_parallel(&scnn, &net, &cfg);
+        let a = simulate_network_parallel(&ant, &net, &cfg);
+        let sp = speedup(&s, &a);
+        let er = energy_ratio(&s, &a, &energy);
+        speedups.push(sp);
+        energies.push(er);
+        table.push_row(vec![
+            net.name.to_string(),
+            s.wall_cycles.to_string(),
+            a.wall_cycles.to_string(),
+            ratio(sp),
+            ratio(er),
+            percent(a.total.rcps_avoided_fraction()),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "\ngeomean speedup: {}   geomean energy reduction: {}",
+        ratio(geomean(&speedups)),
+        ratio(geomean(&energies))
+    );
+    println!("paper:           3.71x                              4.40x");
+
+    // Per-phase detail for one network: where the win comes from.
+    let net = ant_workloads::models::resnet18_cifar();
+    let s = simulate_network_parallel(&scnn, &net, &cfg);
+    let a = simulate_network_parallel(&ant, &net, &cfg);
+    println!("\nper-phase multiplications, {} (SCNN+ vs ANT):", net.name);
+    for ((phase, ss), (_, aa)) in s.per_phase.iter().zip(a.per_phase.iter()) {
+        println!(
+            "  {:>6}: {:>12} vs {:>12}  ({} saved)",
+            phase.to_string(),
+            ss.mults,
+            aa.mults,
+            percent(1.0 - aa.mults as f64 / ss.mults.max(1) as f64)
+        );
+    }
+    match table.write_csv("fig09_speedup_energy") {
+        Ok(path) => println!("\ncsv: {}", path.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

@@ -1,0 +1,39 @@
+//! Table 5: proportion of RCPs avoided by ANT per network at 90% sparse
+//! training.
+//!
+//! Paper reference: DenseNet-121 93.6%, ResNet18 98.0%, VGG16 74.9%,
+//! WRN-16-8 94.8%, ResNet50 91.9% — average 90.3%.
+
+use ant_bench::report::{percent, Table};
+use ant_bench::runner::{simulate_network_parallel, ExperimentConfig};
+use ant_sim::ant::AntAccelerator;
+use ant_workloads::models::figure9_networks;
+
+fn main() {
+    let cfg = ExperimentConfig::paper_default();
+    let ant = AntAccelerator::paper_default();
+    println!("Table 5: RCPs avoided by ANT at 90% sparsity\n");
+    let paper = [93.6, 98.0, 74.9, 94.8, 91.9];
+    let mut table = Table::new(&["network", "RCPs avoided", "paper"]);
+    let mut sum = 0.0;
+    let nets = figure9_networks();
+    for (net, paper_pct) in nets.iter().zip(paper.iter()) {
+        let result = simulate_network_parallel(&ant, net, &cfg);
+        let avoided = result.total.rcps_avoided_fraction();
+        sum += avoided;
+        table.push_row(vec![
+            net.name.to_string(),
+            percent(avoided),
+            format!("{paper_pct:.1}%"),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "\naverage: {}   (paper average: 90.3%)",
+        percent(sum / nets.len() as f64)
+    );
+    match table.write_csv("tab05_rcps_avoided") {
+        Ok(path) => println!("\ncsv: {}", path.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

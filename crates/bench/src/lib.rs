@@ -1,0 +1,19 @@
+//! Experiment harness reproducing the ANT paper's tables and figures.
+//!
+//! The binaries in `src/bin/` each regenerate one table or figure (the full
+//! index lives in DESIGN.md); this library holds the shared machinery:
+//!
+//! * [`runner`] — drives a network workload (layer specs x training phases
+//!   x channel-sampled pairs) through any simulator machine and aggregates
+//!   [`ant_sim::SimStats`], with deterministic seeding and linear scaling
+//!   back to full layer dimensions.
+//! * [`report`] — fixed-width console tables plus CSV output under
+//!   `target/experiments/`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod report;
+pub mod runner;
+
+pub use runner::{ExperimentConfig, NetworkResult};

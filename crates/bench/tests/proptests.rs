@@ -1,0 +1,85 @@
+//! Property-based tests for the experiment runner: arbitrary tiny network
+//! specs must simulate cleanly and uphold the cross-machine invariants.
+
+use ant_bench::runner::{simulate_network, ExperimentConfig};
+use ant_sim::ant::AntAccelerator;
+use ant_sim::scnn::ScnnPlus;
+use ant_workloads::models::{ConvLayerSpec, NetworkModel};
+use ant_workloads::synth::LayerSparsity;
+use proptest::prelude::*;
+
+fn layer_spec() -> impl Strategy<Value = ConvLayerSpec> {
+    (
+        1usize..5,
+        1usize..5,
+        1usize..3,
+        0usize..2,
+        1usize..3,
+        1usize..3,
+    )
+        .prop_flat_map(|(out_c, in_c, kernel, padding, stride, count)| {
+            // Ensure the padded input fits the kernel at this stride.
+            let min_input = kernel.saturating_sub(2 * padding).max(stride).max(2);
+            (min_input + 2..min_input + 10).prop_map(move |input| {
+                ConvLayerSpec::new("prop", out_c, in_c, kernel, input, stride, padding, count)
+            })
+        })
+}
+
+fn network() -> impl Strategy<Value = NetworkModel> {
+    proptest::collection::vec(layer_spec(), 1..4).prop_map(|layers| NetworkModel {
+        name: "prop-net",
+        layers,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any well-formed network simulates without panicking and keeps the
+    /// ANT-vs-SCNN+ invariants.
+    #[test]
+    fn runner_invariants_hold(net in network(), sparsity in 0.0f64..0.95) {
+        let cfg = ExperimentConfig {
+            sparsity: LayerSparsity::uniform(sparsity),
+            max_channels: 2,
+            num_pes: 64,
+            seed: 7,
+        };
+        let s = simulate_network(&ScnnPlus::paper_default(), &net, &cfg);
+        let a = simulate_network(&AntAccelerator::paper_default(), &net, &cfg);
+        prop_assert_eq!(a.total.useful_mults, s.total.useful_mults);
+        prop_assert!(a.total.mults <= s.total.mults);
+        prop_assert!(a.wall_cycles >= 1 && s.wall_cycles >= 1);
+        // Per-phase sums equal totals on both machines.
+        for r in [&s, &a] {
+            let phase_mults: u64 = r.per_phase.iter().map(|(_, st)| st.mults).sum();
+            prop_assert_eq!(phase_mults, r.total.mults);
+        }
+    }
+
+    /// Doubling every layer's multiplicity exactly doubles the counters.
+    #[test]
+    fn multiplicity_is_linear(net in network()) {
+        let cfg = ExperimentConfig {
+            max_channels: 2,
+            ..ExperimentConfig::paper_default()
+        };
+        let doubled = NetworkModel {
+            name: "doubled",
+            layers: net
+                .layers
+                .iter()
+                .map(|l| {
+                    let mut l = l.clone();
+                    l.count *= 2;
+                    l
+                })
+                .collect(),
+        };
+        let base = simulate_network(&ScnnPlus::paper_default(), &net, &cfg);
+        let twice = simulate_network(&ScnnPlus::paper_default(), &doubled, &cfg);
+        prop_assert_eq!(twice.total.mults, 2 * base.total.mults);
+        prop_assert_eq!(twice.total.pe_cycles, 2 * base.total.pe_cycles);
+    }
+}

@@ -1,0 +1,349 @@
+//! Executable versions of the paper's anticipation algorithms.
+//!
+//! * [`ideal_anticipation`] — Algorithm 1: per-element RCP tests (Eqs. 7–8)
+//!   decide each multiplication individually. This is the upper bound no
+//!   outer-product machine can reach, because a real `n x n` multiplier
+//!   array can only substitute whole rows/columns of the product matrix.
+//! * [`vector_anticipation`] — Algorithm 2: the image is consumed `n`
+//!   elements at a time; a kernel element is skipped only if it forms RCPs
+//!   with *all* `n` image elements, decided by the conservative vector
+//!   ranges (Eqs. 9–10).
+//!
+//! Both return the convolution output together with product accounting, so
+//! the anticipation quality (`rcps_skipped / total_rcps`) is directly
+//! measurable.
+
+use ant_sparse::{CsrMatrix, DenseMatrix};
+
+use crate::error::ConvError;
+use crate::outer::check_shapes;
+use crate::rcp::{passes_element_test, r_range, s_range};
+use crate::shape::ConvShape;
+
+/// Product accounting for an anticipation algorithm run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AnticipationCounters {
+    /// Non-zero kernel/image element pairs considered (the full cartesian
+    /// product a plain outer-product machine would execute).
+    pub pairs_total: u64,
+    /// Multiplications actually performed.
+    pub products_performed: u64,
+    /// Performed products that contributed to a valid output.
+    pub useful: u64,
+    /// Performed products that turned out to be RCPs anyway (possible for
+    /// the conservative vector test and for stride-misaligned products).
+    pub rcps_executed: u64,
+    /// Products skipped by anticipation (`pairs_total - products_performed`).
+    pub rcps_skipped: u64,
+}
+
+impl AnticipationCounters {
+    /// Total RCPs in the full cartesian product.
+    pub fn rcps_total(&self) -> u64 {
+        self.rcps_executed + self.rcps_skipped
+    }
+
+    /// Fraction of RCPs that anticipation eliminated (the paper's Table 5 /
+    /// Section 7.8 metric). Returns 1.0 when there were no RCPs at all.
+    pub fn rcps_avoided_fraction(&self) -> f64 {
+        let total = self.rcps_total();
+        if total == 0 {
+            1.0
+        } else {
+            self.rcps_skipped as f64 / total as f64
+        }
+    }
+
+    /// Merges counts from another run (accumulating across channel pairs).
+    pub fn accumulate(&mut self, other: &AnticipationCounters) {
+        self.pairs_total += other.pairs_total;
+        self.products_performed += other.products_performed;
+        self.useful += other.useful;
+        self.rcps_executed += other.rcps_executed;
+        self.rcps_skipped += other.rcps_skipped;
+    }
+}
+
+/// Result of an anticipation algorithm: the convolution output plus
+/// counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnticipationResult {
+    /// Accumulated convolution output.
+    pub output: DenseMatrix,
+    /// Product accounting.
+    pub counters: AnticipationCounters,
+}
+
+/// Algorithm 1: ideal per-element anticipation of RCPs.
+///
+/// Loops over every non-zero image/kernel element pair, skips the
+/// multiplication when the element test (paper Eqs. 7–8) fails, and
+/// accumulates the rest. At stride 1 this eliminates *all* RCPs; at larger
+/// strides the paper's test lets stride-misaligned products through (counted
+/// in `rcps_executed`).
+///
+/// # Errors
+///
+/// Returns [`ConvError::OperandShapeMismatch`] if operands disagree with
+/// `shape`.
+pub fn ideal_anticipation(
+    kernel: &CsrMatrix,
+    image: &CsrMatrix,
+    shape: &ConvShape,
+) -> Result<AnticipationResult, ConvError> {
+    check_shapes(kernel, image, shape)?;
+    let mut output = DenseMatrix::zeros(shape.out_h(), shape.out_w());
+    let mut counters = AnticipationCounters {
+        pairs_total: kernel.nnz() as u64 * image.nnz() as u64,
+        ..AnticipationCounters::default()
+    };
+    for (y, x, iv) in image.iter() {
+        for (r, s, kv) in kernel.iter() {
+            if !passes_element_test(shape, x, y, s, r) {
+                counters.rcps_skipped += 1;
+                continue;
+            }
+            counters.products_performed += 1;
+            if let Some((ox, oy)) = shape.output_index(x, y, s, r) {
+                output[(oy, ox)] += iv * kv;
+                counters.useful += 1;
+            } else {
+                counters.rcps_executed += 1;
+            }
+        }
+    }
+    Ok(AnticipationResult { output, counters })
+}
+
+/// Which of the two anticipation conditions to apply — used by the paper's
+/// ablation study (Fig. 14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConditionMask {
+    /// Apply the `r` condition (Eq. 9, row range).
+    pub use_r: bool,
+    /// Apply the `s` condition (Eq. 10, column range).
+    pub use_s: bool,
+}
+
+impl ConditionMask {
+    /// Both conditions enabled (full ANT behaviour).
+    pub const BOTH: Self = Self {
+        use_r: true,
+        use_s: true,
+    };
+    /// Only the row (`r`) condition.
+    pub const R_ONLY: Self = Self {
+        use_r: true,
+        use_s: false,
+    };
+    /// Only the column (`s`) condition.
+    pub const S_ONLY: Self = Self {
+        use_r: false,
+        use_s: true,
+    };
+}
+
+impl Default for ConditionMask {
+    fn default() -> Self {
+        Self::BOTH
+    }
+}
+
+/// Algorithm 2: anticipation at outer-product granularity.
+///
+/// The image's non-zeros are consumed `group_size` (= the multiplier array
+/// dimension `n`) at a time in CSR order. For each group, the vector ranges
+/// (Eqs. 9–10 via Eqs. 11–12) are computed from the group's min/max indices;
+/// kernel elements outside the range are skipped *for the whole group*,
+/// elements inside are multiplied with every group member.
+///
+/// # Errors
+///
+/// Returns [`ConvError::OperandShapeMismatch`] if operands disagree with
+/// `shape`.
+///
+/// # Panics
+///
+/// Panics if `group_size == 0`.
+pub fn vector_anticipation(
+    kernel: &CsrMatrix,
+    image: &CsrMatrix,
+    shape: &ConvShape,
+    group_size: usize,
+    mask: ConditionMask,
+) -> Result<AnticipationResult, ConvError> {
+    assert!(group_size > 0, "group size must be non-zero");
+    check_shapes(kernel, image, shape)?;
+    let mut output = DenseMatrix::zeros(shape.out_h(), shape.out_w());
+    let mut counters = AnticipationCounters {
+        pairs_total: kernel.nnz() as u64 * image.nnz() as u64,
+        ..AnticipationCounters::default()
+    };
+    let image_entries: Vec<(usize, usize, f32)> = image.iter().collect();
+    for group in image_entries.chunks(group_size) {
+        let y_min = group.iter().map(|&(y, _, _)| y).min().expect("non-empty");
+        let y_max = group.iter().map(|&(y, _, _)| y).max().expect("non-empty");
+        let x_min = group.iter().map(|&(_, x, _)| x).min().expect("non-empty");
+        let x_max = group.iter().map(|&(_, x, _)| x).max().expect("non-empty");
+        let rr = r_range(shape, y_min, y_max);
+        let sr = s_range(shape, x_min, x_max);
+        for (r, s, kv) in kernel.iter() {
+            let valid_r = !mask.use_r || rr.contains(r as i64);
+            let valid_s = !mask.use_s || sr.contains(s as i64);
+            if !(valid_r && valid_s) {
+                counters.rcps_skipped += group.len() as u64;
+                continue;
+            }
+            for &(y, x, iv) in group {
+                counters.products_performed += 1;
+                if let Some((ox, oy)) = shape.output_index(x, y, s, r) {
+                    output[(oy, ox)] += iv * kv;
+                    counters.useful += 1;
+                } else {
+                    counters.rcps_executed += 1;
+                }
+            }
+        }
+    }
+    Ok(AnticipationResult { output, counters })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::conv2d;
+    use ant_sparse::sparsify;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_pair(shape: &ConvShape, sparsity: f64, seed: u64) -> (CsrMatrix, CsrMatrix) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kernel =
+            sparsify::random_with_sparsity(shape.kernel_h(), shape.kernel_w(), sparsity, &mut rng);
+        let image =
+            sparsify::random_with_sparsity(shape.image_h(), shape.image_w(), sparsity, &mut rng);
+        (
+            CsrMatrix::from_dense(&kernel),
+            CsrMatrix::from_dense(&image),
+        )
+    }
+
+    #[test]
+    fn ideal_output_matches_dense_reference() {
+        for (shape, seed) in [
+            (ConvShape::new(3, 3, 9, 9, 1).unwrap(), 1),
+            (ConvShape::new(2, 2, 9, 9, 2).unwrap(), 2),
+            (ConvShape::new(6, 6, 8, 8, 1).unwrap(), 3),
+        ] {
+            let (kernel, image) = random_pair(&shape, 0.6, seed);
+            let result = ideal_anticipation(&kernel, &image, &shape).unwrap();
+            let reference = conv2d(&kernel.to_dense(), &image.to_dense(), &shape).unwrap();
+            assert!(result.output.approx_eq(&reference, 1e-4), "{shape}");
+        }
+    }
+
+    #[test]
+    fn ideal_skips_all_rcps_at_stride1() {
+        let shape = ConvShape::new(6, 6, 8, 8, 1).unwrap();
+        let (kernel, image) = random_pair(&shape, 0.8, 4);
+        let result = ideal_anticipation(&kernel, &image, &shape).unwrap();
+        assert_eq!(result.counters.rcps_executed, 0);
+        assert_eq!(result.counters.rcps_avoided_fraction(), 1.0);
+        assert_eq!(result.counters.products_performed, result.counters.useful);
+    }
+
+    #[test]
+    fn ideal_executes_misaligned_rcps_at_stride2() {
+        let shape = ConvShape::new(3, 3, 11, 11, 2).unwrap();
+        let (kernel, image) = random_pair(&shape, 0.3, 5);
+        let result = ideal_anticipation(&kernel, &image, &shape).unwrap();
+        // The paper's Eqs. 7-8 do not check stride alignment, so some RCPs
+        // execute — but the output must still be correct.
+        assert!(result.counters.rcps_executed > 0);
+        let reference = conv2d(&kernel.to_dense(), &image.to_dense(), &shape).unwrap();
+        assert!(result.output.approx_eq(&reference, 1e-4));
+    }
+
+    #[test]
+    fn vector_output_matches_dense_reference() {
+        for n in [1usize, 4, 16] {
+            let shape = ConvShape::new(5, 5, 10, 10, 1).unwrap();
+            let (kernel, image) = random_pair(&shape, 0.7, 6);
+            let result =
+                vector_anticipation(&kernel, &image, &shape, n, ConditionMask::BOTH).unwrap();
+            let reference = conv2d(&kernel.to_dense(), &image.to_dense(), &shape).unwrap();
+            assert!(result.output.approx_eq(&reference, 1e-4), "n={n}");
+        }
+    }
+
+    #[test]
+    fn vector_with_group1_equals_ideal_at_stride1() {
+        // With one image element per group the vector ranges collapse to the
+        // per-element test, so Algorithm 2 == Algorithm 1 at stride 1.
+        let shape = ConvShape::new(5, 5, 9, 9, 1).unwrap();
+        let (kernel, image) = random_pair(&shape, 0.6, 7);
+        let ideal = ideal_anticipation(&kernel, &image, &shape).unwrap();
+        let vector = vector_anticipation(&kernel, &image, &shape, 1, ConditionMask::BOTH).unwrap();
+        assert_eq!(
+            ideal.counters.products_performed,
+            vector.counters.products_performed
+        );
+        assert_eq!(ideal.counters.useful, vector.counters.useful);
+    }
+
+    #[test]
+    fn vector_is_conservative_but_never_wrong() {
+        let shape = ConvShape::new(6, 6, 8, 8, 1).unwrap();
+        let (kernel, image) = random_pair(&shape, 0.8, 8);
+        let ideal = ideal_anticipation(&kernel, &image, &shape).unwrap();
+        let vector = vector_anticipation(&kernel, &image, &shape, 4, ConditionMask::BOTH).unwrap();
+        // Same useful work, possibly more executed products.
+        assert_eq!(ideal.counters.useful, vector.counters.useful);
+        assert!(vector.counters.products_performed >= ideal.counters.products_performed);
+        assert!(vector.counters.rcps_skipped <= ideal.counters.rcps_skipped);
+    }
+
+    #[test]
+    fn ablation_masks_skip_fewer_rcps() {
+        let shape = ConvShape::new(6, 6, 8, 8, 1).unwrap();
+        let (kernel, image) = random_pair(&shape, 0.8, 9);
+        let both = vector_anticipation(&kernel, &image, &shape, 4, ConditionMask::BOTH).unwrap();
+        let r_only =
+            vector_anticipation(&kernel, &image, &shape, 4, ConditionMask::R_ONLY).unwrap();
+        let s_only =
+            vector_anticipation(&kernel, &image, &shape, 4, ConditionMask::S_ONLY).unwrap();
+        assert!(r_only.counters.rcps_skipped <= both.counters.rcps_skipped);
+        assert!(s_only.counters.rcps_skipped <= both.counters.rcps_skipped);
+        // All variants compute the same useful work.
+        assert_eq!(r_only.counters.useful, both.counters.useful);
+        assert_eq!(s_only.counters.useful, both.counters.useful);
+    }
+
+    #[test]
+    fn counters_are_consistent() {
+        let shape = ConvShape::new(4, 4, 9, 9, 1).unwrap();
+        let (kernel, image) = random_pair(&shape, 0.5, 10);
+        for result in [
+            ideal_anticipation(&kernel, &image, &shape).unwrap(),
+            vector_anticipation(&kernel, &image, &shape, 4, ConditionMask::BOTH).unwrap(),
+        ] {
+            let c = result.counters;
+            assert_eq!(c.pairs_total, c.products_performed + c.rcps_skipped);
+            assert_eq!(c.products_performed, c.useful + c.rcps_executed);
+        }
+    }
+
+    #[test]
+    fn update_phase_anticipation_avoids_most_rcps() {
+        // The G_A * A-like geometry where RCPs dominate: anticipation should
+        // remove the overwhelming majority.
+        let shape = ConvShape::new(14, 14, 16, 16, 1).unwrap();
+        let (kernel, image) = random_pair(&shape, 0.9, 11);
+        let result = vector_anticipation(&kernel, &image, &shape, 4, ConditionMask::BOTH).unwrap();
+        assert!(
+            result.counters.rcps_avoided_fraction() > 0.5,
+            "avoided {:.3}",
+            result.counters.rcps_avoided_fraction()
+        );
+    }
+}

@@ -1,0 +1,267 @@
+//! Reference dense convolutions.
+//!
+//! These are the ground-truth implementations every sparse/outer-product path
+//! in the workspace is validated against. They implement the paper's
+//! convolution semantics (Fig. 2a): the kernel shifts over the image and
+//! overlapping elements are multiplied and summed — i.e. *cross-correlation*
+//! in signal-processing terms, which is what "convolution" means throughout
+//! the deep-learning literature the paper follows.
+
+use ant_sparse::DenseMatrix;
+
+use crate::error::ConvError;
+use crate::shape::ConvShape;
+
+/// Computes the direct convolution of `kernel` over `image` for `shape`.
+///
+/// `out[oy][ox] = sum_{r,s} kernel[r][s] *
+/// image[oy*stride + dilation*r][ox*stride + dilation*s]`.
+///
+/// # Errors
+///
+/// Returns [`ConvError::OperandShapeMismatch`] if either operand disagrees
+/// with `shape`.
+///
+/// # Example
+///
+/// ```
+/// use ant_sparse::DenseMatrix;
+/// use ant_conv::{ConvShape, dense::conv2d};
+///
+/// let kernel = DenseMatrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+/// let image = DenseMatrix::from_rows(&[
+///     &[1.0, 2.0, 3.0],
+///     &[4.0, 5.0, 6.0],
+///     &[7.0, 8.0, 9.0],
+/// ]);
+/// let shape = ConvShape::new(2, 2, 3, 3, 1)?;
+/// let out = conv2d(&kernel, &image, &shape)?;
+/// assert_eq!(out.get(0, 0), 1.0 + 5.0);
+/// assert_eq!(out.get(1, 1), 5.0 + 9.0);
+/// # Ok::<(), ant_conv::ConvError>(())
+/// ```
+pub fn conv2d(
+    kernel: &DenseMatrix,
+    image: &DenseMatrix,
+    shape: &ConvShape,
+) -> Result<DenseMatrix, ConvError> {
+    check_operands(kernel, image, shape)?;
+    let (stride, dil) = (shape.stride(), shape.dilation());
+    let mut out = DenseMatrix::zeros(shape.out_h(), shape.out_w());
+    for oy in 0..shape.out_h() {
+        for ox in 0..shape.out_w() {
+            let mut acc = 0.0f32;
+            for r in 0..shape.kernel_h() {
+                for s in 0..shape.kernel_w() {
+                    acc +=
+                        kernel.get(r, s) * image.get(oy * stride + dil * r, ox * stride + dil * s);
+                }
+            }
+            out[(oy, ox)] = acc;
+        }
+    }
+    Ok(out)
+}
+
+/// Convenience wrapper: valid convolution with the given stride and
+/// dilation 1, deriving the [`ConvShape`] from the operand dimensions.
+///
+/// # Errors
+///
+/// Propagates shape-construction errors ([`ConvError`]).
+pub fn conv2d_valid(
+    kernel: &DenseMatrix,
+    image: &DenseMatrix,
+    stride: usize,
+) -> Result<DenseMatrix, ConvError> {
+    let shape = ConvShape::new(
+        kernel.rows(),
+        kernel.cols(),
+        image.rows(),
+        image.cols(),
+        stride,
+    )?;
+    conv2d(kernel, image, &shape)
+}
+
+/// "Full" convolution: the image is zero-padded by `R-1` rows and `S-1`
+/// columns on every side, so the output is `(H + R - 1) x (W + S - 1)`.
+///
+/// This is the correlation used by the backward (data-gradient) pass,
+/// `G_A^L = R(W) * G_A^{L+1}` (paper Eq. 2), where the rotated kernel slides
+/// over the padded upstream gradient.
+///
+/// # Errors
+///
+/// Propagates shape-construction errors ([`ConvError`]).
+pub fn conv2d_full(kernel: &DenseMatrix, image: &DenseMatrix) -> Result<DenseMatrix, ConvError> {
+    let padded = pad(image, kernel.rows() - 1, kernel.cols() - 1);
+    conv2d_valid(kernel, &padded, 1)
+}
+
+/// Zero-pads a matrix by `pad_h` rows and `pad_w` columns on every side.
+pub fn pad(image: &DenseMatrix, pad_h: usize, pad_w: usize) -> DenseMatrix {
+    let mut out = DenseMatrix::zeros(image.rows() + 2 * pad_h, image.cols() + 2 * pad_w);
+    for (r, c, v) in image.iter_nonzero() {
+        out[(r + pad_h, c + pad_w)] = v;
+    }
+    out
+}
+
+/// Inserts `factor - 1` zeros between the elements of a matrix in both
+/// dimensions (output is `(rows-1)*factor + 1` by `(cols-1)*factor + 1`).
+///
+/// Used by backprop through strided convolutions: the upstream gradient is
+/// dilated by the forward stride before the full convolution of Eq. 2.
+///
+/// # Panics
+///
+/// Panics if `factor == 0`.
+pub fn dilate(matrix: &DenseMatrix, factor: usize) -> DenseMatrix {
+    assert!(factor > 0, "dilation factor must be non-zero");
+    if factor == 1 {
+        return matrix.clone();
+    }
+    let mut out = DenseMatrix::zeros(
+        (matrix.rows() - 1) * factor + 1,
+        (matrix.cols() - 1) * factor + 1,
+    );
+    for (r, c, v) in matrix.iter_nonzero() {
+        out[(r * factor, c * factor)] = v;
+    }
+    out
+}
+
+fn check_operands(
+    kernel: &DenseMatrix,
+    image: &DenseMatrix,
+    shape: &ConvShape,
+) -> Result<(), ConvError> {
+    if kernel.shape() != (shape.kernel_h(), shape.kernel_w()) {
+        return Err(ConvError::OperandShapeMismatch {
+            operand: "kernel",
+            expected: (shape.kernel_h(), shape.kernel_w()),
+            actual: kernel.shape(),
+        });
+    }
+    if image.shape() != (shape.image_h(), shape.image_w()) {
+        return Err(ConvError::OperandShapeMismatch {
+            operand: "image",
+            expected: (shape.image_h(), shape.image_w()),
+            actual: image.shape(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image3x3() -> DenseMatrix {
+        DenseMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 9.0]])
+    }
+
+    #[test]
+    fn identity_kernel_extracts_window() {
+        let kernel = DenseMatrix::from_rows(&[&[1.0]]);
+        let out = conv2d_valid(&kernel, &image3x3(), 1).unwrap();
+        assert_eq!(out, image3x3());
+    }
+
+    #[test]
+    fn hand_computed_2x2() {
+        let kernel = DenseMatrix::from_rows(&[&[1.0, -1.0], &[0.0, 2.0]]);
+        let out = conv2d_valid(&kernel, &image3x3(), 1).unwrap();
+        // out[0][0] = 1*1 - 1*2 + 0*4 + 2*5 = 9
+        assert_eq!(out.get(0, 0), 9.0);
+        // out[1][1] = 1*5 - 1*6 + 0*8 + 2*9 = 17
+        assert_eq!(out.get(1, 1), 17.0);
+        assert_eq!(out.shape(), (2, 2));
+    }
+
+    #[test]
+    fn stride_two_subsamples_outputs() {
+        let kernel = DenseMatrix::from_rows(&[&[1.0]]);
+        let image = DenseMatrix::from_fn(5, 5, |r, c| (r * 5 + c) as f32);
+        let out = conv2d_valid(&kernel, &image, 2).unwrap();
+        assert_eq!(out.shape(), (3, 3));
+        assert_eq!(out.get(0, 0), 0.0);
+        assert_eq!(out.get(1, 1), 12.0);
+        assert_eq!(out.get(2, 2), 24.0);
+    }
+
+    #[test]
+    fn dilated_kernel_samples_spread_taps() {
+        let kernel = DenseMatrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        let image = DenseMatrix::from_fn(5, 5, |r, c| (r * 5 + c) as f32);
+        let shape = ConvShape::with_dilation(2, 2, 5, 5, 1, 2).unwrap();
+        let out = conv2d(&kernel, &image, &shape).unwrap();
+        assert_eq!(out.shape(), (3, 3));
+        // out[0][0] = image[0][0] + image[0][2] + image[2][0] + image[2][2]
+        assert_eq!(out.get(0, 0), 0.0 + 2.0 + 10.0 + 12.0);
+    }
+
+    #[test]
+    fn full_convolution_dimensions_and_corners() {
+        let kernel = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let image = DenseMatrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        let out = conv2d_full(&kernel, &image).unwrap();
+        assert_eq!(out.shape(), (3, 3));
+        // Corner: only kernel[1][1] overlaps image[0][0].
+        assert_eq!(out.get(0, 0), 4.0);
+        // Center: all four kernel taps overlap.
+        assert_eq!(out.get(1, 1), 1.0 + 2.0 + 3.0 + 4.0);
+    }
+
+    #[test]
+    fn pad_places_content_centrally() {
+        let m = DenseMatrix::from_rows(&[&[5.0]]);
+        let p = pad(&m, 1, 2);
+        assert_eq!(p.shape(), (3, 5));
+        assert_eq!(p.get(1, 2), 5.0);
+        assert_eq!(p.nnz(), 1);
+    }
+
+    #[test]
+    fn dilate_spreads_entries() {
+        let m = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let d = dilate(&m, 2);
+        assert_eq!(d.shape(), (3, 3));
+        assert_eq!(d.get(0, 0), 1.0);
+        assert_eq!(d.get(0, 2), 2.0);
+        assert_eq!(d.get(2, 2), 4.0);
+        assert_eq!(d.get(1, 1), 0.0);
+        assert_eq!(dilate(&m, 1), m);
+    }
+
+    #[test]
+    fn operand_shape_mismatch_is_detected() {
+        let kernel = DenseMatrix::zeros(2, 2);
+        let image = DenseMatrix::zeros(4, 4);
+        let wrong_shape = ConvShape::new(3, 3, 4, 4, 1).unwrap();
+        assert!(matches!(
+            conv2d(&kernel, &image, &wrong_shape),
+            Err(ConvError::OperandShapeMismatch {
+                operand: "kernel",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn conv_is_linear_in_kernel() {
+        let image = image3x3();
+        let k1 = DenseMatrix::from_rows(&[&[1.0, 0.0], &[0.0, 0.0]]);
+        let k2 = DenseMatrix::from_rows(&[&[0.0, 0.0], &[0.0, 1.0]]);
+        let sum_kernel = DenseMatrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let o1 = conv2d_valid(&k1, &image, 1).unwrap();
+        let o2 = conv2d_valid(&k2, &image, 1).unwrap();
+        let osum = conv2d_valid(&sum_kernel, &image, 1).unwrap();
+        for oy in 0..2 {
+            for ox in 0..2 {
+                assert_eq!(osum.get(oy, ox), o1.get(oy, ox) + o2.get(oy, ox));
+            }
+        }
+    }
+}

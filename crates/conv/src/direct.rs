@@ -1,0 +1,181 @@
+//! Sparse *direct* convolution: a CSR-by-CSR reference that performs only
+//! the useful multiplications.
+//!
+//! This is the software analogue of what an ideal RCP-free machine computes
+//! (the numerator of Eq. 6). It iterates each non-zero kernel element over
+//! the image rows it can legally touch and walks only the in-range column
+//! span of each CSR row, so the work is `O(nnz_kernel * H_out +
+//! useful_products)` — no cartesian product, no RCPs, no zero operands.
+//! Used as a second functional oracle against the outer-product paths and
+//! as the reference cost for "minimum multiplications" comparisons.
+
+use ant_sparse::{CsrMatrix, DenseMatrix};
+
+use crate::error::ConvError;
+use crate::outer::check_shapes;
+use crate::shape::ConvShape;
+
+/// Result of a sparse direct convolution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DirectConvResult {
+    /// The accumulated `H_out x W_out` output.
+    pub output: DenseMatrix,
+    /// Multiplications performed (all useful by construction).
+    pub multiplications: u64,
+    /// CSR row-span probes performed (binary searches / partition points).
+    pub row_probes: u64,
+}
+
+/// Computes the convolution of a sparse kernel over a sparse image touching
+/// only valid products.
+///
+/// # Errors
+///
+/// Returns [`ConvError::OperandShapeMismatch`] if operands disagree with
+/// `shape`.
+///
+/// # Example
+///
+/// ```
+/// use ant_sparse::{CsrMatrix, DenseMatrix};
+/// use ant_conv::{ConvShape, direct::sparse_conv_direct};
+///
+/// let kernel = CsrMatrix::from_dense(&DenseMatrix::from_rows(&[
+///     &[1.0, 0.0],
+///     &[0.0, 2.0],
+/// ]));
+/// let image = CsrMatrix::from_dense(&DenseMatrix::from_rows(&[
+///     &[3.0, 0.0, 1.0],
+///     &[0.0, 4.0, 0.0],
+///     &[5.0, 0.0, 6.0],
+/// ]));
+/// let shape = ConvShape::new(2, 2, 3, 3, 1)?;
+/// let result = sparse_conv_direct(&kernel, &image, &shape)?;
+/// // out[0][0] = 1*image[0][0] + 2*image[1][1] = 3 + 8.
+/// assert_eq!(result.output.get(0, 0), 11.0);
+/// # Ok::<(), ant_conv::ConvError>(())
+/// ```
+pub fn sparse_conv_direct(
+    kernel: &CsrMatrix,
+    image: &CsrMatrix,
+    shape: &ConvShape,
+) -> Result<DirectConvResult, ConvError> {
+    check_shapes(kernel, image, shape)?;
+    let mut output = DenseMatrix::zeros(shape.out_h(), shape.out_w());
+    let mut multiplications = 0u64;
+    let mut row_probes = 0u64;
+    let (stride, dil) = (shape.stride(), shape.dilation());
+    for (r, s, kv) in kernel.iter() {
+        // Kernel element (r, s) touches image rows y = dil*r + stride*oy.
+        for oy in 0..shape.out_h() {
+            let y = dil * r + stride * oy;
+            let (cols, vals) = image.row_entries(y);
+            if cols.is_empty() {
+                continue;
+            }
+            row_probes += 1;
+            // Valid columns: x = dil*s + stride*ox for ox in [0, W_out).
+            let x_lo = dil * s;
+            let x_hi = dil * s + stride * (shape.out_w() - 1);
+            let start = cols.partition_point(|&c| c < x_lo);
+            let end = cols.partition_point(|&c| c <= x_hi);
+            for i in start..end {
+                let x = cols[i];
+                if (x - x_lo) % stride != 0 {
+                    continue;
+                }
+                let ox = (x - x_lo) / stride;
+                output[(oy, ox)] += kv * vals[i];
+                multiplications += 1;
+            }
+        }
+    }
+    Ok(DirectConvResult {
+        output,
+        multiplications,
+        row_probes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::conv2d;
+    use crate::outer::sparse_conv_outer;
+    use ant_sparse::sparsify;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_pair(shape: &ConvShape, sparsity: f64, seed: u64) -> (CsrMatrix, CsrMatrix) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kernel =
+            sparsify::random_with_sparsity(shape.kernel_h(), shape.kernel_w(), sparsity, &mut rng);
+        let image =
+            sparsify::random_with_sparsity(shape.image_h(), shape.image_w(), sparsity, &mut rng);
+        (
+            CsrMatrix::from_dense(&kernel),
+            CsrMatrix::from_dense(&image),
+        )
+    }
+
+    #[test]
+    fn matches_dense_reference() {
+        for (shape, seed) in [
+            (ConvShape::new(3, 3, 10, 10, 1).unwrap(), 1u64),
+            (ConvShape::new(2, 2, 11, 11, 2).unwrap(), 2),
+            (ConvShape::with_dilation(2, 2, 9, 9, 1, 2).unwrap(), 3),
+            (ConvShape::new(8, 8, 10, 10, 1).unwrap(), 4),
+        ] {
+            let (kernel, image) = random_pair(&shape, 0.6, seed);
+            let direct = sparse_conv_direct(&kernel, &image, &shape).unwrap();
+            let reference = conv2d(&kernel.to_dense(), &image.to_dense(), &shape).unwrap();
+            assert!(direct.output.approx_eq(&reference, 1e-4), "{shape}");
+        }
+    }
+
+    #[test]
+    fn multiplication_count_equals_useful_products() {
+        let shape = ConvShape::new(6, 6, 9, 9, 1).unwrap();
+        let (kernel, image) = random_pair(&shape, 0.7, 5);
+        let direct = sparse_conv_direct(&kernel, &image, &shape).unwrap();
+        let outer = sparse_conv_outer(&kernel, &image, &shape).unwrap();
+        assert_eq!(direct.multiplications, outer.useful);
+    }
+
+    #[test]
+    fn empty_operands_do_no_work() {
+        let shape = ConvShape::new(2, 2, 5, 5, 1).unwrap();
+        let kernel = CsrMatrix::empty(2, 2);
+        let image = CsrMatrix::empty(5, 5);
+        let result = sparse_conv_direct(&kernel, &image, &shape).unwrap();
+        assert_eq!(result.multiplications, 0);
+        assert_eq!(result.output.nnz(), 0);
+    }
+
+    #[test]
+    fn explicit_output_limits_are_respected() {
+        // With an explicit (smaller) output, products beyond it must not
+        // be accumulated.
+        let natural = ConvShape::new(2, 2, 6, 6, 1).unwrap();
+        let limited = ConvShape::with_output(2, 2, 6, 6, 1, 1, 3, 3).unwrap();
+        let (kernel, image) = random_pair(&natural, 0.3, 7);
+        let full = sparse_conv_direct(&kernel, &image, &natural).unwrap();
+        let cut = sparse_conv_direct(&kernel, &image, &limited).unwrap();
+        assert!(cut.multiplications <= full.multiplications);
+        assert_eq!(cut.output.shape(), (3, 3));
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(cut.output.get(r, c), full.output.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let shape = ConvShape::new(2, 2, 5, 5, 1).unwrap();
+        assert!(matches!(
+            sparse_conv_direct(&CsrMatrix::empty(3, 3), &CsrMatrix::empty(5, 5), &shape),
+            Err(ConvError::OperandShapeMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,233 @@
+//! Analytical outer-product efficiency model and training-phase shapes.
+//!
+//! Implements the paper's Section 3.1 model (Eq. 6) and the Figure-5
+//! dimension relations among the three Backprop convolutions of a layer:
+//!
+//! * forward `W * A` (Eq. 1),
+//! * backward `R(W) * G_A` (Eq. 2, on the dilated and padded gradient),
+//! * update `G_A * A` (Eq. 3, a dilated convolution for strided layers).
+
+use std::fmt;
+
+use crate::error::ConvError;
+use crate::shape::ConvShape;
+
+/// The three convolutions of one training step for a conv layer
+/// (paper Section 2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrainingPhase {
+    /// Forward pass `A_{L+1} = W * A` (Eq. 1).
+    Forward,
+    /// Backward data-gradient pass `G_A^L = R(W) * G_A^{L+1}` (Eq. 2).
+    Backward,
+    /// Weight-gradient update `G_W = G_A^{L+1} * A^L` (Eq. 3).
+    Update,
+}
+
+impl TrainingPhase {
+    /// All three phases in paper order.
+    pub const ALL: [TrainingPhase; 3] = [
+        TrainingPhase::Forward,
+        TrainingPhase::Backward,
+        TrainingPhase::Update,
+    ];
+
+    /// The paper's name for the phase.
+    pub fn paper_name(&self) -> &'static str {
+        match self {
+            TrainingPhase::Forward => "W*A",
+            TrainingPhase::Backward => "W*G_A",
+            TrainingPhase::Update => "G_A*A",
+        }
+    }
+}
+
+impl fmt::Display for TrainingPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+/// The per-phase convolution shapes of a layer, derived from the forward
+/// configuration (paper Fig. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrainingPhases {
+    /// Forward shape: `R x S` kernel over the padded `H x W` image.
+    pub forward: ConvShape,
+    /// Backward shape: `R x S` (rotated) kernel over the dilated, padded
+    /// upstream gradient.
+    pub backward: ConvShape,
+    /// Update shape: `H_out x W_out` gradient kernel (dilated by the forward
+    /// stride) over the padded image.
+    pub update: ConvShape,
+}
+
+impl TrainingPhases {
+    /// Derives all three phase shapes from a layer's forward configuration
+    /// (`R x S` kernel, unpadded `H x W` input, stride, symmetric padding).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConvError`] from shape construction (e.g. a kernel larger
+    /// than its padded input).
+    pub fn for_layer(
+        kernel_h: usize,
+        kernel_w: usize,
+        input_h: usize,
+        input_w: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Result<Self, ConvError> {
+        let forward =
+            ConvShape::with_padding(kernel_h, kernel_w, input_h, input_w, stride, padding)?;
+        let (oh, ow) = (forward.out_h(), forward.out_w());
+        // Backward: the upstream gradient (oh x ow) is dilated by the forward
+        // stride and padded by (R-1, S-1); the rotated R x S kernel slides at
+        // stride 1 to produce the (padded) input gradient.
+        let back_img_h = (oh - 1) * stride + 1 + 2 * (kernel_h - 1);
+        let back_img_w = (ow - 1) * stride + 1 + 2 * (kernel_w - 1);
+        let backward = ConvShape::new(kernel_h, kernel_w, back_img_h, back_img_w, 1)?;
+        let update = forward.weight_update_shape()?;
+        Ok(Self {
+            forward,
+            backward,
+            update,
+        })
+    }
+
+    /// The shape for a specific phase.
+    pub fn shape(&self, phase: TrainingPhase) -> ConvShape {
+        match phase {
+            TrainingPhase::Forward => self.forward,
+            TrainingPhase::Backward => self.backward,
+            TrainingPhase::Update => self.update,
+        }
+    }
+}
+
+/// One row of the paper's Table 2: a phase's dimensions and efficiency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EfficiencyRow {
+    /// Phase label.
+    pub phase: &'static str,
+    /// The convolution shape.
+    pub shape: ConvShape,
+    /// Analytical outer-product efficiency (Eq. 6).
+    pub efficiency: f64,
+}
+
+/// Reproduces the rows of the paper's Table 2 (typical ImageNet/ResNet50 and
+/// CIFAR/ResNet18 training convolutions).
+///
+/// # Panics
+///
+/// Never panics in practice; the embedded shapes are all valid.
+pub fn table2_rows() -> Vec<EfficiencyRow> {
+    let mk = |phase, shape: ConvShape| EfficiencyRow {
+        phase,
+        shape,
+        efficiency: shape.outer_product_efficiency(),
+    };
+    vec![
+        mk(
+            "W*A, W*G_A",
+            ConvShape::new(3, 3, 114, 114, 1).expect("valid"),
+        ),
+        mk(
+            "G_A*A",
+            ConvShape::new(112, 112, 114, 114, 1).expect("valid"),
+        ),
+        mk(
+            "W*A, W*G_A",
+            ConvShape::new(7, 7, 230, 230, 2).expect("valid"),
+        ),
+        mk(
+            "G_A*A",
+            ConvShape::with_output(112, 112, 230, 230, 1, 2, 7, 7).expect("valid"),
+        ),
+        mk(
+            "W*A, W*G_A",
+            ConvShape::new(1, 1, 56, 56, 1).expect("valid"),
+        ),
+        mk("G_A*A", ConvShape::new(56, 56, 56, 56, 1).expect("valid")),
+        mk(
+            "W*A, W*G_A",
+            ConvShape::new(3, 3, 16, 16, 1).expect("valid"),
+        ),
+        mk("G_A*A", ConvShape::new(14, 14, 16, 16, 1).expect("valid")),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_paper_percentages() {
+        let expected = [96.52, 0.07, 23.71, 0.09, 100.00, 0.03, 76.58, 3.53];
+        let rows = table2_rows();
+        assert_eq!(rows.len(), expected.len());
+        for (row, &exp) in rows.iter().zip(expected.iter()) {
+            let eff = row.efficiency * 100.0;
+            assert!(
+                (eff - exp).abs() < 0.05,
+                "{}: {eff:.2}% != {exp}%",
+                row.shape
+            );
+        }
+    }
+
+    #[test]
+    fn phases_for_stride1_layer() {
+        // CIFAR-style 3x3 conv, 16x16 input, pad 1.
+        let phases = TrainingPhases::for_layer(3, 3, 16, 16, 1, 1).unwrap();
+        assert_eq!((phases.forward.out_h(), phases.forward.out_w()), (16, 16));
+        // Backward recovers the padded input dims.
+        assert_eq!((phases.backward.out_h(), phases.backward.out_w()), (18, 18));
+        // Update produces the 3x3 weight gradient.
+        assert_eq!((phases.update.out_h(), phases.update.out_w()), (3, 3));
+        assert_eq!(
+            (phases.update.kernel_h(), phases.update.kernel_w()),
+            (16, 16)
+        );
+    }
+
+    #[test]
+    fn phases_for_strided_layer_use_dilation() {
+        // ImageNet stem: 7x7 stride 2 pad 3 on 224x224.
+        let phases = TrainingPhases::for_layer(7, 7, 224, 224, 2, 3).unwrap();
+        assert_eq!((phases.forward.out_h(), phases.forward.out_w()), (112, 112));
+        assert_eq!(phases.update.dilation(), 2);
+        assert_eq!((phases.update.out_h(), phases.update.out_w()), (7, 7));
+        // Backward output covers the *used* region of the padded 230x230
+        // input: the forward floor division leaves one trailing row/column
+        // untouched (zero gradient), so the convolution computes 229x229.
+        assert_eq!(
+            (phases.backward.out_h(), phases.backward.out_w()),
+            (229, 229)
+        );
+    }
+
+    #[test]
+    fn update_phase_efficiency_is_tiny() {
+        let phases = TrainingPhases::for_layer(3, 3, 112, 112, 1, 1).unwrap();
+        assert!(phases.forward.outer_product_efficiency() > 0.9);
+        assert!(phases.update.outer_product_efficiency() < 0.001);
+    }
+
+    #[test]
+    fn phase_labels_match_paper() {
+        assert_eq!(TrainingPhase::Forward.to_string(), "W*A");
+        assert_eq!(TrainingPhase::Backward.to_string(), "W*G_A");
+        assert_eq!(TrainingPhase::Update.to_string(), "G_A*A");
+        assert_eq!(TrainingPhase::ALL.len(), 3);
+    }
+
+    #[test]
+    fn phases_shape_accessor_agrees() {
+        let phases = TrainingPhases::for_layer(3, 3, 16, 16, 1, 1).unwrap();
+        assert_eq!(phases.shape(TrainingPhase::Forward), phases.forward);
+        assert_eq!(phases.shape(TrainingPhase::Backward), phases.backward);
+        assert_eq!(phases.shape(TrainingPhase::Update), phases.update);
+    }
+}

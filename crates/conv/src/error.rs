@@ -1,0 +1,89 @@
+//! Error type for convolution shape and execution failures.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by convolution shape validation and execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConvError {
+    /// The kernel does not fit inside the image for any shift.
+    KernelLargerThanImage {
+        /// Kernel `(R, S)` dimensions.
+        kernel: (usize, usize),
+        /// Image `(H, W)` dimensions.
+        image: (usize, usize),
+    },
+    /// Stride must be at least 1.
+    ZeroStride,
+    /// A dimension was zero.
+    ZeroDimension,
+    /// The operand matrix does not match the declared shape.
+    OperandShapeMismatch {
+        /// Which operand mismatched: `"kernel"` or `"image"`.
+        operand: &'static str,
+        /// Expected `(rows, cols)`.
+        expected: (usize, usize),
+        /// Actual `(rows, cols)`.
+        actual: (usize, usize),
+    },
+    /// Matrix-multiplication inner dimensions disagree (`W != R`).
+    MatmulInnerMismatch {
+        /// Image width `W`.
+        image_w: usize,
+        /// Kernel rows `R`.
+        kernel_r: usize,
+    },
+}
+
+impl fmt::Display for ConvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConvError::KernelLargerThanImage { kernel, image } => write!(
+                f,
+                "kernel {}x{} does not fit in image {}x{}",
+                kernel.0, kernel.1, image.0, image.1
+            ),
+            ConvError::ZeroStride => write!(f, "stride must be at least 1"),
+            ConvError::ZeroDimension => write!(f, "dimensions must be non-zero"),
+            ConvError::OperandShapeMismatch {
+                operand,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "{operand} shape {}x{} does not match declared {}x{}",
+                actual.0, actual.1, expected.0, expected.1
+            ),
+            ConvError::MatmulInnerMismatch { image_w, kernel_r } => write!(
+                f,
+                "matmul inner dimensions disagree: image W={image_w}, kernel R={kernel_r}"
+            ),
+        }
+    }
+}
+
+impl Error for ConvError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_concise() {
+        let err = ConvError::KernelLargerThanImage {
+            kernel: (5, 5),
+            image: (3, 3),
+        };
+        assert_eq!(err.to_string(), "kernel 5x5 does not fit in image 3x3");
+        assert_eq!(
+            ConvError::ZeroStride.to_string(),
+            "stride must be at least 1"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConvError>();
+    }
+}

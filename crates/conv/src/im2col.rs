@@ -1,0 +1,166 @@
+//! IM2COL lowering for inner-product accelerators.
+//!
+//! Inner-product machines (DaDianNao, TensorDash) convert convolutions into
+//! dot products by materializing every kernel-sized image patch as a column
+//! (paper Section 2.2). The transformation duplicates image values — each
+//! interior element appears in up to `R * S` patches — which inflates memory
+//! traffic; this module quantifies that duplication and provides the lowered
+//! matmul as a correctness cross-check for the reference convolutions.
+
+use ant_sparse::DenseMatrix;
+
+use crate::dense::conv2d;
+use crate::error::ConvError;
+use crate::shape::ConvShape;
+
+/// The IM2COL matrix of `image` under `shape`: `(R * S)` rows by
+/// `(H_out * W_out)` columns; column `oy * W_out + ox` holds the patch for
+/// output `(oy, ox)` flattened row-major.
+///
+/// # Errors
+///
+/// Returns [`ConvError::OperandShapeMismatch`] if `image` disagrees with
+/// `shape`.
+pub fn im2col(image: &DenseMatrix, shape: &ConvShape) -> Result<DenseMatrix, ConvError> {
+    if image.shape() != (shape.image_h(), shape.image_w()) {
+        return Err(ConvError::OperandShapeMismatch {
+            operand: "image",
+            expected: (shape.image_h(), shape.image_w()),
+            actual: image.shape(),
+        });
+    }
+    let patch = shape.kernel_h() * shape.kernel_w();
+    let outputs = shape.out_h() * shape.out_w();
+    let (stride, dil) = (shape.stride(), shape.dilation());
+    let mut out = DenseMatrix::zeros(patch, outputs);
+    for oy in 0..shape.out_h() {
+        for ox in 0..shape.out_w() {
+            let col = oy * shape.out_w() + ox;
+            for r in 0..shape.kernel_h() {
+                for s in 0..shape.kernel_w() {
+                    let row = r * shape.kernel_w() + s;
+                    out[(row, col)] = image.get(oy * stride + dil * r, ox * stride + dil * s);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Computes the convolution via IM2COL + matmul (used as a cross-check that
+/// the lowering is faithful): flattened kernel row times the IM2COL matrix.
+///
+/// # Errors
+///
+/// Propagates [`ConvError`] from the lowering and shape checks.
+pub fn conv_via_im2col(
+    kernel: &DenseMatrix,
+    image: &DenseMatrix,
+    shape: &ConvShape,
+) -> Result<DenseMatrix, ConvError> {
+    if kernel.shape() != (shape.kernel_h(), shape.kernel_w()) {
+        return Err(ConvError::OperandShapeMismatch {
+            operand: "kernel",
+            expected: (shape.kernel_h(), shape.kernel_w()),
+            actual: kernel.shape(),
+        });
+    }
+    let lowered = im2col(image, shape)?;
+    let flat_kernel =
+        DenseMatrix::from_vec(1, kernel.len(), kernel.as_slice().to_vec()).expect("sized");
+    let flat_out = flat_kernel
+        .matmul(&lowered)
+        .expect("dimensions agree by construction");
+    DenseMatrix::from_vec(shape.out_h(), shape.out_w(), flat_out.as_slice().to_vec())
+        .map_err(|_| ConvError::ZeroDimension)
+}
+
+/// The value-duplication factor of IM2COL: lowered elements divided by
+/// original image elements (`R*S*H_out*W_out / (H*W)`).
+///
+/// For a 3x3 stride-1 convolution over a large image this approaches 9x —
+/// the memory-traffic overhead the paper attributes to inner-product
+/// training accelerators (Section 2.2).
+pub fn duplication_factor(shape: &ConvShape) -> f64 {
+    (shape.kernel_h() * shape.kernel_w() * shape.out_h() * shape.out_w()) as f64
+        / (shape.image_h() * shape.image_w()) as f64
+}
+
+/// Verifies (for tests and sanity checks) that IM2COL lowering reproduces
+/// the direct convolution for the given operands.
+///
+/// # Errors
+///
+/// Propagates [`ConvError`] from either path.
+pub fn check_lowering(
+    kernel: &DenseMatrix,
+    image: &DenseMatrix,
+    shape: &ConvShape,
+) -> Result<bool, ConvError> {
+    let direct = conv2d(kernel, image, shape)?;
+    let lowered = conv_via_im2col(kernel, image, shape)?;
+    Ok(direct.approx_eq(&lowered, 1e-4))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ant_sparse::sparsify;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn im2col_dimensions() {
+        let shape = ConvShape::new(3, 3, 6, 6, 1).unwrap();
+        let image = DenseMatrix::from_fn(6, 6, |r, c| (r * 6 + c) as f32);
+        let lowered = im2col(&image, &shape).unwrap();
+        assert_eq!(lowered.shape(), (9, 16));
+    }
+
+    #[test]
+    fn im2col_first_column_is_first_patch() {
+        let shape = ConvShape::new(2, 2, 3, 3, 1).unwrap();
+        let image = DenseMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 9.0]]);
+        let lowered = im2col(&image, &shape).unwrap();
+        assert_eq!(lowered.get(0, 0), 1.0);
+        assert_eq!(lowered.get(1, 0), 2.0);
+        assert_eq!(lowered.get(2, 0), 4.0);
+        assert_eq!(lowered.get(3, 0), 5.0);
+    }
+
+    #[test]
+    fn lowering_reproduces_direct_conv() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for shape in [
+            ConvShape::new(3, 3, 8, 8, 1).unwrap(),
+            ConvShape::new(2, 2, 9, 9, 2).unwrap(),
+            ConvShape::with_dilation(2, 2, 9, 9, 1, 2).unwrap(),
+        ] {
+            let kernel =
+                sparsify::random_with_sparsity(shape.kernel_h(), shape.kernel_w(), 0.3, &mut rng);
+            let image =
+                sparsify::random_with_sparsity(shape.image_h(), shape.image_w(), 0.3, &mut rng);
+            assert!(check_lowering(&kernel, &image, &shape).unwrap(), "{shape}");
+        }
+    }
+
+    #[test]
+    fn duplication_factor_approaches_kernel_size() {
+        let big = ConvShape::new(3, 3, 112, 112, 1).unwrap();
+        let f = duplication_factor(&big);
+        assert!(f > 8.5 && f <= 9.0, "factor {f}");
+        // A 1x1 convolution duplicates nothing.
+        let one = ConvShape::new(1, 1, 56, 56, 1).unwrap();
+        assert_eq!(duplication_factor(&one), 1.0);
+    }
+
+    #[test]
+    fn image_shape_checked() {
+        let shape = ConvShape::new(2, 2, 4, 4, 1).unwrap();
+        let wrong = DenseMatrix::zeros(5, 5);
+        assert!(matches!(
+            im2col(&wrong, &shape),
+            Err(ConvError::OperandShapeMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,56 @@
+//! Convolution math and Redundant-Cartesian-Product (RCP) characterization.
+//!
+//! This crate implements the analytical core of the ANT paper (Sections 2–3):
+//!
+//! * [`ConvShape`] — convolution dimension bookkeeping following the paper's
+//!   conventions: an `R x S` *kernel* (rows `r`, columns `s`) slides over an
+//!   `H x W` *image* (rows `y`, columns `x`) producing an
+//!   `H_out x W_out` output.
+//! * [`dense`] — reference dense convolutions (valid and full), the ground
+//!   truth every sparse path is checked against.
+//! * [`rcp`] — the RCP validity conditions (paper Eqs. 4–10), per-case
+//!   classification (paper Fig. 4), and partial-product breakdowns
+//!   (paper Fig. 1).
+//! * [`outer`] — the outer-product (cartesian-product) mapping of a sparse
+//!   convolution as an SCNN-like accelerator executes it, with full product
+//!   accounting.
+//! * [`algorithms`] — executable versions of the paper's Algorithm 1 (ideal
+//!   anticipation) and Algorithm 2 (vector-granularity anticipation).
+//! * [`efficiency`] — the analytical outer-product efficiency model
+//!   (paper Eq. 6, Tables 2 and 3).
+//! * [`matmul`] — the matrix-multiplication extension (paper Section 5).
+//! * [`im2col`] — the IM2COL lowering used by inner-product accelerators,
+//!   including its duplication overhead (paper Section 2.2).
+//!
+//! # Example
+//!
+//! ```
+//! use ant_conv::ConvShape;
+//!
+//! // Paper Table 2, row 2: the G_A * A weight-update convolution of a
+//! // 112x112 gradient "kernel" over a 114x114 activation "image".
+//! let shape = ConvShape::new(112, 112, 114, 114, 1)?;
+//! assert_eq!(shape.out_h(), 3);
+//! assert_eq!(shape.out_w(), 3);
+//! // Outer-product efficiency collapses to ~0.07% (paper: 0.07%).
+//! assert!((shape.outer_product_efficiency() - 0.0007).abs() < 1e-4);
+//! # Ok::<(), ant_conv::ConvError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod algorithms;
+pub mod dense;
+pub mod direct;
+pub mod efficiency;
+pub mod error;
+pub mod im2col;
+pub mod matmul;
+pub mod outer;
+pub mod rcp;
+pub mod shape;
+
+pub use error::ConvError;
+pub use rcp::{ProductBreakdown, RcpCases};
+pub use shape::ConvShape;

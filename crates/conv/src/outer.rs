@@ -1,0 +1,191 @@
+//! The outer-product (cartesian-product) execution model of a sparse
+//! convolution.
+//!
+//! An outer-product accelerator like SCNN (paper Section 2.3) multiplies
+//! *every* non-zero kernel value with *every* non-zero image value and then
+//! routes each product to its output accumulator — or discards it when the
+//! output index is invalid (an RCP). This module executes that model in
+//! software, producing both the convolution output and the product
+//! accounting, and serves as the functional reference for the cycle-level
+//! simulators in `ant-sim`.
+
+use ant_sparse::{CsrMatrix, DenseMatrix};
+
+use crate::error::ConvError;
+use crate::shape::ConvShape;
+
+/// Result of executing a sparse convolution as a full cartesian product.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OuterProductResult {
+    /// The accumulated convolution output (`H_out x W_out`).
+    pub output: DenseMatrix,
+    /// Products executed: `nnz(kernel) * nnz(image)`.
+    pub products: u64,
+    /// Products that contributed to a valid output element.
+    pub useful: u64,
+    /// Products discarded as RCPs (`products - useful`).
+    pub rcps: u64,
+}
+
+impl OuterProductResult {
+    /// Fraction of executed products that were useful.
+    pub fn efficiency(&self) -> f64 {
+        if self.products == 0 {
+            0.0
+        } else {
+            self.useful as f64 / self.products as f64
+        }
+    }
+}
+
+/// Executes the convolution of `kernel` over `image` as a complete sparse
+/// cartesian product (the SCNN dataflow without any anticipation).
+///
+/// # Errors
+///
+/// Returns [`ConvError::OperandShapeMismatch`] if the operands disagree with
+/// `shape`.
+///
+/// # Example
+///
+/// ```
+/// use ant_sparse::{CsrMatrix, DenseMatrix};
+/// use ant_conv::{ConvShape, outer::sparse_conv_outer};
+///
+/// let kernel = CsrMatrix::from_dense(&DenseMatrix::from_rows(&[
+///     &[1.0, 0.0],
+///     &[0.0, 1.0],
+/// ]));
+/// let image = CsrMatrix::from_dense(&DenseMatrix::from_rows(&[
+///     &[1.0, 2.0, 0.0],
+///     &[0.0, 1.0, 0.0],
+///     &[3.0, 0.0, 1.0],
+/// ]));
+/// let shape = ConvShape::new(2, 2, 3, 3, 1)?;
+/// let result = sparse_conv_outer(&kernel, &image, &shape)?;
+/// assert_eq!(result.products, 2 * 5);
+/// assert_eq!(result.output.get(0, 0), 1.0 * 1.0 + 1.0 * 1.0);
+/// # Ok::<(), ant_conv::ConvError>(())
+/// ```
+pub fn sparse_conv_outer(
+    kernel: &CsrMatrix,
+    image: &CsrMatrix,
+    shape: &ConvShape,
+) -> Result<OuterProductResult, ConvError> {
+    check_shapes(kernel, image, shape)?;
+    let mut output = DenseMatrix::zeros(shape.out_h(), shape.out_w());
+    let mut useful = 0u64;
+    for (y, x, iv) in image.iter() {
+        for (r, s, kv) in kernel.iter() {
+            if let Some((ox, oy)) = shape.output_index(x, y, s, r) {
+                output[(oy, ox)] += iv * kv;
+                useful += 1;
+            }
+        }
+    }
+    let products = kernel.nnz() as u64 * image.nnz() as u64;
+    Ok(OuterProductResult {
+        output,
+        products,
+        useful,
+        rcps: products - useful,
+    })
+}
+
+pub(crate) fn check_shapes(
+    kernel: &CsrMatrix,
+    image: &CsrMatrix,
+    shape: &ConvShape,
+) -> Result<(), ConvError> {
+    if kernel.shape() != (shape.kernel_h(), shape.kernel_w()) {
+        return Err(ConvError::OperandShapeMismatch {
+            operand: "kernel",
+            expected: (shape.kernel_h(), shape.kernel_w()),
+            actual: kernel.shape(),
+        });
+    }
+    if image.shape() != (shape.image_h(), shape.image_w()) {
+        return Err(ConvError::OperandShapeMismatch {
+            operand: "image",
+            expected: (shape.image_h(), shape.image_w()),
+            actual: image.shape(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::conv2d;
+    use crate::rcp::count_useful_products;
+    use ant_sparse::sparsify;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_pair(shape: &ConvShape, sparsity: f64, seed: u64) -> (CsrMatrix, CsrMatrix) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kernel =
+            sparsify::random_with_sparsity(shape.kernel_h(), shape.kernel_w(), sparsity, &mut rng);
+        let image =
+            sparsify::random_with_sparsity(shape.image_h(), shape.image_w(), sparsity, &mut rng);
+        (
+            CsrMatrix::from_dense(&kernel),
+            CsrMatrix::from_dense(&image),
+        )
+    }
+
+    #[test]
+    fn output_matches_dense_reference() {
+        for (shape, seed) in [
+            (ConvShape::new(3, 3, 8, 8, 1).unwrap(), 1),
+            (ConvShape::new(2, 2, 9, 9, 2).unwrap(), 2),
+            (ConvShape::with_dilation(2, 2, 9, 9, 1, 2).unwrap(), 3),
+        ] {
+            let (kernel, image) = random_pair(&shape, 0.6, seed);
+            let outer = sparse_conv_outer(&kernel, &image, &shape).unwrap();
+            let dense = conv2d(&kernel.to_dense(), &image.to_dense(), &shape).unwrap();
+            assert!(outer.output.approx_eq(&dense, 1e-4), "mismatch for {shape}");
+        }
+    }
+
+    #[test]
+    fn useful_count_matches_analytic_counter() {
+        let shape = ConvShape::new(4, 4, 10, 10, 1).unwrap();
+        let (kernel, image) = random_pair(&shape, 0.7, 7);
+        let outer = sparse_conv_outer(&kernel, &image, &shape).unwrap();
+        assert_eq!(outer.useful, count_useful_products(&kernel, &image, &shape));
+        assert_eq!(outer.products, outer.useful + outer.rcps);
+    }
+
+    #[test]
+    fn dense_inputs_reach_analytic_efficiency() {
+        let shape = ConvShape::new(3, 3, 12, 12, 1).unwrap();
+        let kernel = CsrMatrix::from_dense(&DenseMatrix::from_fn(3, 3, |_, _| 1.0));
+        let image = CsrMatrix::from_dense(&DenseMatrix::from_fn(12, 12, |_, _| 1.0));
+        let result = sparse_conv_outer(&kernel, &image, &shape).unwrap();
+        assert!((result.efficiency() - shape.outer_product_efficiency()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_kernel_produces_zero_products() {
+        let shape = ConvShape::new(2, 2, 4, 4, 1).unwrap();
+        let kernel = CsrMatrix::empty(2, 2);
+        let image = CsrMatrix::from_dense(&DenseMatrix::from_fn(4, 4, |_, _| 1.0));
+        let result = sparse_conv_outer(&kernel, &image, &shape).unwrap();
+        assert_eq!(result.products, 0);
+        assert_eq!(result.efficiency(), 0.0);
+        assert_eq!(result.output.nnz(), 0);
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let shape = ConvShape::new(2, 2, 4, 4, 1).unwrap();
+        let kernel = CsrMatrix::empty(3, 3);
+        let image = CsrMatrix::empty(4, 4);
+        assert!(matches!(
+            sparse_conv_outer(&kernel, &image, &shape),
+            Err(ConvError::OperandShapeMismatch { .. })
+        ));
+    }
+}

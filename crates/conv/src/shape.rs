@@ -1,0 +1,482 @@
+//! Convolution shape bookkeeping.
+//!
+//! Index conventions follow the paper (Section 3, after Sze et al.): an
+//! `R x S` kernel with row index `r in [0, R)` and column index `s in [0, S)`
+//! slides over an `H x W` image with row index `y in [0, H)` and column index
+//! `x in [0, W)`, producing an `H_out x W_out` output. A product of image
+//! element `(x, y)` and kernel element `(s, r)` contributes to output
+//! coordinate `out_x = (x - s) / stride`, `out_y = (y - r) / stride`
+//! (paper Eqs. 4–5).
+//!
+//! # Dilation
+//!
+//! The paper's weight-update phase (`G_A * A`, Eq. 3) of a stride-`t` layer
+//! is a *dilated* convolution: `G_W[r'][s'] = sum_{oy,ox} G_A[oy][ox] *
+//! A[t*oy + r'][t*ox + s']`. Treating `G_A` as the kernel, the product of
+//! image element `(x, y)` and kernel element `(s, r)` maps to output
+//! `out_y = y - t*r`, i.e. kernel indices are scaled by a dilation factor
+//! `t` while the output moves with stride 1. [`ConvShape`] therefore carries
+//! both a `stride` (output step) and a `dilation` (kernel step); the paper's
+//! equations are the `dilation == 1` case. This is what makes the paper's
+//! Table 2 row `112x112 (*) 230x230 -> 7x7` (from the stride-2 7x7 stem of
+//! ResNet-50) come out right.
+
+use std::fmt;
+
+use crate::error::ConvError;
+
+/// Dimensions of a single-channel 2-D convolution: kernel `R x S`, image
+/// `H x W`, output step `stride`, and kernel step `dilation`.
+///
+/// Padding is represented *materialized*: callers that need padding enlarge
+/// the image first (see [`ConvShape::with_padding`]). The paper notes
+/// (Section 3) that padding introduces additional RCPs rather than removing
+/// them, because padded positions still produce out-of-range output indices
+/// in the outer product.
+///
+/// # Example
+///
+/// ```
+/// use ant_conv::ConvShape;
+///
+/// let shape = ConvShape::new(3, 3, 114, 114, 1)?;
+/// assert_eq!((shape.out_h(), shape.out_w()), (112, 112));
+/// # Ok::<(), ant_conv::ConvError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvShape {
+    kernel_h: usize,
+    kernel_w: usize,
+    image_h: usize,
+    image_w: usize,
+    stride: usize,
+    dilation: usize,
+    out_h: usize,
+    out_w: usize,
+}
+
+impl ConvShape {
+    /// Creates a convolution shape for an `R x S` kernel over an `H x W`
+    /// image with the given stride and dilation 1.
+    ///
+    /// # Errors
+    ///
+    /// * [`ConvError::ZeroDimension`] if any dimension is zero.
+    /// * [`ConvError::ZeroStride`] if `stride == 0`.
+    /// * [`ConvError::KernelLargerThanImage`] if the (dilated) kernel exceeds
+    ///   the image in either dimension.
+    pub fn new(
+        kernel_h: usize,
+        kernel_w: usize,
+        image_h: usize,
+        image_w: usize,
+        stride: usize,
+    ) -> Result<Self, ConvError> {
+        Self::with_dilation(kernel_h, kernel_w, image_h, image_w, stride, 1)
+    }
+
+    /// Creates a convolution shape with an explicit kernel dilation.
+    ///
+    /// The effective kernel extent is `dilation * (R - 1) + 1` rows by
+    /// `dilation * (S - 1) + 1` columns.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ConvShape::new`], with the dilated kernel extent,
+    /// plus [`ConvError::ZeroStride`] if `dilation == 0`.
+    pub fn with_dilation(
+        kernel_h: usize,
+        kernel_w: usize,
+        image_h: usize,
+        image_w: usize,
+        stride: usize,
+        dilation: usize,
+    ) -> Result<Self, ConvError> {
+        if kernel_h == 0 || kernel_w == 0 || image_h == 0 || image_w == 0 {
+            return Err(ConvError::ZeroDimension);
+        }
+        if stride == 0 || dilation == 0 {
+            return Err(ConvError::ZeroStride);
+        }
+        let eff_h = dilation * (kernel_h - 1) + 1;
+        let eff_w = dilation * (kernel_w - 1) + 1;
+        if eff_h > image_h || eff_w > image_w {
+            return Err(ConvError::KernelLargerThanImage {
+                kernel: (eff_h, eff_w),
+                image: (image_h, image_w),
+            });
+        }
+        let out_h = (image_h - eff_h) / stride + 1;
+        let out_w = (image_w - eff_w) / stride + 1;
+        Ok(Self {
+            kernel_h,
+            kernel_w,
+            image_h,
+            image_w,
+            stride,
+            dilation,
+            out_h,
+            out_w,
+        })
+    }
+
+    /// Creates a shape with *explicit* output dimensions, which may be
+    /// smaller than the natural sliding-window count.
+    ///
+    /// The paper notes output dimensions are "calculated from the stride,
+    /// padding, and input shape" externally; the weight-update phase of a
+    /// strided layer is the motivating case: the forward pass's floor
+    /// division can leave trailing image rows unused, so the `G_A * A`
+    /// convolution must stop at the forward kernel's `R x S` extent even
+    /// though the dilated gradient kernel could slide one position further.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ConvShape::with_dilation`], plus
+    /// [`ConvError::ZeroDimension`] if either output dimension is zero or
+    /// exceeds the natural output size.
+    #[allow(clippy::too_many_arguments)] // mirrors the paper's parameter list
+    pub fn with_output(
+        kernel_h: usize,
+        kernel_w: usize,
+        image_h: usize,
+        image_w: usize,
+        stride: usize,
+        dilation: usize,
+        out_h: usize,
+        out_w: usize,
+    ) -> Result<Self, ConvError> {
+        let mut shape =
+            Self::with_dilation(kernel_h, kernel_w, image_h, image_w, stride, dilation)?;
+        if out_h == 0 || out_w == 0 || out_h > shape.out_h || out_w > shape.out_w {
+            return Err(ConvError::ZeroDimension);
+        }
+        shape.out_h = out_h;
+        shape.out_w = out_w;
+        Ok(shape)
+    }
+
+    /// Creates a shape where the image has been symmetrically zero-padded by
+    /// `padding` on all sides (the padded image is `H+2p x W+2p`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ConvShape::new`], evaluated on the padded image.
+    pub fn with_padding(
+        kernel_h: usize,
+        kernel_w: usize,
+        image_h: usize,
+        image_w: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Result<Self, ConvError> {
+        Self::new(
+            kernel_h,
+            kernel_w,
+            image_h + 2 * padding,
+            image_w + 2 * padding,
+            stride,
+        )
+    }
+
+    /// Kernel height `R`.
+    pub fn kernel_h(&self) -> usize {
+        self.kernel_h
+    }
+
+    /// Kernel width `S`.
+    pub fn kernel_w(&self) -> usize {
+        self.kernel_w
+    }
+
+    /// Image height `H`.
+    pub fn image_h(&self) -> usize {
+        self.image_h
+    }
+
+    /// Image width `W`.
+    pub fn image_w(&self) -> usize {
+        self.image_w
+    }
+
+    /// Convolution stride (output step).
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Kernel dilation (kernel step).
+    pub fn dilation(&self) -> usize {
+        self.dilation
+    }
+
+    /// Output height (`(H - dilation*(R-1) - 1) / stride + 1` unless set
+    /// explicitly with [`ConvShape::with_output`]).
+    pub fn out_h(&self) -> usize {
+        self.out_h
+    }
+
+    /// Output width (`(W - dilation*(S-1) - 1) / stride + 1` unless set
+    /// explicitly with [`ConvShape::with_output`]).
+    pub fn out_w(&self) -> usize {
+        self.out_w
+    }
+
+    /// Number of multiplications a dense *direct* convolution performs:
+    /// `R * S * H_out * W_out` (paper Section 3.1).
+    pub fn direct_products(&self) -> u64 {
+        self.kernel_h as u64 * self.kernel_w as u64 * self.out_h() as u64 * self.out_w() as u64
+    }
+
+    /// Number of multiplications a dense *outer product* of kernel and image
+    /// performs: `R * S * H * W` (paper Section 3.1).
+    pub fn outer_products(&self) -> u64 {
+        self.kernel_h as u64 * self.kernel_w as u64 * self.image_h as u64 * self.image_w as u64
+    }
+
+    /// Analytical dense outer-product efficiency (paper Eq. 6):
+    /// `H_out * W_out / (H * W)`.
+    ///
+    /// This is the fraction of outer-product multiplications a convolution
+    /// actually needs; the remainder are RCPs.
+    pub fn outer_product_efficiency(&self) -> f64 {
+        (self.out_h() as f64 * self.out_w() as f64) / (self.image_h as f64 * self.image_w as f64)
+    }
+
+    /// The shape of the weight-update convolution `G_A * A` derived from this
+    /// forward shape (paper Fig. 5 / Table 2 row pairing): the forward output
+    /// (`G_A`, `H_out x W_out`) becomes the kernel, the image stays, the
+    /// forward stride becomes the *dilation*, and the output step is 1. The
+    /// resulting output has the forward kernel's `R x S` dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConvError`] from shape construction.
+    pub fn weight_update_shape(&self) -> Result<ConvShape, ConvError> {
+        ConvShape::with_output(
+            self.out_h(),
+            self.out_w(),
+            self.image_h,
+            self.image_w,
+            1,
+            self.stride,
+            self.kernel_h,
+            self.kernel_w,
+        )
+    }
+
+    /// Whether a product of image element `(x, y)` with kernel element
+    /// `(s, r)` lands on a *true* valid output (paper Eqs. 4–5 generalized
+    /// with dilation, plus the stride divisibility requirement).
+    pub fn is_valid_product(&self, x: usize, y: usize, s: usize, r: usize) -> bool {
+        debug_assert!(x < self.image_w && y < self.image_h, "image index in range");
+        debug_assert!(
+            s < self.kernel_w && r < self.kernel_h,
+            "kernel index in range"
+        );
+        let (ds, dr) = (self.dilation * s, self.dilation * r);
+        if x < ds || y < dr {
+            return false;
+        }
+        let dx = x - ds;
+        let dy = y - dr;
+        if !dx.is_multiple_of(self.stride) || !dy.is_multiple_of(self.stride) {
+            return false;
+        }
+        dx / self.stride < self.out_w() && dy / self.stride < self.out_h()
+    }
+
+    /// Output coordinate `(out_x, out_y)` for a valid product, or `None` when
+    /// the product is an RCP (paper Eqs. 4–5).
+    pub fn output_index(&self, x: usize, y: usize, s: usize, r: usize) -> Option<(usize, usize)> {
+        if self.is_valid_product(x, y, s, r) {
+            Some((
+                (x - self.dilation * s) / self.stride,
+                (y - self.dilation * r) / self.stride,
+            ))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for ConvShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{} (*) {}x{} /{}",
+            self.kernel_h, self.kernel_w, self.image_h, self.image_w, self.stride,
+        )?;
+        if self.dilation != 1 {
+            write!(f, " d{}", self.dilation)?;
+        }
+        write!(f, " -> {}x{}", self.out_h(), self.out_w())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fig2_shape() {
+        // Fig. 2a: 2x2 kernel, 3x3 image, stride 1 -> 2x2 output.
+        let s = ConvShape::new(2, 2, 3, 3, 1).unwrap();
+        assert_eq!((s.out_h(), s.out_w()), (2, 2));
+        assert_eq!(s.direct_products(), 16);
+        assert_eq!(s.outer_products(), 36);
+        assert!((s.outer_product_efficiency() - 4.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_table2_efficiencies() {
+        // Table 2 rows: (R, S, H, W, stride, dilation) -> efficiency %.
+        let rows = [
+            (3, 3, 114, 114, 1, 96.52),
+            (112, 112, 114, 114, 1, 0.07),
+            (7, 7, 230, 230, 2, 23.71),
+            (1, 1, 56, 56, 1, 100.00),
+            (56, 56, 56, 56, 1, 0.03),
+            (3, 3, 16, 16, 1, 76.58),
+            (14, 14, 16, 16, 1, 3.53),
+        ];
+        for (r, s, h, w, stride, expected) in rows {
+            let shape = ConvShape::new(r, s, h, w, stride).unwrap();
+            let eff = shape.outer_product_efficiency() * 100.0;
+            assert!(
+                (eff - expected).abs() < 0.05,
+                "{shape}: efficiency {eff:.2}% != paper {expected}%"
+            );
+        }
+        // Row 4 (stride-2 stem update phase) needs the explicit 7x7 output.
+        let row4 = ConvShape::with_output(112, 112, 230, 230, 1, 2, 7, 7).unwrap();
+        let eff = row4.outer_product_efficiency() * 100.0;
+        assert!((eff - 0.09).abs() < 0.05, "row4 efficiency {eff:.3}%");
+    }
+
+    #[test]
+    fn stride_two_output_dims() {
+        let s = ConvShape::new(7, 7, 230, 230, 2).unwrap();
+        assert_eq!((s.out_h(), s.out_w()), (112, 112));
+    }
+
+    #[test]
+    fn dilated_update_output_dims() {
+        // Weight update of the ResNet-50 stem: G_A (112x112) dilated by the
+        // forward stride 2 over A (230x230) produces the 7x7 weight gradient.
+        // The natural sliding-window count is 8 (the forward floor division
+        // left trailing rows unused), so the output must be set explicitly.
+        let natural = ConvShape::with_dilation(112, 112, 230, 230, 1, 2).unwrap();
+        assert_eq!((natural.out_h(), natural.out_w()), (8, 8));
+        let s = ConvShape::with_output(112, 112, 230, 230, 1, 2, 7, 7).unwrap();
+        assert_eq!((s.out_h(), s.out_w()), (7, 7));
+    }
+
+    #[test]
+    fn with_output_rejects_oversized_output() {
+        assert!(ConvShape::with_output(2, 2, 5, 5, 1, 1, 5, 4).is_err());
+        assert!(ConvShape::with_output(2, 2, 5, 5, 1, 1, 0, 4).is_err());
+        assert!(ConvShape::with_output(2, 2, 5, 5, 1, 1, 3, 4).is_ok());
+    }
+
+    #[test]
+    fn rejects_oversized_kernel() {
+        assert!(matches!(
+            ConvShape::new(4, 4, 3, 3, 1),
+            Err(ConvError::KernelLargerThanImage { .. })
+        ));
+        // Dilation makes the effective kernel too large.
+        assert!(matches!(
+            ConvShape::with_dilation(3, 3, 5, 5, 1, 3),
+            Err(ConvError::KernelLargerThanImage { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_zero_stride_and_dims() {
+        assert_eq!(ConvShape::new(1, 1, 2, 2, 0), Err(ConvError::ZeroStride));
+        assert_eq!(ConvShape::new(0, 1, 2, 2, 1), Err(ConvError::ZeroDimension));
+        assert_eq!(
+            ConvShape::with_dilation(1, 1, 2, 2, 1, 0),
+            Err(ConvError::ZeroStride)
+        );
+    }
+
+    #[test]
+    fn padding_enlarges_image() {
+        let s = ConvShape::with_padding(3, 3, 112, 112, 1, 1).unwrap();
+        assert_eq!((s.image_h(), s.image_w()), (114, 114));
+        assert_eq!((s.out_h(), s.out_w()), (112, 112));
+    }
+
+    #[test]
+    fn valid_product_corners() {
+        let s = ConvShape::new(2, 2, 3, 3, 1).unwrap();
+        // Image (0,0) with kernel (0,0) -> output (0,0): valid.
+        assert!(s.is_valid_product(0, 0, 0, 0));
+        // Image (0,0) with kernel (1,1) -> negative output: RCP (case a+b).
+        assert!(!s.is_valid_product(0, 0, 1, 1));
+        // Image (2,2) with kernel (0,0) -> output (2,2) out of 2x2: RCP (c+d).
+        assert!(!s.is_valid_product(2, 2, 0, 0));
+        // Image (2,2) with kernel (1,1) -> output (1,1): valid.
+        assert!(s.is_valid_product(2, 2, 1, 1));
+    }
+
+    #[test]
+    fn stride_divisibility_makes_rcp() {
+        let s = ConvShape::new(2, 2, 5, 5, 2).unwrap();
+        // dx = 1 is not divisible by stride 2: no valid output.
+        assert!(!s.is_valid_product(1, 0, 0, 0));
+        assert!(s.is_valid_product(2, 0, 0, 0));
+        assert_eq!(s.output_index(2, 2, 0, 0), Some((1, 1)));
+    }
+
+    #[test]
+    fn dilated_product_validity() {
+        // 2x2 kernel dilated by 2 over a 5x5 image, stride 1 -> 3x3 output.
+        let s = ConvShape::with_dilation(2, 2, 5, 5, 1, 2).unwrap();
+        assert_eq!((s.out_h(), s.out_w()), (3, 3));
+        // Kernel element (1,1) touches image (2,2) at shift (0,0).
+        assert_eq!(s.output_index(2, 2, 1, 1), Some((0, 0)));
+        // Kernel element (1,1) cannot reach image (1,1): 1 < dilation*1 + 0.
+        assert!(!s.is_valid_product(1, 1, 1, 1));
+    }
+
+    #[test]
+    fn output_index_matches_equations() {
+        let s = ConvShape::new(3, 3, 8, 8, 1).unwrap();
+        assert_eq!(s.output_index(5, 4, 2, 1), Some((3, 3)));
+        assert_eq!(s.output_index(7, 7, 0, 0), None); // exceeds 6x6 output
+    }
+
+    #[test]
+    fn weight_update_shape_swaps_kernel_and_output() {
+        let fwd = ConvShape::new(3, 3, 114, 114, 1).unwrap();
+        let upd = fwd.weight_update_shape().unwrap();
+        assert_eq!((upd.kernel_h(), upd.kernel_w()), (112, 112));
+        assert_eq!((upd.out_h(), upd.out_w()), (3, 3));
+        assert!(upd.outer_product_efficiency() < 0.001);
+    }
+
+    #[test]
+    fn weight_update_shape_of_strided_layer_uses_dilation() {
+        let fwd = ConvShape::new(7, 7, 230, 230, 2).unwrap();
+        let upd = fwd.weight_update_shape().unwrap();
+        assert_eq!(upd.dilation(), 2);
+        assert_eq!((upd.kernel_h(), upd.kernel_w()), (112, 112));
+        assert_eq!((upd.out_h(), upd.out_w()), (7, 7));
+    }
+
+    #[test]
+    fn display_shows_all_dims() {
+        let s = ConvShape::new(3, 3, 16, 16, 1).unwrap();
+        assert_eq!(s.to_string(), "3x3 (*) 16x16 /1 -> 14x14");
+        let d = ConvShape::with_dilation(2, 2, 5, 5, 1, 2).unwrap();
+        assert_eq!(d.to_string(), "2x2 (*) 5x5 /1 d2 -> 3x3");
+    }
+
+    #[test]
+    fn efficiency_approaches_one_for_small_kernels() {
+        let s = ConvShape::new(1, 1, 56, 56, 1).unwrap();
+        assert_eq!(s.outer_product_efficiency(), 1.0);
+    }
+}

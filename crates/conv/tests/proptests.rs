@@ -1,0 +1,156 @@
+//! Property-based tests for convolution math and RCP detection.
+
+use ant_conv::algorithms::{ideal_anticipation, vector_anticipation, ConditionMask};
+use ant_conv::dense::conv2d;
+use ant_conv::outer::sparse_conv_outer;
+use ant_conv::rcp::{self, breakdown, breakdown_brute};
+use ant_conv::ConvShape;
+use ant_sparse::{CsrMatrix, DenseMatrix};
+use proptest::prelude::*;
+
+/// An arbitrary small convolution instance: shape plus sparse operands.
+#[derive(Debug, Clone)]
+struct ConvCase {
+    shape: ConvShape,
+    kernel: DenseMatrix,
+    image: DenseMatrix,
+}
+
+fn sparse_values(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(prop_oneof![2 => Just(0.0f32), 1 => -4.0f32..4.0f32], len)
+}
+
+fn conv_case() -> impl Strategy<Value = ConvCase> {
+    (1usize..5, 1usize..5, 1usize..3, 1usize..3)
+        .prop_flat_map(|(kh, kw, stride, dilation)| {
+            let min_h = dilation * (kh - 1) + 1;
+            let min_w = dilation * (kw - 1) + 1;
+            (
+                Just((kh, kw, stride, dilation)),
+                min_h..min_h + 8,
+                min_w..min_w + 8,
+            )
+        })
+        .prop_flat_map(|((kh, kw, stride, dilation), h, w)| {
+            (
+                Just(ConvShape::with_dilation(kh, kw, h, w, stride, dilation).expect("valid")),
+                sparse_values(kh * kw),
+                sparse_values(h * w),
+            )
+        })
+        .prop_map(|(shape, kvals, ivals)| ConvCase {
+            shape,
+            kernel: DenseMatrix::from_vec(shape.kernel_h(), shape.kernel_w(), kvals)
+                .expect("sized"),
+            image: DenseMatrix::from_vec(shape.image_h(), shape.image_w(), ivals).expect("sized"),
+        })
+}
+
+proptest! {
+    #[test]
+    fn outer_product_equals_direct_conv(case in conv_case()) {
+        let kernel = CsrMatrix::from_dense(&case.kernel);
+        let image = CsrMatrix::from_dense(&case.image);
+        let outer = sparse_conv_outer(&kernel, &image, &case.shape).unwrap();
+        let direct = conv2d(&case.kernel, &case.image, &case.shape).unwrap();
+        prop_assert!(outer.output.approx_eq(&direct, 1e-3));
+    }
+
+    #[test]
+    fn ideal_anticipation_equals_direct_conv(case in conv_case()) {
+        let kernel = CsrMatrix::from_dense(&case.kernel);
+        let image = CsrMatrix::from_dense(&case.image);
+        let result = ideal_anticipation(&kernel, &image, &case.shape).unwrap();
+        let direct = conv2d(&case.kernel, &case.image, &case.shape).unwrap();
+        prop_assert!(result.output.approx_eq(&direct, 1e-3));
+    }
+
+    #[test]
+    fn vector_anticipation_equals_direct_conv(case in conv_case(), n in 1usize..8) {
+        let kernel = CsrMatrix::from_dense(&case.kernel);
+        let image = CsrMatrix::from_dense(&case.image);
+        let result =
+            vector_anticipation(&kernel, &image, &case.shape, n, ConditionMask::BOTH).unwrap();
+        let direct = conv2d(&case.kernel, &case.image, &case.shape).unwrap();
+        prop_assert!(result.output.approx_eq(&direct, 1e-3));
+    }
+
+    #[test]
+    fn anticipation_never_loses_useful_work(case in conv_case(), n in 1usize..8) {
+        let kernel = CsrMatrix::from_dense(&case.kernel);
+        let image = CsrMatrix::from_dense(&case.image);
+        let plain = sparse_conv_outer(&kernel, &image, &case.shape).unwrap();
+        let ideal = ideal_anticipation(&kernel, &image, &case.shape).unwrap();
+        let vector =
+            vector_anticipation(&kernel, &image, &case.shape, n, ConditionMask::BOTH).unwrap();
+        prop_assert_eq!(ideal.counters.useful, plain.useful);
+        prop_assert_eq!(vector.counters.useful, plain.useful);
+    }
+
+    #[test]
+    fn vector_anticipation_monotone_in_conditions(case in conv_case(), n in 1usize..8) {
+        let kernel = CsrMatrix::from_dense(&case.kernel);
+        let image = CsrMatrix::from_dense(&case.image);
+        let both =
+            vector_anticipation(&kernel, &image, &case.shape, n, ConditionMask::BOTH).unwrap();
+        for mask in [ConditionMask::R_ONLY, ConditionMask::S_ONLY] {
+            let single = vector_anticipation(&kernel, &image, &case.shape, n, mask).unwrap();
+            prop_assert!(single.counters.rcps_skipped <= both.counters.rcps_skipped);
+            prop_assert_eq!(single.counters.useful, both.counters.useful);
+        }
+    }
+
+    #[test]
+    fn breakdown_fast_equals_brute(case in conv_case()) {
+        let fast = breakdown(
+            &CsrMatrix::from_dense(&case.kernel),
+            &CsrMatrix::from_dense(&case.image),
+            &case.shape,
+        )
+        .unwrap();
+        let brute = breakdown_brute(&case.kernel, &case.image, &case.shape);
+        prop_assert_eq!(fast, brute);
+    }
+
+    #[test]
+    fn element_test_never_rejects_valid(case in conv_case()) {
+        let shape = case.shape;
+        for r in 0..shape.kernel_h() {
+            for s in 0..shape.kernel_w() {
+                for y in 0..shape.image_h() {
+                    for x in 0..shape.image_w() {
+                        if shape.is_valid_product(x, y, s, r) {
+                            prop_assert!(rcp::passes_element_test(&shape, x, y, s, r));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_cover_all_valid_kernel_indices(case in conv_case()) {
+        let shape = case.shape;
+        for y in 0..shape.image_h() {
+            for x in 0..shape.image_w() {
+                let rr = rcp::r_range(&shape, y, y);
+                let sr = rcp::s_range(&shape, x, x);
+                for r in 0..shape.kernel_h() {
+                    for s in 0..shape.kernel_w() {
+                        if shape.is_valid_product(x, y, s, r) {
+                            prop_assert!(rr.contains(r as i64));
+                            prop_assert!(sr.contains(s as i64));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn im2col_lowering_is_faithful(case in conv_case()) {
+        prop_assert!(
+            ant_conv::im2col::check_lowering(&case.kernel, &case.image, &case.shape).unwrap()
+        );
+    }
+}

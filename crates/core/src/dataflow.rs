@@ -1,0 +1,149 @@
+//! Alternative dataflows (paper Section 4.6).
+//!
+//! ANT is dataflow-agnostic: the default pipeline keeps the *image*
+//! stationary and scans the kernel, but the same range machinery works with
+//! the roles swapped. Kernel-stationary holds `n` kernel elements and scans
+//! the image CSR; the acceptable *image* index ranges are obtained by
+//! solving Eqs. 7–8 for the minimum and maximum allowed `x` and `y`:
+//!
+//! `dilation*r <= y <= dilation*r + stride*(H_out - 1)` and likewise for
+//! `x`/`s` — widened to the group's `[r_min, r_max]` / `[s_min, s_max]`.
+
+use ant_conv::rcp::IndexRange;
+use ant_conv::ConvShape;
+
+use crate::range::{GroupRanges, RangeOps};
+
+/// Which operand the PE holds stationary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Dataflow {
+    /// The paper's default: image elements stationary, kernel scanned
+    /// (Section 4.2).
+    #[default]
+    ImageStationary,
+    /// Kernel elements stationary, image scanned: the Image and Kernel
+    /// buffers swap and the range computations become `x`/`y` ranges
+    /// (Section 4.6).
+    KernelStationary,
+    /// Output stationary: the PE iterates output elements and gathers their
+    /// contributing products. The paper calls solving the on-the-fly output
+    /// index calculation "beyond the scope of this work" (Section 4.6);
+    /// [`crate::anticipator::Anticipator::run_conv_output_stationary`]
+    /// implements the natural gather-based realization so the trade-off is
+    /// measurable.
+    OutputStationary,
+}
+
+/// Computes the acceptable image-index ranges for a stationary group of
+/// kernel elements given in CSR order (`(r, s)` pairs with non-decreasing
+/// `r`).
+///
+/// The returned [`GroupRanges`] reuses the struct's fields with swapped
+/// meaning: `.r` is the acceptable image *row* (`y`) range and `.s` the
+/// acceptable image *column* (`x`) range, so the kernel-stationary scan can
+/// reuse the same Kernel-Indices-Buffer walk over the image CSR.
+///
+/// # Panics
+///
+/// Panics if `group` is empty or not in CSR order.
+pub fn compute_image_ranges(shape: &ConvShape, group: &[(usize, usize)]) -> GroupRanges {
+    assert!(!group.is_empty(), "kernel group must be non-empty");
+    assert!(
+        group.windows(2).all(|w| w[0].0 <= w[1].0),
+        "kernel group must be in CSR (row-major) order"
+    );
+    let d = shape.dilation() as i64;
+    let stride = shape.stride() as i64;
+    // CSR monotonicity gives r_min/r_max directly.
+    let r_min = group[0].0 as i64;
+    let r_max = group[group.len() - 1].0 as i64;
+    let mut s_min = i64::MAX;
+    let mut s_max = 0i64;
+    let mut comparisons = 0u64;
+    for &(_, s) in group {
+        s_min = s_min.min(s as i64);
+        s_max = s_max.max(s as i64);
+        comparisons += 2;
+    }
+    GroupRanges {
+        r: IndexRange {
+            min: d * r_min,
+            max: d * r_max + stride * (shape.out_h() as i64 - 1),
+        },
+        s: IndexRange {
+            min: d * s_min,
+            max: d * s_max + stride * (shape.out_w() as i64 - 1),
+        },
+        ops: RangeOps {
+            comparisons,
+            additions: 2,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_ranges_match_hand_computation() {
+        // 5x5 kernel over 20x20 image, stride 1 -> 16x16 output.
+        let shape = ConvShape::new(5, 5, 20, 20, 1).unwrap();
+        let group = [(1usize, 2usize), (1, 4), (2, 0)];
+        let ranges = compute_image_ranges(&shape, &group);
+        // y in [r_min, r_max + H_out - 1] = [1, 2 + 15].
+        assert_eq!(ranges.r.min, 1);
+        assert_eq!(ranges.r.max, 17);
+        // x in [s_min, s_max + W_out - 1] = [0, 4 + 15].
+        assert_eq!(ranges.s.min, 0);
+        assert_eq!(ranges.s.max, 19);
+    }
+
+    #[test]
+    fn image_ranges_are_sound() {
+        // Every valid product's image coordinates fall inside the ranges
+        // computed from any kernel group containing the kernel element.
+        for shape in [
+            ConvShape::new(4, 4, 9, 9, 1).unwrap(),
+            ConvShape::new(3, 3, 11, 11, 2).unwrap(),
+            ConvShape::with_dilation(3, 3, 9, 9, 1, 2).unwrap(),
+        ] {
+            for r in 0..shape.kernel_h() {
+                for s in 0..shape.kernel_w() {
+                    let ranges = compute_image_ranges(&shape, &[(r, s)]);
+                    for y in 0..shape.image_h() {
+                        for x in 0..shape.image_w() {
+                            if shape.is_valid_product(x, y, s, r) {
+                                assert!(ranges.r.contains(y as i64), "{shape} y={y} r={r}");
+                                assert!(ranges.s.contains(x as i64), "{shape} x={x} s={s}");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dilated_ranges_scale_kernel_indices() {
+        let shape = ConvShape::with_dilation(2, 2, 7, 7, 1, 2).unwrap();
+        // Effective kernel extent 3 -> out = 5x5; kernel element (r=1, s=1)
+        // reaches y in [dilation*1, dilation*1 + (5-1)] = [2, 6].
+        assert_eq!((shape.out_h(), shape.out_w()), (5, 5));
+        let ranges = compute_image_ranges(&shape, &[(1, 1)]);
+        assert_eq!(ranges.r.min, 2);
+        assert_eq!(ranges.r.max, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_group_rejected() {
+        let shape = ConvShape::new(3, 3, 8, 8, 1).unwrap();
+        let _ = compute_image_ranges(&shape, &[]);
+    }
+
+    #[test]
+    fn default_dataflow_is_image_stationary() {
+        assert_eq!(Dataflow::default(), Dataflow::ImageStationary);
+    }
+}

@@ -1,0 +1,63 @@
+//! The ANT anticipator — the paper's primary contribution as a reusable
+//! library.
+//!
+//! ANT (ANTicipator) augments an outer-product sparse accelerator with a
+//! small amount of index-comparison hardware that *anticipates* Redundant
+//! Cartesian Products (RCPs) before they reach the multiplier array, skipping
+//! both the multiplications and the SRAM accesses that would feed them
+//! (paper Section 4). This crate models each hardware block faithfully:
+//!
+//! * [`range`] — the `s`/`r` range-computation blocks (paper Eqs. 11–12,
+//!   Fig. 6 stages 2–3), exploiting CSR monotonicity for the `r` range.
+//! * [`fnir`] — the First `n+1` Indices within Range block (paper Fig. 8):
+//!   `k` parallel comparators feeding an iterative first-`n+1` priority
+//!   encoder, with the `n+1`-st output used as feedback.
+//! * [`scan`] — the Kernel Indices Buffer walk: per-cycle windows of `k`
+//!   column indices, FNIR selection, and the feedback that skips past
+//!   invalid regions (paper Section 4.2, items 3–5), counting every SRAM
+//!   access the way Fig. 7 does.
+//! * [`rotate`] — kernel rotation by index remapping (paper Alg. 3,
+//!   Section 4.5).
+//! * [`area`] — a gate-level area model of the FNIR block standing in for
+//!   the paper's RTL synthesis (Section 7.5).
+//! * [`anticipator`] — a high-level facade running a full convolution or
+//!   matrix multiplication through the hardware blocks, producing the output
+//!   and complete operation accounting.
+//!
+//! # Example
+//!
+//! ```
+//! use ant_core::anticipator::{AntConfig, Anticipator};
+//! use ant_conv::ConvShape;
+//! use ant_sparse::{CsrMatrix, DenseMatrix};
+//!
+//! let shape = ConvShape::new(2, 2, 3, 3, 1)?;
+//! let kernel = CsrMatrix::from_dense(&DenseMatrix::from_rows(&[
+//!     &[2.0, -3.0],
+//!     &[0.0, 0.0],
+//! ]));
+//! let image = CsrMatrix::from_dense(&DenseMatrix::from_rows(&[
+//!     &[1.0, 0.0, -1.0],
+//!     &[0.0, 0.0, 2.0],
+//!     &[3.0, 0.0, 0.0],
+//! ]));
+//! let ant = Anticipator::new(AntConfig::default());
+//! let run = ant.run_conv(&kernel, &image, &shape)?;
+//! // The output equals the reference convolution; RCPs were skipped.
+//! assert_eq!(run.output.shape(), (2, 2));
+//! # Ok::<(), ant_conv::ConvError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod anticipator;
+pub mod area;
+pub mod dataflow;
+pub mod fnir;
+pub mod range;
+pub mod rotate;
+pub mod scan;
+
+pub use anticipator::{AntConfig, Anticipator};
+pub use fnir::Fnir;

@@ -1,0 +1,182 @@
+//! The `s` and `r` range-computation blocks (paper Fig. 6 stages 2–3).
+//!
+//! Given the `n` image indices held stationary in the PE, these blocks
+//! compute the inclusive kernel-index ranges outside of which every product
+//! is guaranteed to be an RCP (paper Eqs. 9–12). The `r` range computation
+//! exploits the CSR ordering of the image indices: the row (`y`) coordinate
+//! of sequential CSR entries is non-decreasing, so `y_min = y_0` and
+//! `y_max = y_{n-1}` come for free (paper Eq. 12); the `s` (column) range
+//! needs a real min/max reduction over the group (paper Eq. 11).
+
+use ant_conv::rcp::{r_range, s_range, IndexRange};
+use ant_conv::ConvShape;
+
+/// Operation counts for one range computation (for the energy model: index
+/// comparisons are charged as 32-bit integer additions, paper Section 6.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RangeOps {
+    /// Comparator operations performed (min/max reduction).
+    pub comparisons: u64,
+    /// Additions performed (the `- stride*out + 1` offsets).
+    pub additions: u64,
+}
+
+/// Result of the range-computation stage for one image group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupRanges {
+    /// Acceptable kernel-row range (Eq. 9 / 12).
+    pub r: IndexRange,
+    /// Acceptable kernel-column range (Eq. 10 / 11).
+    pub s: IndexRange,
+    /// Hardware operation counts.
+    pub ops: RangeOps,
+}
+
+/// Computes the kernel index ranges for a group of image elements given in
+/// CSR order (`(y, x)` pairs with non-decreasing `y`).
+///
+/// # Panics
+///
+/// Panics if `group` is empty or the `y` coordinates are not non-decreasing
+/// (CSR order violation).
+pub fn compute_ranges(shape: &ConvShape, group: &[(usize, usize)]) -> GroupRanges {
+    assert!(!group.is_empty(), "image group must be non-empty");
+    assert!(
+        group.windows(2).all(|w| w[0].0 <= w[1].0),
+        "image group must be in CSR (row-major) order"
+    );
+    // r range: CSR monotonicity gives y_min/y_max directly (Eq. 12).
+    let y_min = group[0].0;
+    let y_max = group[group.len() - 1].0;
+    // s range: min/max reduction over the x coordinates (Eq. 11).
+    let mut x_min = usize::MAX;
+    let mut x_max = 0usize;
+    let mut comparisons = 0u64;
+    for &(_, x) in group {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        comparisons += 2;
+    }
+    GroupRanges {
+        r: r_range(shape, y_min, y_max),
+        s: s_range(shape, x_min, x_max),
+        // Two offset additions per range (min side of r and s).
+        ops: RangeOps {
+            comparisons,
+            additions: 2,
+        },
+    }
+}
+
+/// Computes the matmul-mode `r` range (paper Eq. 15): `r_min = x_0`,
+/// `r_max = x_{n-1}` — the kernel row must equal some image column index, so
+/// only rows between the group's column extremes can produce useful
+/// products. No `s` constraint exists in matmul mode (the FNIR block is
+/// bypassed, paper Section 5).
+///
+/// # Panics
+///
+/// Panics if `group` is empty.
+pub fn compute_matmul_r_range(group: &[(usize, usize)]) -> GroupRanges {
+    assert!(!group.is_empty(), "image group must be non-empty");
+    let mut x_min = usize::MAX;
+    let mut x_max = 0usize;
+    let mut comparisons = 0u64;
+    for &(_, x) in group {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        comparisons += 2;
+    }
+    GroupRanges {
+        r: IndexRange {
+            min: x_min as i64,
+            max: x_max as i64,
+        },
+        s: IndexRange {
+            min: i64::MIN,
+            max: i64::MAX,
+        },
+        ops: RangeOps {
+            comparisons,
+            additions: 0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_match_paper_equations() {
+        // 5x5 kernel over 20x20 image, stride 1: H_out = W_out = 16.
+        let shape = ConvShape::new(5, 5, 20, 20, 1).unwrap();
+        let group = [(3usize, 7usize), (3, 9), (4, 2), (5, 11)];
+        let ranges = compute_ranges(&shape, &group);
+        // Eq. 12: r_min = y_0 - H_out + 1 = 3 - 16 + 1; r_max = y_{n-1} = 5.
+        assert_eq!(ranges.r.min, 3 - 16 + 1);
+        assert_eq!(ranges.r.max, 5);
+        // Eq. 11: s_min = min(x) - W_out + 1 = 2 - 16 + 1; s_max = 11.
+        assert_eq!(ranges.s.min, 2 - 16 + 1);
+        assert_eq!(ranges.s.max, 11);
+    }
+
+    #[test]
+    fn single_element_group() {
+        let shape = ConvShape::new(3, 3, 10, 10, 1).unwrap();
+        let ranges = compute_ranges(&shape, &[(9, 9)]);
+        // H_out = 8: r in [9-8+1, 9] = [2, 9] -> clamped later to kernel dims.
+        assert_eq!(ranges.r.min, 2);
+        assert_eq!(ranges.r.max, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "CSR")]
+    fn rejects_out_of_order_groups() {
+        let shape = ConvShape::new(3, 3, 10, 10, 1).unwrap();
+        let _ = compute_ranges(&shape, &[(5, 0), (3, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_group() {
+        let shape = ConvShape::new(3, 3, 10, 10, 1).unwrap();
+        let _ = compute_ranges(&shape, &[]);
+    }
+
+    #[test]
+    fn comparison_counts_scale_with_group() {
+        let shape = ConvShape::new(3, 3, 10, 10, 1).unwrap();
+        let group: Vec<(usize, usize)> = (0..8).map(|i| (i, i)).collect();
+        let ranges = compute_ranges(&shape, &group);
+        assert_eq!(ranges.ops.comparisons, 16);
+        assert_eq!(ranges.ops.additions, 2);
+    }
+
+    #[test]
+    fn matmul_range_is_column_extremes() {
+        let ranges = compute_matmul_r_range(&[(0, 5), (0, 9), (1, 2)]);
+        assert_eq!(ranges.r.min, 2);
+        assert_eq!(ranges.r.max, 9);
+        // No s constraint.
+        assert!(ranges.s.contains(0));
+        assert!(ranges.s.contains(1 << 40));
+    }
+
+    #[test]
+    fn ranges_never_exclude_valid_kernel_elements() {
+        let shape = ConvShape::new(4, 4, 12, 12, 1).unwrap();
+        let group = [(2usize, 3usize), (2, 8), (3, 1)];
+        let ranges = compute_ranges(&shape, &group);
+        for &(y, x) in &group {
+            for r in 0..shape.kernel_h() {
+                for s in 0..shape.kernel_w() {
+                    if shape.is_valid_product(x, y, s, r) {
+                        assert!(ranges.r.contains(r as i64));
+                        assert!(ranges.s.contains(s as i64));
+                    }
+                }
+            }
+        }
+    }
+}

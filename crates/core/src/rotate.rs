@@ -1,0 +1,136 @@
+//! Kernel rotation by index remapping (paper Algorithm 3, Section 4.5).
+//!
+//! The backward pass (Eq. 2) convolves the *rotated* weight matrix `R(W)`
+//! over the upstream gradient. Because rotation by 180° is a pure index
+//! transformation, the ANT accelerator performs it by remapping the
+//! Row-pointers and Columns arrays under a `ROTATE` flag — the Values array
+//! never moves, so the area and latency overhead is negligible.
+
+use ant_sparse::CsrMatrix;
+
+/// Remaps a single coordinate under 180° rotation (paper Algorithm 3):
+/// `(y, x) -> (H - y - 1, W - x - 1)`.
+///
+/// # Panics
+///
+/// Panics if the coordinate is out of bounds.
+///
+/// # Example
+///
+/// ```
+/// use ant_core::rotate::rotate_index;
+///
+/// assert_eq!(rotate_index(3, 4, 0, 0), (2, 3));
+/// assert_eq!(rotate_index(3, 4, 2, 3), (0, 0));
+/// ```
+pub fn rotate_index(h: usize, w: usize, y: usize, x: usize) -> (usize, usize) {
+    assert!(y < h && x < w, "coordinate out of bounds");
+    (h - y - 1, w - x - 1)
+}
+
+/// A kernel buffer that applies rotation lazily via the `ROTATE` flag, as
+/// the hardware does: the stored CSR arrays are only remapped when the flag
+/// is set, and the remapping touches indices, never values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelBuffer {
+    stored: CsrMatrix,
+    rotate: bool,
+}
+
+impl KernelBuffer {
+    /// Loads a kernel into the buffer with the `ROTATE` flag clear.
+    pub fn new(kernel: CsrMatrix) -> Self {
+        Self {
+            stored: kernel,
+            rotate: false,
+        }
+    }
+
+    /// Sets or clears the `ROTATE` flag.
+    pub fn set_rotate(&mut self, rotate: bool) {
+        self.rotate = rotate;
+    }
+
+    /// Whether the `ROTATE` flag is set.
+    pub fn rotate(&self) -> bool {
+        self.rotate
+    }
+
+    /// The kernel as the datapath sees it: rotated when the flag is set.
+    pub fn effective(&self) -> CsrMatrix {
+        if self.rotate {
+            self.stored.rotate180()
+        } else {
+            self.stored.clone()
+        }
+    }
+
+    /// The stored (unrotated) kernel.
+    pub fn stored(&self) -> &CsrMatrix {
+        &self.stored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ant_sparse::DenseMatrix;
+
+    fn sample() -> CsrMatrix {
+        CsrMatrix::from_dense(&DenseMatrix::from_rows(&[
+            &[1.0, 0.0, 2.0],
+            &[0.0, 3.0, 0.0],
+        ]))
+    }
+
+    #[test]
+    fn rotate_index_is_involution() {
+        for y in 0..5 {
+            for x in 0..7 {
+                let (ry, rx) = rotate_index(5, 7, y, x);
+                assert_eq!(rotate_index(5, 7, ry, rx), (y, x));
+            }
+        }
+    }
+
+    #[test]
+    fn rotate_index_matches_algorithm3() {
+        // Alg. 3: y_rot = H - y - 1, x_rot = W - x - 1.
+        assert_eq!(rotate_index(4, 4, 1, 2), (2, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn rotate_index_checks_bounds() {
+        let _ = rotate_index(2, 2, 2, 0);
+    }
+
+    #[test]
+    fn buffer_without_flag_passes_through() {
+        let buf = KernelBuffer::new(sample());
+        assert_eq!(buf.effective(), sample());
+        assert!(!buf.rotate());
+    }
+
+    #[test]
+    fn buffer_with_flag_rotates() {
+        let mut buf = KernelBuffer::new(sample());
+        buf.set_rotate(true);
+        let rotated = buf.effective();
+        assert_eq!(rotated.to_dense(), sample().to_dense().rotate180());
+        // The stored copy is untouched.
+        assert_eq!(buf.stored(), &sample());
+    }
+
+    #[test]
+    fn rotation_preserves_values_array_multiset() {
+        // Alg. 3 is index-only: the same values appear, just re-indexed.
+        let mut buf = KernelBuffer::new(sample());
+        buf.set_rotate(true);
+        let mut stored_vals: Vec<f32> = buf.stored().values().to_vec();
+        let mut rotated_vals: Vec<f32> = buf.effective().values().to_vec();
+        stored_vals.sort_by(f32::total_cmp);
+        rotated_vals.sort_by(f32::total_cmp);
+        assert_eq!(stored_vals, rotated_vals);
+    }
+}

@@ -1,0 +1,196 @@
+//! Synthetic classification dataset for training the trace-generation CNN.
+//!
+//! Stands in for CIFAR (substitution documented in DESIGN.md): each class is
+//! a distinct spatial pattern (oriented bars / checkerboards) plus noise, so
+//! a small CNN genuinely learns — the loss decreases and the layer tensors
+//! develop the ReLU-induced sparsity structure the simulator consumes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::tensor::Tensor4;
+
+/// A labelled batch of synthetic images.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Images as `N x C x H x W`.
+    pub images: Tensor4,
+    /// One label per batch element.
+    pub labels: Vec<usize>,
+}
+
+/// Generator of synthetic pattern-classification data.
+#[derive(Debug)]
+pub struct SyntheticDataset {
+    channels: usize,
+    size: usize,
+    classes: usize,
+    noise: f32,
+    rng: StdRng,
+}
+
+impl SyntheticDataset {
+    /// Creates a dataset of `classes` pattern classes on
+    /// `channels x size x size` images.
+    ///
+    /// # Panics
+    ///
+    /// Panics for zero dimensions, fewer than 2 classes, or more than 8
+    /// classes (only 8 patterns are defined).
+    pub fn new(channels: usize, size: usize, classes: usize, noise: f32, seed: u64) -> Self {
+        assert!(channels > 0 && size >= 4, "need at least 4x4 images");
+        assert!((2..=8).contains(&classes), "supported classes: 2..=8");
+        Self {
+            channels,
+            size,
+            classes,
+            noise,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    fn pattern_value(class: usize, h: usize, w: usize, size: usize) -> f32 {
+        let phase = |p: usize| (p % size) as f32 / size as f32;
+        match class {
+            0 => {
+                // Horizontal bars.
+                if (h / 2).is_multiple_of(2) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            1 => {
+                // Vertical bars.
+                if (w / 2).is_multiple_of(2) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            2 => {
+                // Checkerboard.
+                if (h / 2 + w / 2).is_multiple_of(2) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            3 => {
+                // Diagonal gradient.
+                (phase(h) + phase(w)) / 2.0
+            }
+            4 => {
+                // Centered blob.
+                let dy = h as f32 - size as f32 / 2.0;
+                let dx = w as f32 - size as f32 / 2.0;
+                (-(dy * dy + dx * dx) / (size as f32)).exp()
+            }
+            5 => {
+                // Corner blob.
+                let d = (h + w) as f32;
+                (-(d * d) / (2.0 * size as f32 * size as f32)).exp()
+            }
+            6 => {
+                // Rings.
+                let dy = h as f32 - size as f32 / 2.0;
+                let dx = w as f32 - size as f32 / 2.0;
+                if ((dy * dy + dx * dx).sqrt() as usize).is_multiple_of(3) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            7 => {
+                // Anti-diagonal bars.
+                if ((h + size - w) / 2).is_multiple_of(2) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            _ => unreachable!("class range validated at construction"),
+        }
+    }
+
+    /// Samples a batch of `n` labelled images.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn sample_batch(&mut self, n: usize) -> Batch {
+        assert!(n > 0, "batch must be non-empty");
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            labels.push(self.rng.gen_range(0..self.classes));
+        }
+        let size = self.size;
+        let noise = self.noise;
+        // Pre-draw noise so the closure stays deterministic per element.
+        let mut noise_vals = vec![0.0f32; n * self.channels * size * size];
+        for v in &mut noise_vals {
+            *v = self.rng.gen_range(-noise..=noise);
+        }
+        let channels = self.channels;
+        let labels_for_images = labels.clone();
+        let images = Tensor4::from_fn(n, channels, size, size, |b, c, h, w| {
+            let base = Self::pattern_value(labels_for_images[b], h, w, size);
+            let idx = ((b * channels + c) * size + h) * size + w;
+            (base + noise_vals[idx]).max(0.0)
+        });
+        Batch { images, labels }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_have_requested_shape() {
+        let mut ds = SyntheticDataset::new(1, 8, 4, 0.1, 1);
+        let batch = ds.sample_batch(5);
+        assert_eq!(batch.images.shape(), (5, 1, 8, 8));
+        assert_eq!(batch.labels.len(), 5);
+        assert!(batch.labels.iter().all(|&l| l < 4));
+    }
+
+    #[test]
+    fn patterns_differ_between_classes() {
+        let a = Tensor4::from_fn(1, 1, 8, 8, |_, _, h, w| {
+            SyntheticDataset::pattern_value(0, h, w, 8)
+        });
+        let b = Tensor4::from_fn(1, 1, 8, 8, |_, _, h, w| {
+            SyntheticDataset::pattern_value(1, h, w, 8)
+        });
+        assert!(!a.approx_eq(&b, 1e-6));
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut d1 = SyntheticDataset::new(1, 8, 3, 0.2, 9);
+        let mut d2 = SyntheticDataset::new(1, 8, 3, 0.2, 9);
+        let b1 = d1.sample_batch(3);
+        let b2 = d2.sample_batch(3);
+        assert_eq!(b1.labels, b2.labels);
+        assert!(b1.images.approx_eq(&b2.images, 0.0));
+    }
+
+    #[test]
+    fn images_are_nonnegative() {
+        let mut ds = SyntheticDataset::new(2, 8, 8, 0.5, 3);
+        let batch = ds.sample_batch(4);
+        assert!(batch.images.as_slice().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "supported classes")]
+    fn too_many_classes_rejected() {
+        let _ = SyntheticDataset::new(1, 8, 9, 0.1, 0);
+    }
+}

@@ -1,0 +1,800 @@
+//! Neural-network layers with full backpropagation.
+//!
+//! Every layer implements [`Layer`]: `forward` caches what `backward` needs,
+//! `backward` consumes the upstream gradient and returns the input gradient,
+//! and `apply_grads` performs the SGD step. Convolutions are direct
+//! (loop-nest) implementations — small and obviously correct; they are the
+//! source of truth for the traces handed to the accelerator simulator, not a
+//! performance path.
+
+use std::fmt;
+
+use ant_sparse::DenseMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::tensor::Tensor4;
+
+/// A trainable network layer.
+pub trait Layer: fmt::Debug {
+    /// Computes the layer output, caching activations for the backward pass.
+    fn forward(&mut self, input: &Tensor4) -> Tensor4;
+
+    /// Back-propagates `grad_out`, returning the gradient w.r.t. the input.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if called before `forward`.
+    fn backward(&mut self, grad_out: &Tensor4) -> Tensor4;
+
+    /// Applies accumulated parameter gradients with learning rate `lr`.
+    fn apply_grads(&mut self, _lr: f32) {}
+}
+
+/// A 2-D convolution layer (`K` output channels, `C` input channels,
+/// `R x S` kernels, stride, symmetric padding).
+pub struct Conv2d {
+    out_channels: usize,
+    in_channels: usize,
+    kernel_h: usize,
+    kernel_w: usize,
+    stride: usize,
+    padding: usize,
+    weight: Vec<f32>,
+    bias: Vec<f32>,
+    grad_weight: Vec<f32>,
+    grad_bias: Vec<f32>,
+    weight_mask: Option<Vec<bool>>,
+    cached_input_padded: Option<Tensor4>,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer with He-style random initialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero dimensions or zero stride.
+    pub fn new(
+        out_channels: usize,
+        in_channels: usize,
+        kernel_h: usize,
+        kernel_w: usize,
+        stride: usize,
+        padding: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            out_channels > 0 && in_channels > 0 && kernel_h > 0 && kernel_w > 0,
+            "dimensions must be non-zero"
+        );
+        assert!(stride > 0, "stride must be non-zero");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fan_in = (in_channels * kernel_h * kernel_w) as f32;
+        let scale = (2.0 / fan_in).sqrt();
+        let count = out_channels * in_channels * kernel_h * kernel_w;
+        let weight = (0..count)
+            .map(|_| rng.gen_range(-1.0f32..1.0) * scale)
+            .collect();
+        Self {
+            out_channels,
+            in_channels,
+            kernel_h,
+            kernel_w,
+            stride,
+            padding,
+            weight,
+            bias: vec![0.0; out_channels],
+            grad_weight: vec![0.0; count],
+            grad_bias: vec![0.0; out_channels],
+            weight_mask: None,
+            cached_input_padded: None,
+        }
+    }
+
+    /// Output channel count `K`.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Input channel count `C`.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Kernel dimensions `(R, S)`.
+    pub fn kernel_shape(&self) -> (usize, usize) {
+        (self.kernel_h, self.kernel_w)
+    }
+
+    /// Stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Symmetric padding.
+    pub fn padding(&self) -> usize {
+        self.padding
+    }
+
+    #[inline]
+    fn widx(&self, k: usize, c: usize, r: usize, s: usize) -> usize {
+        ((k * self.in_channels + c) * self.kernel_h + r) * self.kernel_w + s
+    }
+
+    /// The effective (mask-applied) weight value.
+    #[inline]
+    pub fn w(&self, k: usize, c: usize, r: usize, s: usize) -> f32 {
+        let i = self.widx(k, c, r, s);
+        match &self.weight_mask {
+            Some(mask) if !mask[i] => 0.0,
+            _ => self.weight[i],
+        }
+    }
+
+    /// The effective `R x S` kernel plane for `(k, c)`.
+    pub fn kernel_plane(&self, k: usize, c: usize) -> DenseMatrix {
+        DenseMatrix::from_fn(self.kernel_h, self.kernel_w, |r, s| self.w(k, c, r, s))
+    }
+
+    /// Applies a SWAT-style top-K magnitude mask keeping `keep_fraction` of
+    /// the weights active in the compute path (the dense master copy keeps
+    /// training underneath, as SWAT does).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep_fraction` is not in `(0, 1]`.
+    pub fn set_topk_weight_mask(&mut self, keep_fraction: f64) {
+        assert!(
+            keep_fraction > 0.0 && keep_fraction <= 1.0,
+            "keep fraction must be in (0, 1]"
+        );
+        let keep = ((self.weight.len() as f64 * keep_fraction).round() as usize).max(1);
+        let mut order: Vec<usize> = (0..self.weight.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.weight[b]
+                .abs()
+                .partial_cmp(&self.weight[a].abs())
+                .expect("finite weights")
+        });
+        let mut mask = vec![false; self.weight.len()];
+        for &i in order.iter().take(keep) {
+            mask[i] = true;
+        }
+        self.weight_mask = Some(mask);
+    }
+
+    /// Removes the weight mask (dense compute path).
+    pub fn clear_weight_mask(&mut self) {
+        self.weight_mask = None;
+    }
+
+    /// Fraction of effective weights that are zero.
+    pub fn weight_sparsity(&self) -> f64 {
+        let zeros = (0..self.out_channels)
+            .flat_map(|k| (0..self.in_channels).map(move |c| (k, c)))
+            .map(|(k, c)| {
+                let mut z = 0usize;
+                for r in 0..self.kernel_h {
+                    for s in 0..self.kernel_w {
+                        if self.w(k, c, r, s) == 0.0 {
+                            z += 1;
+                        }
+                    }
+                }
+                z
+            })
+            .sum::<usize>();
+        zeros as f64 / self.weight.len() as f64
+    }
+
+    /// The padded input cached by the last forward pass (used by the trace
+    /// collector).
+    pub fn cached_input_padded(&self) -> Option<&Tensor4> {
+        self.cached_input_padded.as_ref()
+    }
+
+    /// Output spatial dims for an input of `(h, w)`.
+    pub fn output_dims(&self, h: usize, w: usize) -> (usize, usize) {
+        let ph = h + 2 * self.padding;
+        let pw = w + 2 * self.padding;
+        (
+            (ph - self.kernel_h) / self.stride + 1,
+            (pw - self.kernel_w) / self.stride + 1,
+        )
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor4) -> Tensor4 {
+        assert_eq!(input.c(), self.in_channels, "input channel mismatch");
+        let padded = input.pad_spatial(self.padding);
+        let (oh, ow) = self.output_dims(input.h(), input.w());
+        let mut out = Tensor4::zeros(input.n(), self.out_channels, oh, ow);
+        for n in 0..input.n() {
+            for k in 0..self.out_channels {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = self.bias[k];
+                        for c in 0..self.in_channels {
+                            for r in 0..self.kernel_h {
+                                for s in 0..self.kernel_w {
+                                    acc += self.w(k, c, r, s)
+                                        * padded.get(
+                                            n,
+                                            c,
+                                            oy * self.stride + r,
+                                            ox * self.stride + s,
+                                        );
+                                }
+                            }
+                        }
+                        out.set(n, k, oy, ox, acc);
+                    }
+                }
+            }
+        }
+        self.cached_input_padded = Some(padded);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
+        let padded = self
+            .cached_input_padded
+            .as_ref()
+            .expect("backward before forward");
+        let (n_batch, k_out, oh, ow) = grad_out.shape();
+        assert_eq!(k_out, self.out_channels, "gradient channel mismatch");
+        let mut grad_padded = Tensor4::zeros(n_batch, self.in_channels, padded.h(), padded.w());
+        for gw in &mut self.grad_weight {
+            *gw = 0.0;
+        }
+        for gb in &mut self.grad_bias {
+            *gb = 0.0;
+        }
+        for n in 0..n_batch {
+            for k in 0..self.out_channels {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = grad_out.get(n, k, oy, ox);
+                        if g == 0.0 {
+                            continue;
+                        }
+                        self.grad_bias[k] += g;
+                        for c in 0..self.in_channels {
+                            for r in 0..self.kernel_h {
+                                for s in 0..self.kernel_w {
+                                    let iy = oy * self.stride + r;
+                                    let ix = ox * self.stride + s;
+                                    let i = self.widx(k, c, r, s);
+                                    self.grad_weight[i] += g * padded.get(n, c, iy, ix);
+                                    grad_padded.add_assign(n, c, iy, ix, g * self.w(k, c, r, s));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if self.padding == 0 {
+            grad_padded
+        } else {
+            grad_padded.unpad_spatial(self.padding)
+        }
+    }
+
+    fn apply_grads(&mut self, lr: f32) {
+        for (w, g) in self.weight.iter_mut().zip(self.grad_weight.iter()) {
+            *w -= lr * g;
+        }
+        for (b, g) in self.bias.iter_mut().zip(self.grad_bias.iter()) {
+            *b -= lr * g;
+        }
+    }
+}
+
+impl fmt::Debug for Conv2d {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Conv2d {}x{}x{}x{} /{} p{}",
+            self.out_channels,
+            self.in_channels,
+            self.kernel_h,
+            self.kernel_w,
+            self.stride,
+            self.padding
+        )
+    }
+}
+
+/// ReLU activation (`max(0, x)`) — the source of natural activation and
+/// gradient sparsity (paper Section 2.1).
+#[derive(Debug, Default)]
+pub struct Relu {
+    mask: Option<Tensor4>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor4) -> Tensor4 {
+        let out = input.map(|v| v.max(0.0));
+        self.mask = Some(input.map(|v| if v > 0.0 { 1.0 } else { 0.0 }));
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
+        let mask = self.mask.as_ref().expect("backward before forward");
+        assert_eq!(mask.shape(), grad_out.shape(), "gradient shape mismatch");
+        let mut out = grad_out.clone();
+        for (g, m) in out.as_mut_slice().iter_mut().zip(mask.as_slice()) {
+            *g *= m;
+        }
+        out
+    }
+}
+
+/// 2x2 max pooling with stride 2.
+#[derive(Debug, Default)]
+pub struct MaxPool2 {
+    argmax: Option<Vec<(usize, usize)>>,
+    input_shape: Option<(usize, usize, usize, usize)>,
+}
+
+impl MaxPool2 {
+    /// Creates a 2x2/stride-2 max-pool layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for MaxPool2 {
+    fn forward(&mut self, input: &Tensor4) -> Tensor4 {
+        let (n, c, h, w) = input.shape();
+        assert!(h >= 2 && w >= 2, "input too small to pool");
+        let (oh, ow) = (h / 2, w / 2);
+        let mut out = Tensor4::zeros(n, c, oh, ow);
+        let mut argmax = Vec::with_capacity(n * c * oh * ow);
+        for in_ in 0..n {
+            for ic in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_pos = (oy * 2, ox * 2);
+                        for dy in 0..2 {
+                            for dx in 0..2 {
+                                let v = input.get(in_, ic, oy * 2 + dy, ox * 2 + dx);
+                                if v > best {
+                                    best = v;
+                                    best_pos = (oy * 2 + dy, ox * 2 + dx);
+                                }
+                            }
+                        }
+                        out.set(in_, ic, oy, ox, best);
+                        argmax.push(best_pos);
+                    }
+                }
+            }
+        }
+        self.argmax = Some(argmax);
+        self.input_shape = Some(input.shape());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
+        let argmax = self.argmax.as_ref().expect("backward before forward");
+        let (n, c, h, w) = self.input_shape.expect("backward before forward");
+        let (gn, gc, goh, gow) = grad_out.shape();
+        assert_eq!((gn, gc), (n, c), "gradient shape mismatch");
+        let mut out = Tensor4::zeros(n, c, h, w);
+        let mut i = 0usize;
+        for in_ in 0..gn {
+            for ic in 0..gc {
+                for oy in 0..goh {
+                    for ox in 0..gow {
+                        let (ay, ax) = argmax[i];
+                        out.add_assign(in_, ic, ay, ax, grad_out.get(in_, ic, oy, ox));
+                        i += 1;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Dropout: zeroes each activation independently with probability `p`
+/// during training and scales survivors by `1/(1-p)` (inverted dropout).
+///
+/// The paper lists dropout alongside ReLU as a source of activation *and*
+/// activation-gradient sparsity (Sections 2.1 and 8): the same mask that
+/// zeroes an activation zeroes its gradient on the way back.
+pub struct Dropout {
+    p: f64,
+    training: bool,
+    rng: StdRng,
+    mask: Option<Tensor4>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1)`.
+    pub fn new(p: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&p),
+            "drop probability must be in [0, 1)"
+        );
+        Self {
+            p,
+            training: true,
+            rng: StdRng::seed_from_u64(seed),
+            mask: None,
+        }
+    }
+
+    /// Switches between training (masking) and inference (identity) modes.
+    pub fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+
+    /// Drop probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor4) -> Tensor4 {
+        if !self.training || self.p == 0.0 {
+            self.mask = None;
+            return input.clone();
+        }
+        let scale = 1.0 / (1.0 - self.p) as f32;
+        let (n, c, h, w) = input.shape();
+        let mut mask = Tensor4::zeros(n, c, h, w);
+        for m in mask.as_mut_slice() {
+            *m = if self.rng.gen_bool(self.p) {
+                0.0
+            } else {
+                scale
+            };
+        }
+        let mut out = input.clone();
+        for (o, m) in out.as_mut_slice().iter_mut().zip(mask.as_slice()) {
+            *o *= m;
+        }
+        self.mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
+        match &self.mask {
+            None => grad_out.clone(),
+            Some(mask) => {
+                assert_eq!(mask.shape(), grad_out.shape(), "gradient shape mismatch");
+                let mut out = grad_out.clone();
+                for (g, m) in out.as_mut_slice().iter_mut().zip(mask.as_slice()) {
+                    *g *= m;
+                }
+                out
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Dropout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Dropout(p={}, training={})", self.p, self.training)
+    }
+}
+
+/// Fully-connected layer over the flattened `C*H*W` features.
+pub struct Linear {
+    in_features: usize,
+    out_features: usize,
+    weight: Vec<f32>,
+    bias: Vec<f32>,
+    grad_weight: Vec<f32>,
+    grad_bias: Vec<f32>,
+    cached_input: Option<Tensor4>,
+}
+
+impl Linear {
+    /// Creates a linear layer with Xavier-style initialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero dimensions.
+    pub fn new(out_features: usize, in_features: usize, seed: u64) -> Self {
+        assert!(
+            out_features > 0 && in_features > 0,
+            "dimensions must be non-zero"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scale = (1.0 / in_features as f32).sqrt();
+        let weight = (0..out_features * in_features)
+            .map(|_| rng.gen_range(-1.0f32..1.0) * scale)
+            .collect();
+        Self {
+            in_features,
+            out_features,
+            weight,
+            bias: vec![0.0; out_features],
+            grad_weight: vec![0.0; out_features * in_features],
+            grad_bias: vec![0.0; out_features],
+            cached_input: None,
+        }
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// The weight matrix as `out_features x in_features`.
+    pub fn weight_matrix(&self) -> DenseMatrix {
+        DenseMatrix::from_vec(self.out_features, self.in_features, self.weight.clone())
+            .expect("sized correctly")
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, input: &Tensor4) -> Tensor4 {
+        let (n, c, h, w) = input.shape();
+        let features = c * h * w;
+        assert_eq!(features, self.in_features, "feature count mismatch");
+        let mut out = Tensor4::zeros(n, self.out_features, 1, 1);
+        for b in 0..n {
+            for o in 0..self.out_features {
+                let mut acc = self.bias[o];
+                for i in 0..features {
+                    acc += self.weight[o * features + i] * input.as_slice()[b * features + i];
+                }
+                out.set(b, o, 0, 0, acc);
+            }
+        }
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
+        let input = self.cached_input.as_ref().expect("backward before forward");
+        let (n, c, h, w) = input.shape();
+        let features = c * h * w;
+        assert_eq!(grad_out.c(), self.out_features, "gradient feature mismatch");
+        for g in &mut self.grad_weight {
+            *g = 0.0;
+        }
+        for g in &mut self.grad_bias {
+            *g = 0.0;
+        }
+        let mut grad_in = Tensor4::zeros(n, c, h, w);
+        for b in 0..n {
+            for o in 0..self.out_features {
+                let g = grad_out.get(b, o, 0, 0);
+                if g == 0.0 {
+                    continue;
+                }
+                self.grad_bias[o] += g;
+                for i in 0..features {
+                    self.grad_weight[o * features + i] += g * input.as_slice()[b * features + i];
+                    grad_in.as_mut_slice()[b * features + i] += g * self.weight[o * features + i];
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn apply_grads(&mut self, lr: f32) {
+        for (w, g) in self.weight.iter_mut().zip(self.grad_weight.iter()) {
+            *w -= lr * g;
+        }
+        for (b, g) in self.bias.iter_mut().zip(self.grad_bias.iter()) {
+            *b -= lr * g;
+        }
+    }
+}
+
+impl fmt::Debug for Linear {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Linear {}x{}", self.out_features, self.in_features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::softmax_cross_entropy;
+
+    #[test]
+    fn conv_identity_kernel() {
+        let mut conv = Conv2d::new(1, 1, 1, 1, 1, 0, 0);
+        // Force the single weight to 1 and bias to 0.
+        conv.weight[0] = 1.0;
+        let input = Tensor4::from_fn(1, 1, 3, 3, |_, _, h, w| (h * 3 + w) as f32);
+        let out = conv.forward(&input);
+        assert!(out.approx_eq(&input, 1e-6));
+    }
+
+    #[test]
+    fn conv_output_dims_with_padding_and_stride() {
+        let conv = Conv2d::new(4, 3, 3, 3, 2, 1, 0);
+        assert_eq!(conv.output_dims(32, 32), (16, 16));
+        let conv2 = Conv2d::new(4, 3, 7, 7, 2, 3, 0);
+        assert_eq!(conv2.output_dims(224, 224), (112, 112));
+    }
+
+    #[test]
+    fn relu_masks_backward() {
+        let mut relu = Relu::new();
+        let input = Tensor4::from_fn(1, 1, 2, 2, |_, _, h, w| (h as f32 + w as f32) - 1.0);
+        let _ = relu.forward(&input);
+        let grad = Tensor4::from_fn(1, 1, 2, 2, |_, _, _, _| 1.0);
+        let gin = relu.backward(&grad);
+        // input = [[-1, 0], [0, 1]]: only the strictly positive cell passes.
+        assert_eq!(gin.get(0, 0, 0, 0), 0.0);
+        assert_eq!(gin.get(0, 0, 1, 1), 1.0);
+        assert_eq!(gin.nnz(), 1);
+    }
+
+    #[test]
+    fn maxpool_forwards_max_and_routes_gradient() {
+        let mut pool = MaxPool2::new();
+        let input = Tensor4::from_fn(1, 1, 4, 4, |_, _, h, w| (h * 4 + w) as f32);
+        let out = pool.forward(&input);
+        assert_eq!(out.shape(), (1, 1, 2, 2));
+        assert_eq!(out.get(0, 0, 0, 0), 5.0);
+        assert_eq!(out.get(0, 0, 1, 1), 15.0);
+        let grad = Tensor4::from_fn(1, 1, 2, 2, |_, _, h, w| (h * 2 + w + 1) as f32);
+        let gin = pool.backward(&grad);
+        assert_eq!(gin.get(0, 0, 1, 1), 1.0);
+        assert_eq!(gin.get(0, 0, 3, 3), 4.0);
+        assert_eq!(gin.nnz(), 4);
+    }
+
+    #[test]
+    fn linear_matches_matrix_multiply() {
+        let mut lin = Linear::new(2, 3, 7);
+        let input = Tensor4::from_fn(1, 3, 1, 1, |_, c, _, _| (c + 1) as f32);
+        let out = lin.forward(&input);
+        let w = lin.weight_matrix();
+        for o in 0..2 {
+            let expected: f32 = (0..3).map(|i| w.get(o, i) * (i + 1) as f32).sum();
+            assert!((out.get(0, o, 0, 0) - expected).abs() < 1e-5);
+        }
+    }
+
+    /// Finite-difference gradient check of a conv->relu->linear->CE chain.
+    #[test]
+    fn numeric_gradient_check() {
+        let mut conv = Conv2d::new(2, 1, 3, 3, 1, 1, 3);
+        let mut relu = Relu::new();
+        let mut lin = Linear::new(2, 2 * 4 * 4, 4);
+        let input = Tensor4::from_fn(1, 1, 4, 4, |_, _, h, w| ((h * 4 + w) as f32) * 0.1 - 0.6);
+        let labels = [1usize];
+
+        let loss_fn = |conv: &mut Conv2d, relu: &mut Relu, lin: &mut Linear| -> f32 {
+            let a = conv.forward(&input);
+            let b = relu.forward(&a);
+            let c = lin.forward(&b);
+            softmax_cross_entropy(&c, &labels).0
+        };
+
+        // Analytical gradients.
+        let a = conv.forward(&input);
+        let b = relu.forward(&a);
+        let c = lin.forward(&b);
+        let (_, grad_c) = softmax_cross_entropy(&c, &labels);
+        let grad_b = lin.backward(&grad_c);
+        let grad_a = relu.backward(&grad_b);
+        let _ = conv.backward(&grad_a);
+
+        // Check a handful of conv weights numerically.
+        let eps = 1e-3f32;
+        for &i in &[0usize, 4, 9, 17] {
+            let orig = conv.weight[i];
+            conv.weight[i] = orig + eps;
+            let lp = loss_fn(&mut conv, &mut relu, &mut lin);
+            conv.weight[i] = orig - eps;
+            let lm = loss_fn(&mut conv, &mut relu, &mut lin);
+            conv.weight[i] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = conv.grad_weight[i];
+            assert!(
+                (numeric - analytic).abs() < 2e-2 * (1.0 + numeric.abs().max(analytic.abs())),
+                "weight {i}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn weight_mask_sparsifies_compute_path() {
+        let mut conv = Conv2d::new(2, 2, 3, 3, 1, 1, 5);
+        conv.set_topk_weight_mask(0.25);
+        let sparsity = conv.weight_sparsity();
+        assert!(
+            (sparsity - 0.75).abs() < 0.06,
+            "sparsity {sparsity} not near 0.75"
+        );
+        conv.clear_weight_mask();
+        assert!(conv.weight_sparsity() < 0.05);
+    }
+
+    #[test]
+    fn strided_conv_backward_shapes() {
+        let mut conv = Conv2d::new(2, 1, 3, 3, 2, 1, 6);
+        let input = Tensor4::from_fn(1, 1, 8, 8, |_, _, h, w| (h + w) as f32 * 0.1);
+        let out = conv.forward(&input);
+        assert_eq!(out.shape(), (1, 2, 4, 4));
+        let gin = conv.backward(&out);
+        assert_eq!(gin.shape(), input.shape());
+    }
+
+    #[test]
+    fn dropout_masks_forward_and_backward_consistently() {
+        let mut drop = Dropout::new(0.5, 9);
+        let input = Tensor4::from_fn(1, 1, 8, 8, |_, _, _, _| 1.0);
+        let out = drop.forward(&input);
+        // Roughly half survive, scaled by 2.
+        let survivors = out.nnz();
+        assert!((10..54).contains(&survivors), "survivors {survivors}");
+        assert!(out
+            .as_slice()
+            .iter()
+            .all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+        // The gradient is masked identically: same zero pattern.
+        let grad = drop.backward(&input);
+        for (o, g) in out.as_slice().iter().zip(grad.as_slice()) {
+            assert_eq!(*o == 0.0, *g == 0.0);
+        }
+    }
+
+    #[test]
+    fn dropout_is_identity_at_inference() {
+        let mut drop = Dropout::new(0.5, 10);
+        drop.set_training(false);
+        let input = Tensor4::from_fn(1, 1, 4, 4, |_, _, h, w| (h + w) as f32);
+        let out = drop.forward(&input);
+        assert!(out.approx_eq(&input, 0.0));
+        let grad = drop.backward(&input);
+        assert!(grad.approx_eq(&input, 0.0));
+    }
+
+    #[test]
+    fn dropout_preserves_expectation() {
+        // Inverted dropout: E[output] == input. Check the mean over many
+        // elements is close.
+        let mut drop = Dropout::new(0.3, 11);
+        let input = Tensor4::from_fn(1, 1, 32, 32, |_, _, _, _| 1.0);
+        let out = drop.forward(&input);
+        let mean: f32 = out.as_slice().iter().sum::<f32>() / out.len() as f32;
+        assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn dropout_rejects_bad_probability() {
+        let _ = Dropout::new(1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward before forward")]
+    fn backward_before_forward_panics() {
+        let mut relu = Relu::new();
+        let grad = Tensor4::zeros(1, 1, 2, 2);
+        let _ = relu.backward(&grad);
+    }
+}

@@ -1,0 +1,50 @@
+//! Minimal CNN training substrate for the ANT reproduction.
+//!
+//! The paper collects its realistic traces from GPU training runs of
+//! ResNet18 under the ReSprop and SWAT sparse-training algorithms
+//! (Section 6.2). This crate substitutes a from-scratch training framework
+//! (substitution table in DESIGN.md): dense tensors, convolution /
+//! ReLU / max-pool / linear layers with full backpropagation, SGD, and the
+//! two sparsification styles:
+//!
+//! * [`sparse_train::SwatSparsifier`] — SWAT-style: top-K magnitude weights
+//!   in all phases, top-K activations in the backward pass.
+//! * [`sparse_train::ReSpropSparsifier`] — ReSprop-style: the activation
+//!   gradient is sparsified by reusing the previous iteration's gradient and
+//!   back-propagating only the (top-K) delta.
+//!
+//! Training a real (small) network through real backprop gives the
+//! simulator traces whose sparsity *structure* (ReLU-induced activation
+//! zeros, delta-sparsified gradients, magnitude-pruned weights) matches
+//! what the accelerator would see, at layer geometries we control.
+//!
+//! # Example
+//!
+//! ```
+//! use ant_nn::tensor::Tensor4;
+//! use ant_nn::layers::{Conv2d, Layer, Relu};
+//!
+//! let mut conv = Conv2d::new(2, 1, 3, 3, 1, 1, 42);
+//! let mut relu = Relu::new();
+//! let input = Tensor4::from_fn(1, 1, 8, 8, |_, _, h, w| (h + w) as f32 * 0.1);
+//! let hidden = conv.forward(&input);
+//! let out = relu.forward(&hidden);
+//! assert_eq!(out.shape(), (1, 2, 8, 8));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod data;
+pub mod layers;
+pub mod loss;
+pub mod model;
+pub mod norm;
+pub mod optim;
+pub mod resnet;
+pub mod sparse_train;
+pub mod tensor;
+pub mod trace;
+
+pub use tensor::Tensor4;
+pub use trace::ConvTrace;

@@ -1,0 +1,130 @@
+//! Softmax cross-entropy loss.
+
+use crate::tensor::Tensor4;
+
+/// Computes mean softmax cross-entropy over a batch of logits
+/// (`N x classes x 1 x 1`) and the gradient w.r.t. the logits.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != logits.n()` or any label is out of range.
+///
+/// # Example
+///
+/// ```
+/// use ant_nn::tensor::Tensor4;
+/// use ant_nn::loss::softmax_cross_entropy;
+///
+/// let logits = Tensor4::from_fn(1, 3, 1, 1, |_, c, _, _| if c == 2 { 5.0 } else { 0.0 });
+/// let (loss, grad) = softmax_cross_entropy(&logits, &[2]);
+/// assert!(loss < 0.02); // confident and correct
+/// assert_eq!(grad.shape(), (1, 3, 1, 1));
+/// ```
+pub fn softmax_cross_entropy(logits: &Tensor4, labels: &[usize]) -> (f32, Tensor4) {
+    let (n, classes, h, w) = logits.shape();
+    assert_eq!((h, w), (1, 1), "logits must be N x classes x 1 x 1");
+    assert_eq!(labels.len(), n, "one label per batch element");
+    let mut grad = Tensor4::zeros(n, classes, 1, 1);
+    let mut total_loss = 0.0f64;
+    #[allow(clippy::needless_range_loop)] // b indexes both logits and labels
+    for b in 0..n {
+        assert!(labels[b] < classes, "label out of range");
+        let max_logit = (0..classes)
+            .map(|c| logits.get(b, c, 0, 0))
+            .fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0f32;
+        for c in 0..classes {
+            denom += (logits.get(b, c, 0, 0) - max_logit).exp();
+        }
+        let log_denom = denom.ln();
+        let correct = logits.get(b, labels[b], 0, 0) - max_logit;
+        total_loss += f64::from(log_denom - correct);
+        for c in 0..classes {
+            let p = (logits.get(b, c, 0, 0) - max_logit).exp() / denom;
+            let target = if c == labels[b] { 1.0 } else { 0.0 };
+            grad.set(b, c, 0, 0, (p - target) / n as f32);
+        }
+    }
+    ((total_loss / n as f64) as f32, grad)
+}
+
+/// Argmax prediction per batch element.
+pub fn predictions(logits: &Tensor4) -> Vec<usize> {
+    let (n, classes, _, _) = logits.shape();
+    (0..n)
+        .map(|b| {
+            (0..classes)
+                .max_by(|&a, &c| {
+                    logits
+                        .get(b, a, 0, 0)
+                        .partial_cmp(&logits.get(b, c, 0, 0))
+                        .expect("finite logits")
+                })
+                .expect("at least one class")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_classes() {
+        let logits = Tensor4::zeros(2, 4, 1, 1);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0, 3]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+        // Gradient sums to zero per element.
+        let sum: f32 = grad.as_slice().iter().sum();
+        assert!(sum.abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_points_away_from_wrong_class() {
+        let logits = Tensor4::from_fn(1, 2, 1, 1, |_, c, _, _| if c == 0 { 3.0 } else { 0.0 });
+        let (_, grad) = softmax_cross_entropy(&logits, &[1]);
+        assert!(grad.get(0, 0, 0, 0) > 0.0); // push down wrong class
+        assert!(grad.get(0, 1, 0, 0) < 0.0); // push up right class
+    }
+
+    #[test]
+    fn numeric_gradient_check() {
+        let mut logits = Tensor4::from_fn(1, 3, 1, 1, |_, c, _, _| c as f32 * 0.5 - 0.3);
+        let labels = [2usize];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3f32;
+        for c in 0..3 {
+            let orig = logits.get(0, c, 0, 0);
+            logits.set(0, c, 0, 0, orig + eps);
+            let (lp, _) = softmax_cross_entropy(&logits, &labels);
+            logits.set(0, c, 0, 0, orig - eps);
+            let (lm, _) = softmax_cross_entropy(&logits, &labels);
+            logits.set(0, c, 0, 0, orig);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - grad.get(0, c, 0, 0)).abs() < 1e-3,
+                "class {c}: numeric {numeric} vs {}",
+                grad.get(0, c, 0, 0)
+            );
+        }
+    }
+
+    #[test]
+    fn predictions_pick_argmax() {
+        let logits = Tensor4::from_fn(2, 3, 1, 1, |b, c, _, _| {
+            if (b == 0 && c == 1) || (b == 1 && c == 2) {
+                2.0
+            } else {
+                0.0
+            }
+        });
+        assert_eq!(predictions(&logits), vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn out_of_range_label_panics() {
+        let logits = Tensor4::zeros(1, 2, 1, 1);
+        let _ = softmax_cross_entropy(&logits, &[5]);
+    }
+}

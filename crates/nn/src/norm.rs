@@ -1,0 +1,315 @@
+//! Batch normalization.
+//!
+//! The evaluation networks (ResNet/DenseNet/WRN) interleave batch norm with
+//! every convolution; its *training-mode* backward pass shapes the
+//! activation-gradient tensors (`G_A`) the accelerator consumes, so the
+//! substrate models it properly: per-channel statistics over `(N, H, W)`,
+//! learnable scale/shift, running statistics for inference, and the full
+//! backward through the normalization.
+
+use crate::layers::Layer;
+use crate::tensor::Tensor4;
+
+/// 2-D batch normalization over the channel dimension.
+pub struct BatchNorm2d {
+    channels: usize,
+    eps: f32,
+    momentum: f32,
+    gamma: Vec<f32>,
+    beta: Vec<f32>,
+    grad_gamma: Vec<f32>,
+    grad_beta: Vec<f32>,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    training: bool,
+    cache: Option<Cache>,
+}
+
+struct Cache {
+    x_hat: Tensor4,
+    inv_std: Vec<f32>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer for `channels` feature maps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0`.
+    pub fn new(channels: usize) -> Self {
+        assert!(channels > 0, "channels must be non-zero");
+        Self {
+            channels,
+            eps: 1e-5,
+            momentum: 0.1,
+            gamma: vec![1.0; channels],
+            beta: vec![0.0; channels],
+            grad_gamma: vec![0.0; channels],
+            grad_beta: vec![0.0; channels],
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            training: true,
+            cache: None,
+        }
+    }
+
+    /// Switches between training mode (batch statistics, default) and
+    /// inference mode (running statistics).
+    pub fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+
+    /// Per-channel scale parameters.
+    pub fn gamma(&self) -> &[f32] {
+        &self.gamma
+    }
+
+    /// Per-channel shift parameters.
+    pub fn beta(&self) -> &[f32] {
+        &self.beta
+    }
+
+    /// Running mean (inference statistics).
+    pub fn running_mean(&self) -> &[f32] {
+        &self.running_mean
+    }
+
+    fn channel_stats(&self, input: &Tensor4, c: usize) -> (f32, f32) {
+        let (n, _, h, w) = input.shape();
+        let count = (n * h * w) as f32;
+        let mut mean = 0.0f32;
+        for b in 0..n {
+            for y in 0..h {
+                for x in 0..w {
+                    mean += input.get(b, c, y, x);
+                }
+            }
+        }
+        mean /= count;
+        let mut var = 0.0f32;
+        for b in 0..n {
+            for y in 0..h {
+                for x in 0..w {
+                    let d = input.get(b, c, y, x) - mean;
+                    var += d * d;
+                }
+            }
+        }
+        (mean, var / count)
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, input: &Tensor4) -> Tensor4 {
+        assert_eq!(input.c(), self.channels, "channel mismatch");
+        let (n, c, h, w) = input.shape();
+        let mut out = Tensor4::zeros(n, c, h, w);
+        let mut x_hat = Tensor4::zeros(n, c, h, w);
+        let mut inv_std = vec![0.0f32; c];
+        #[allow(clippy::needless_range_loop)] // ch indexes several parallel arrays
+        for ch in 0..c {
+            let (mean, var) = if self.training {
+                let (m, v) = self.channel_stats(input, ch);
+                self.running_mean[ch] =
+                    (1.0 - self.momentum) * self.running_mean[ch] + self.momentum * m;
+                self.running_var[ch] =
+                    (1.0 - self.momentum) * self.running_var[ch] + self.momentum * v;
+                (m, v)
+            } else {
+                (self.running_mean[ch], self.running_var[ch])
+            };
+            let istd = 1.0 / (var + self.eps).sqrt();
+            inv_std[ch] = istd;
+            for b in 0..n {
+                for y in 0..h {
+                    for x in 0..w {
+                        let xh = (input.get(b, ch, y, x) - mean) * istd;
+                        x_hat.set(b, ch, y, x, xh);
+                        out.set(b, ch, y, x, self.gamma[ch] * xh + self.beta[ch]);
+                    }
+                }
+            }
+        }
+        self.cache = Some(Cache { x_hat, inv_std });
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
+        let cache = self.cache.as_ref().expect("backward before forward");
+        let (n, c, h, w) = grad_out.shape();
+        assert_eq!(c, self.channels, "gradient channel mismatch");
+        let count = (n * h * w) as f32;
+        let mut grad_in = Tensor4::zeros(n, c, h, w);
+        for ch in 0..c {
+            let mut sum_dy = 0.0f32;
+            let mut sum_dy_xhat = 0.0f32;
+            for b in 0..n {
+                for y in 0..h {
+                    for x in 0..w {
+                        let dy = grad_out.get(b, ch, y, x);
+                        sum_dy += dy;
+                        sum_dy_xhat += dy * cache.x_hat.get(b, ch, y, x);
+                    }
+                }
+            }
+            self.grad_gamma[ch] = sum_dy_xhat;
+            self.grad_beta[ch] = sum_dy;
+            let scale = self.gamma[ch] * cache.inv_std[ch];
+            for b in 0..n {
+                for y in 0..h {
+                    for x in 0..w {
+                        let dy = grad_out.get(b, ch, y, x);
+                        let xh = cache.x_hat.get(b, ch, y, x);
+                        let dx = if self.training {
+                            scale * (dy - sum_dy / count - xh * sum_dy_xhat / count)
+                        } else {
+                            scale * dy
+                        };
+                        grad_in.set(b, ch, y, x, dx);
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn apply_grads(&mut self, lr: f32) {
+        for ((g, gg), (b, gb)) in self
+            .gamma
+            .iter_mut()
+            .zip(self.grad_gamma.iter())
+            .zip(self.beta.iter_mut().zip(self.grad_beta.iter()))
+        {
+            *g -= lr * gg;
+            *b -= lr * gb;
+        }
+    }
+}
+
+impl std::fmt::Debug for BatchNorm2d {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "BatchNorm2d({}, training={})",
+            self.channels, self.training
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_input() -> Tensor4 {
+        Tensor4::from_fn(2, 2, 3, 3, |b, c, h, w| {
+            ((b * 17 + c * 5 + h * 3 + w) as f32 * 0.37).sin() * 2.0 + c as f32
+        })
+    }
+
+    #[test]
+    fn forward_normalizes_per_channel() {
+        let mut bn = BatchNorm2d::new(2);
+        let out = bn.forward(&sample_input());
+        // With gamma=1, beta=0 the output has ~zero mean and unit variance
+        // per channel.
+        let (n, _, h, w) = out.shape();
+        for c in 0..2 {
+            let count = (n * h * w) as f32;
+            let mut mean = 0.0;
+            let mut var = 0.0;
+            for b in 0..n {
+                for y in 0..h {
+                    for x in 0..w {
+                        mean += out.get(b, c, y, x);
+                    }
+                }
+            }
+            mean /= count;
+            for b in 0..n {
+                for y in 0..h {
+                    for x in 0..w {
+                        var += (out.get(b, c, y, x) - mean).powi(2);
+                    }
+                }
+            }
+            var /= count;
+            assert!(mean.abs() < 1e-4, "channel {c} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "channel {c} var {var}");
+        }
+    }
+
+    #[test]
+    fn inference_mode_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(2);
+        // Warm up running stats.
+        for _ in 0..50 {
+            let _ = bn.forward(&sample_input());
+        }
+        bn.set_training(false);
+        let input = sample_input();
+        let out = bn.forward(&input);
+        // Inference output is an affine map of the input (no batch coupling)
+        // and the running statistics have moved off their initialization.
+        assert_eq!(out.shape(), input.shape());
+        assert!(bn.running_mean().iter().any(|&m| m.abs() > 1e-3));
+        // Running forward twice in inference mode is deterministic (no
+        // statistics update).
+        let again = bn.forward(&input);
+        assert!(again.approx_eq(&out, 0.0));
+    }
+
+    #[test]
+    fn backward_gradient_matches_finite_differences() {
+        let mut bn = BatchNorm2d::new(1);
+        let input = Tensor4::from_fn(1, 1, 2, 3, |_, _, h, w| (h * 3 + w) as f32 * 0.31 - 0.4);
+        // Loss = sum of squares of the output.
+        let out = bn.forward(&input);
+        let grad_out = out.map(|v| 2.0 * v);
+        let grad_in = bn.backward(&grad_out);
+        let loss = |bn: &mut BatchNorm2d, inp: &Tensor4| -> f32 {
+            bn.forward(inp).as_slice().iter().map(|v| v * v).sum()
+        };
+        let eps = 1e-2f32;
+        for i in [0usize, 2, 5] {
+            let mut plus = input.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = input.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let numeric = (loss(&mut bn, &plus) - loss(&mut bn, &minus)) / (2.0 * eps);
+            let analytic = grad_in.as_slice()[i];
+            assert!(
+                (numeric - analytic).abs() < 5e-2 * (1.0 + numeric.abs()),
+                "element {i}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn grad_beta_is_gradient_sum() {
+        let mut bn = BatchNorm2d::new(1);
+        let input = sample_input();
+        let input1 = Tensor4::from_fn(2, 1, 3, 3, |b, _, h, w| input.get(b, 0, h, w));
+        let _ = bn.forward(&input1);
+        let grad = Tensor4::from_fn(2, 1, 3, 3, |_, _, _, _| 0.5);
+        let _ = bn.backward(&grad);
+        assert!((bn.grad_beta[0] - 0.5 * 18.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn apply_grads_moves_parameters() {
+        let mut bn = BatchNorm2d::new(1);
+        let input = Tensor4::from_fn(1, 1, 2, 2, |_, _, h, w| (h + w) as f32);
+        let out = bn.forward(&input);
+        let _ = bn.backward(&out);
+        let before = bn.gamma()[0];
+        bn.apply_grads(0.1);
+        assert_ne!(bn.gamma()[0], before);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward before forward")]
+    fn backward_requires_forward() {
+        let mut bn = BatchNorm2d::new(1);
+        let _ = bn.backward(&Tensor4::zeros(1, 1, 2, 2));
+    }
+}

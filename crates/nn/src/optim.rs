@@ -1,0 +1,202 @@
+//! Optimizers for the training substrate.
+//!
+//! The paper trains with plain SGD (Section 2.1) and uses Bfloat16 values
+//! on the accelerator (Table 4). [`Sgd`] adds the momentum and weight-decay
+//! variants real training uses, and [`QuantizeMode`] lets updates round
+//! through bf16 to reproduce the accelerator's numeric regime end to end.
+
+use ant_sparse::bf16;
+
+/// Whether parameter updates round through a reduced-precision format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QuantizeMode {
+    /// Full f32 updates.
+    #[default]
+    F32,
+    /// Round every updated parameter to the nearest bf16 value
+    /// (paper Table 4's value format).
+    Bf16,
+}
+
+/// Stochastic gradient descent with optional momentum and weight decay.
+///
+/// # Example
+///
+/// ```
+/// use ant_nn::optim::{QuantizeMode, Sgd};
+///
+/// let mut opt = Sgd::new(0.1).with_momentum(0.9);
+/// let mut params = vec![1.0f32, -2.0];
+/// let grads = vec![0.5f32, 0.5];
+/// opt.step("layer0", &mut params, &grads);
+/// assert!(params[0] < 1.0);
+/// # let _ = QuantizeMode::Bf16;
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    quantize: QuantizeMode,
+    velocity: std::collections::HashMap<String, Vec<f32>>,
+}
+
+impl Sgd {
+    /// Plain SGD with learning rate `lr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        Self {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            quantize: QuantizeMode::F32,
+            velocity: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Enables momentum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `momentum` is not in `[0, 1)`.
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        self.momentum = momentum;
+        self
+    }
+
+    /// Enables L2 weight decay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight_decay` is negative.
+    pub fn with_weight_decay(mut self, weight_decay: f32) -> Self {
+        assert!(weight_decay >= 0.0, "weight decay must be non-negative");
+        self.weight_decay = weight_decay;
+        self
+    }
+
+    /// Selects the update quantization mode.
+    pub fn with_quantize(mut self, quantize: QuantizeMode) -> Self {
+        self.quantize = quantize;
+        self
+    }
+
+    /// Learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Updates `params` in place using `grads`; `key` identifies the
+    /// parameter tensor for the momentum buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len() != grads.len()`.
+    pub fn step(&mut self, key: &str, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len(), "parameter/gradient mismatch");
+        let velocity = self
+            .velocity
+            .entry(key.to_string())
+            .or_insert_with(|| vec![0.0; params.len()]);
+        assert_eq!(
+            velocity.len(),
+            params.len(),
+            "velocity buffer reused across shapes"
+        );
+        for ((p, &g), v) in params.iter_mut().zip(grads.iter()).zip(velocity.iter_mut()) {
+            let g = g + self.weight_decay * *p;
+            *v = self.momentum * *v + g;
+            let mut updated = *p - self.lr * *v;
+            if self.quantize == QuantizeMode::Bf16 {
+                updated = bf16::round_to_bf16(updated);
+            }
+            *p = updated;
+        }
+    }
+
+    /// Clears all momentum buffers.
+    pub fn reset(&mut self) {
+        self.velocity.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_sgd_matches_formula() {
+        let mut opt = Sgd::new(0.5);
+        let mut params = vec![2.0f32];
+        opt.step("p", &mut params, &[1.0]);
+        assert_eq!(params[0], 1.5);
+    }
+
+    #[test]
+    fn momentum_accumulates() {
+        let mut opt = Sgd::new(1.0).with_momentum(0.5);
+        let mut params = vec![0.0f32];
+        opt.step("p", &mut params, &[1.0]); // v = 1.0, p = -1.0
+        opt.step("p", &mut params, &[1.0]); // v = 1.5, p = -2.5
+        assert!((params[0] + 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_parameters() {
+        let mut opt = Sgd::new(0.1).with_weight_decay(1.0);
+        let mut params = vec![1.0f32];
+        opt.step("p", &mut params, &[0.0]);
+        assert!((params[0] - 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bf16_mode_produces_representable_values() {
+        let mut opt = Sgd::new(0.01).with_quantize(QuantizeMode::Bf16);
+        let mut params = vec![1.2345f32, -0.9876];
+        opt.step("p", &mut params, &[0.111, 0.222]);
+        for &p in &params {
+            assert_eq!(p, ant_sparse::bf16::round_to_bf16(p));
+        }
+    }
+
+    #[test]
+    fn separate_keys_have_separate_velocity() {
+        let mut opt = Sgd::new(1.0).with_momentum(0.9);
+        let mut a = vec![0.0f32];
+        let mut b = vec![0.0f32];
+        opt.step("a", &mut a, &[1.0]);
+        opt.step("b", &mut b, &[1.0]);
+        // Both are first steps: identical updates, no cross-talk.
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reset_clears_momentum() {
+        let mut opt = Sgd::new(1.0).with_momentum(0.9);
+        let mut p1 = vec![0.0f32];
+        opt.step("p", &mut p1, &[1.0]);
+        opt.reset();
+        let mut p2 = vec![0.0f32];
+        opt.step("p", &mut p2, &[1.0]);
+        assert_eq!(p1[0], p2[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn invalid_lr_rejected() {
+        let _ = Sgd::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter/gradient mismatch")]
+    fn mismatched_lengths_rejected() {
+        let mut opt = Sgd::new(0.1);
+        let mut params = vec![0.0f32; 2];
+        opt.step("p", &mut params, &[1.0]);
+    }
+}

@@ -1,0 +1,242 @@
+//! Sparse-training algorithms in the style of SWAT and ReSprop
+//! (paper Section 6.2).
+//!
+//! These do not re-implement the published algorithms bit-for-bit; they
+//! reproduce the *sparsity structure* each one induces in the tensors the
+//! accelerator consumes (substitution documented in DESIGN.md):
+//!
+//! * SWAT (Raihan & Aamodt, 2020) keeps the top-K magnitude weights in all
+//!   phases and top-K activations in the backward pass.
+//! * ReSprop (Goli & Aamodt, 2020) reuses the previous iteration's
+//!   activation gradient and back-propagates only a sparse delta, producing
+//!   highly sparse `G_A` matrices.
+
+use std::collections::HashMap;
+
+use crate::tensor::Tensor4;
+
+/// Keeps the `keep_fraction` largest-magnitude elements of a tensor and
+/// zeroes the rest.
+///
+/// # Panics
+///
+/// Panics if `keep_fraction` is not in `[0, 1]`.
+pub fn topk_tensor(t: &Tensor4, keep_fraction: f64) -> Tensor4 {
+    assert!(
+        (0.0..=1.0).contains(&keep_fraction),
+        "keep fraction must be in [0, 1]"
+    );
+    let keep = (t.len() as f64 * keep_fraction).round() as usize;
+    if keep >= t.nnz() {
+        return t.clone();
+    }
+    let mut mags: Vec<f32> = t.as_slice().iter().map(|v| v.abs()).collect();
+    mags.sort_by(|a, b| b.partial_cmp(a).expect("finite values"));
+    let threshold = if keep == 0 {
+        f32::INFINITY
+    } else {
+        mags[keep - 1]
+    };
+    // Keep strictly-above immediately; fill ties up to the budget in scan
+    // order so the kept count is exact.
+    let mut kept_ties = 0usize;
+    let above: usize = t.as_slice().iter().filter(|v| v.abs() > threshold).count();
+    let tie_budget = keep.saturating_sub(above);
+    let mut out = t.clone();
+    for v in out.as_mut_slice() {
+        let mag = v.abs();
+        if mag > threshold {
+            continue;
+        }
+        if mag == threshold && mag.is_finite() && kept_ties < tie_budget {
+            kept_ties += 1;
+            continue;
+        }
+        *v = 0.0;
+    }
+    out
+}
+
+/// SWAT-style sparsification: top-K weights (installed as a compute-path
+/// mask on the conv layers) and top-K activations in the backward pass.
+#[derive(Debug, Clone, Copy)]
+pub struct SwatSparsifier {
+    /// Target sparsity in `[0, 1)`; `keep = 1 - sparsity`.
+    pub target_sparsity: f64,
+}
+
+impl SwatSparsifier {
+    /// Creates a SWAT-style sparsifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_sparsity` is not in `[0, 1)`.
+    pub fn new(target_sparsity: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&target_sparsity),
+            "target sparsity must be in [0, 1)"
+        );
+        Self { target_sparsity }
+    }
+
+    /// Fraction of elements to keep.
+    pub fn keep_fraction(&self) -> f64 {
+        1.0 - self.target_sparsity
+    }
+
+    /// Sparsifies an activation tensor for the backward pass.
+    pub fn sparsify_activations(&self, activations: &Tensor4) -> Tensor4 {
+        topk_tensor(activations, self.keep_fraction())
+    }
+}
+
+/// ReSprop-style gradient sparsification: back-propagate the (top-K) delta
+/// against the previous iteration's gradient.
+#[derive(Debug, Default)]
+pub struct ReSpropSparsifier {
+    target_sparsity: f64,
+    previous: HashMap<String, Tensor4>,
+}
+
+impl ReSpropSparsifier {
+    /// Creates a ReSprop-style sparsifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_sparsity` is not in `[0, 1)`.
+    pub fn new(target_sparsity: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&target_sparsity),
+            "target sparsity must be in [0, 1)"
+        );
+        Self {
+            target_sparsity,
+            previous: HashMap::new(),
+        }
+    }
+
+    /// The configured gradient sparsity target.
+    pub fn target_sparsity(&self) -> f64 {
+        self.target_sparsity
+    }
+
+    /// Sparsifies an activation gradient for `layer`, reusing the previous
+    /// iteration's gradient: the returned tensor is the top-K of
+    /// `grad - previous_grad` (the first call returns top-K of `grad`
+    /// itself). The dense gradient is remembered for the next call.
+    ///
+    /// The returned delta is what the `W * G_A` and `G_A * A` convolutions
+    /// actually consume under ReSprop; the reused portion was computed last
+    /// iteration.
+    pub fn sparsify_gradient(&mut self, layer: &str, grad: &Tensor4) -> Tensor4 {
+        let keep = 1.0 - self.target_sparsity;
+        let delta = match self.previous.get(layer) {
+            Some(prev) if prev.shape() == grad.shape() => {
+                let mut d = grad.clone();
+                for (dv, pv) in d.as_mut_slice().iter_mut().zip(prev.as_slice()) {
+                    *dv -= pv;
+                }
+                d
+            }
+            _ => grad.clone(),
+        };
+        self.previous.insert(layer.to_string(), grad.clone());
+        topk_tensor(&delta, keep)
+    }
+
+    /// Forgets all remembered gradients (e.g. at an epoch boundary).
+    pub fn reset(&mut self) {
+        self.previous.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize) -> Tensor4 {
+        Tensor4::from_fn(1, 1, 1, n, |_, _, _, w| (w + 1) as f32)
+    }
+
+    #[test]
+    fn topk_keeps_exact_count() {
+        let t = ramp(10);
+        let s = topk_tensor(&t, 0.3);
+        assert_eq!(s.nnz(), 3);
+        // Largest magnitudes survive.
+        assert_eq!(s.get(0, 0, 0, 9), 10.0);
+        assert_eq!(s.get(0, 0, 0, 7), 8.0);
+        assert_eq!(s.get(0, 0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn topk_handles_ties_exactly() {
+        let t = Tensor4::from_fn(1, 1, 1, 8, |_, _, _, _| 1.0);
+        let s = topk_tensor(&t, 0.5);
+        assert_eq!(s.nnz(), 4);
+    }
+
+    #[test]
+    fn topk_full_keep_is_identity() {
+        let t = ramp(5);
+        assert!(topk_tensor(&t, 1.0).approx_eq(&t, 0.0));
+    }
+
+    #[test]
+    fn topk_zero_keep_empties() {
+        let t = ramp(5);
+        assert_eq!(topk_tensor(&t, 0.0).nnz(), 0);
+    }
+
+    #[test]
+    fn swat_activation_sparsity_hits_target() {
+        let t = Tensor4::from_fn(1, 4, 10, 10, |_, c, h, w| ((c + h + w) as f32).sin());
+        let swat = SwatSparsifier::new(0.9);
+        let s = swat.sparsify_activations(&t);
+        assert!(
+            (s.sparsity() - 0.9).abs() < 0.02,
+            "sparsity {}",
+            s.sparsity()
+        );
+    }
+
+    #[test]
+    fn resprop_first_call_sparsifies_raw_gradient() {
+        let mut rs = ReSpropSparsifier::new(0.5);
+        let g = ramp(10);
+        let s = rs.sparsify_gradient("conv1", &g);
+        assert_eq!(s.nnz(), 5);
+        assert_eq!(s.get(0, 0, 0, 9), 10.0);
+    }
+
+    #[test]
+    fn resprop_identical_gradient_yields_empty_delta() {
+        let mut rs = ReSpropSparsifier::new(0.5);
+        let g = ramp(10);
+        let _ = rs.sparsify_gradient("conv1", &g);
+        let s = rs.sparsify_gradient("conv1", &g);
+        // grad - prev == 0 everywhere: nothing to propagate.
+        assert_eq!(s.nnz(), 0);
+    }
+
+    #[test]
+    fn resprop_tracks_layers_independently() {
+        let mut rs = ReSpropSparsifier::new(0.0);
+        let g1 = ramp(4);
+        let g2 = Tensor4::from_fn(1, 1, 1, 4, |_, _, _, w| -(w as f32) - 1.0);
+        let _ = rs.sparsify_gradient("a", &g1);
+        let s = rs.sparsify_gradient("b", &g2);
+        // Layer "b" has no history: raw gradient comes back.
+        assert!(s.approx_eq(&g2, 0.0));
+    }
+
+    #[test]
+    fn resprop_reset_clears_history() {
+        let mut rs = ReSpropSparsifier::new(0.0);
+        let g = ramp(4);
+        let _ = rs.sparsify_gradient("a", &g);
+        rs.reset();
+        let s = rs.sparsify_gradient("a", &g);
+        assert!(s.approx_eq(&g, 0.0));
+    }
+}

@@ -1,0 +1,308 @@
+//! A dense rank-4 tensor in NCHW layout, the working datatype of the
+//! training substrate.
+
+use std::fmt;
+
+use ant_sparse::DenseMatrix;
+
+/// A dense `N x C x H x W` tensor of `f32` values.
+///
+/// # Example
+///
+/// ```
+/// use ant_nn::Tensor4;
+///
+/// let mut t = Tensor4::zeros(1, 2, 3, 3);
+/// t.set(0, 1, 2, 2, 5.0);
+/// assert_eq!(t.get(0, 1, 2, 2), 5.0);
+/// assert_eq!(t.shape(), (1, 2, 3, 3));
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor4 {
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor4 {
+    /// Creates an all-zero tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn zeros(n: usize, c: usize, h: usize, w: usize) -> Self {
+        assert!(
+            n > 0 && c > 0 && h > 0 && w > 0,
+            "dimensions must be non-zero"
+        );
+        Self {
+            n,
+            c,
+            h,
+            w,
+            data: vec![0.0; n * c * h * w],
+        }
+    }
+
+    /// Builds a tensor by evaluating `f(n, c, h, w)` everywhere.
+    pub fn from_fn(
+        n: usize,
+        c: usize,
+        h: usize,
+        w: usize,
+        mut f: impl FnMut(usize, usize, usize, usize) -> f32,
+    ) -> Self {
+        let mut t = Self::zeros(n, c, h, w);
+        for in_ in 0..n {
+            for ic in 0..c {
+                for ih in 0..h {
+                    for iw in 0..w {
+                        let v = f(in_, ic, ih, iw);
+                        t.set(in_, ic, ih, iw, v);
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    /// `(N, C, H, W)`.
+    pub fn shape(&self) -> (usize, usize, usize, usize) {
+        (self.n, self.c, self.h, self.w)
+    }
+
+    /// Batch size `N`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Channels `C`.
+    pub fn c(&self) -> usize {
+        self.c
+    }
+
+    /// Height `H`.
+    pub fn h(&self) -> usize {
+        self.h
+    }
+
+    /// Width `W`.
+    pub fn w(&self) -> usize {
+        self.w
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Always false for constructed tensors.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    fn index(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        debug_assert!(n < self.n && c < self.c && h < self.h && w < self.w);
+        ((n * self.c + c) * self.h + h) * self.w + w
+    }
+
+    /// Element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the coordinate is out of bounds.
+    #[inline]
+    pub fn get(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
+        self.data[self.index(n, c, h, w)]
+    }
+
+    /// Element mutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the coordinate is out of bounds.
+    #[inline]
+    pub fn set(&mut self, n: usize, c: usize, h: usize, w: usize, value: f32) {
+        let i = self.index(n, c, h, w);
+        self.data[i] = value;
+    }
+
+    /// Adds to an element.
+    #[inline]
+    pub fn add_assign(&mut self, n: usize, c: usize, h: usize, w: usize, value: f32) {
+        let i = self.index(n, c, h, w);
+        self.data[i] += value;
+    }
+
+    /// The flat backing slice.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// The flat backing slice, mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Extracts one `H x W` channel plane as a matrix.
+    pub fn channel(&self, n: usize, c: usize) -> DenseMatrix {
+        DenseMatrix::from_fn(self.h, self.w, |r, col| self.get(n, c, r, col))
+    }
+
+    /// Overwrites one channel plane from a matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix dimensions disagree with `(H, W)`.
+    pub fn set_channel(&mut self, n: usize, c: usize, plane: &DenseMatrix) {
+        assert_eq!(plane.shape(), (self.h, self.w), "plane shape mismatch");
+        for r in 0..self.h {
+            for col in 0..self.w {
+                self.set(n, c, r, col, plane.get(r, col));
+            }
+        }
+    }
+
+    /// Number of non-zero elements.
+    pub fn nnz(&self) -> usize {
+        self.data.iter().filter(|&&v| v != 0.0).count()
+    }
+
+    /// Zero fraction in `[0, 1]`.
+    pub fn sparsity(&self) -> f64 {
+        1.0 - self.nnz() as f64 / self.len() as f64
+    }
+
+    /// Element-wise map into a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Self {
+            n: self.n,
+            c: self.c,
+            h: self.h,
+            w: self.w,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// True when every element differs from `other` by at most `tol`.
+    pub fn approx_eq(&self, other: &Tensor4, tol: f32) -> bool {
+        self.shape() == other.shape()
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// Zero-pads each spatial plane by `pad` on all sides.
+    pub fn pad_spatial(&self, pad: usize) -> Tensor4 {
+        if pad == 0 {
+            return self.clone();
+        }
+        let mut out = Tensor4::zeros(self.n, self.c, self.h + 2 * pad, self.w + 2 * pad);
+        for n in 0..self.n {
+            for c in 0..self.c {
+                for h in 0..self.h {
+                    for w in 0..self.w {
+                        out.set(n, c, h + pad, w + pad, self.get(n, c, h, w));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Removes `pad` from every spatial edge (inverse of
+    /// [`Tensor4::pad_spatial`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is too small to strip that much padding.
+    pub fn unpad_spatial(&self, pad: usize) -> Tensor4 {
+        if pad == 0 {
+            return self.clone();
+        }
+        assert!(
+            self.h > 2 * pad && self.w > 2 * pad,
+            "tensor too small to unpad"
+        );
+        Tensor4::from_fn(
+            self.n,
+            self.c,
+            self.h - 2 * pad,
+            self.w - 2 * pad,
+            |n, c, h, w| self.get(n, c, h + pad, w + pad),
+        )
+    }
+}
+
+impl fmt::Debug for Tensor4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Tensor4 {}x{}x{}x{} (nnz {} / {})",
+            self.n,
+            self.c,
+            self.h,
+            self.w,
+            self.nnz(),
+            self.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut t = Tensor4::zeros(2, 3, 4, 5);
+        t.set(1, 2, 3, 4, 7.0);
+        assert_eq!(t.get(1, 2, 3, 4), 7.0);
+        assert_eq!(t.nnz(), 1);
+    }
+
+    #[test]
+    fn channel_extraction_round_trip() {
+        let t = Tensor4::from_fn(1, 2, 3, 3, |_, c, h, w| (c * 100 + h * 10 + w) as f32);
+        let plane = t.channel(0, 1);
+        assert_eq!(plane.get(2, 1), 121.0);
+        let mut t2 = Tensor4::zeros(1, 2, 3, 3);
+        t2.set_channel(0, 1, &plane);
+        assert_eq!(t2.channel(0, 1), plane);
+    }
+
+    #[test]
+    fn pad_unpad_round_trip() {
+        let t = Tensor4::from_fn(1, 1, 3, 3, |_, _, h, w| (h * 3 + w + 1) as f32);
+        let padded = t.pad_spatial(2);
+        assert_eq!(padded.shape(), (1, 1, 7, 7));
+        assert_eq!(padded.get(0, 0, 2, 2), 1.0);
+        assert_eq!(padded.get(0, 0, 0, 0), 0.0);
+        assert!(padded.unpad_spatial(2).approx_eq(&t, 0.0));
+    }
+
+    #[test]
+    fn map_applies_elementwise() {
+        let t = Tensor4::from_fn(1, 1, 2, 2, |_, _, h, w| (h + w) as f32 - 1.0);
+        let relu = t.map(|v| v.max(0.0));
+        assert_eq!(relu.get(0, 0, 0, 0), 0.0);
+        assert_eq!(relu.get(0, 0, 1, 1), 1.0);
+    }
+
+    #[test]
+    fn sparsity_fraction() {
+        let t = Tensor4::from_fn(1, 1, 2, 2, |_, _, h, w| if h == w { 1.0 } else { 0.0 });
+        assert_eq!(t.sparsity(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dimension_rejected() {
+        let _ = Tensor4::zeros(1, 0, 2, 2);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for the training substrate.
+
+use ant_nn::layers::{Conv2d, Layer, Linear, MaxPool2, Relu};
+use ant_nn::loss::softmax_cross_entropy;
+use ant_nn::optim::Sgd;
+use ant_nn::sparse_train::topk_tensor;
+use ant_nn::tensor::Tensor4;
+use proptest::prelude::*;
+
+fn small_tensor() -> impl Strategy<Value = Tensor4> {
+    (1usize..3, 1usize..3, 2usize..7, 2usize..7).prop_flat_map(|(n, c, h, w)| {
+        proptest::collection::vec(-2.0f32..2.0, n * c * h * w).prop_map(move |vals| {
+            let mut t = Tensor4::zeros(n, c, h, w);
+            t.as_mut_slice().copy_from_slice(&vals);
+            t
+        })
+    })
+}
+
+proptest! {
+    /// ReLU forward/backward invariants.
+    #[test]
+    fn relu_gradient_is_masked_identity(t in small_tensor()) {
+        let mut relu = Relu::new();
+        let out = relu.forward(&t);
+        prop_assert!(out.as_slice().iter().all(|&v| v >= 0.0));
+        let ones = t.map(|_| 1.0);
+        let grad = relu.backward(&ones);
+        for (i, (&x, &g)) in t.as_slice().iter().zip(grad.as_slice()).enumerate() {
+            prop_assert_eq!(g, if x > 0.0 { 1.0 } else { 0.0 }, "element {}", i);
+        }
+    }
+
+    /// Max-pool routes each output gradient to exactly one input position.
+    #[test]
+    fn maxpool_gradient_preserves_mass(t in small_tensor()) {
+        prop_assume!(t.h() >= 2 && t.w() >= 2);
+        let mut pool = MaxPool2::new();
+        let out = pool.forward(&t);
+        let grad_out = out.map(|_| 1.0);
+        let grad_in = pool.backward(&grad_out);
+        let mass_out: f32 = grad_out.as_slice().iter().sum();
+        let mass_in: f32 = grad_in.as_slice().iter().sum();
+        prop_assert!((mass_out - mass_in).abs() < 1e-4);
+    }
+
+    /// Conv backward is linear in the upstream gradient.
+    #[test]
+    fn conv_backward_is_linear(t in small_tensor(), scale in 0.5f32..4.0) {
+        prop_assume!(t.h() >= 3 && t.w() >= 3);
+        let mut conv = Conv2d::new(2, t.c(), 3, 3, 1, 1, 5);
+        let out = conv.forward(&t);
+        let g1 = conv.backward(&out);
+        let scaled = out.map(|v| v * scale);
+        let g2 = conv.backward(&scaled);
+        for (a, b) in g1.as_slice().iter().zip(g2.as_slice()) {
+            prop_assert!((a * scale - b).abs() < 1e-3 * (1.0 + b.abs()));
+        }
+    }
+
+    /// Cross-entropy gradient sums to zero per example (softmax property).
+    #[test]
+    fn ce_gradient_sums_to_zero(
+        logits in proptest::collection::vec(-5.0f32..5.0, 4),
+        label in 0usize..4,
+    ) {
+        let mut t = Tensor4::zeros(1, 4, 1, 1);
+        t.as_mut_slice().copy_from_slice(&logits);
+        let (loss, grad) = softmax_cross_entropy(&t, &[label]);
+        prop_assert!(loss >= 0.0);
+        let sum: f32 = grad.as_slice().iter().sum();
+        prop_assert!(sum.abs() < 1e-5);
+        // The true class gradient is negative (pushed up).
+        prop_assert!(grad.get(0, label, 0, 0) <= 0.0);
+    }
+
+    /// top-K keeps exactly min(round(frac*len), nnz) entries and never
+    /// invents values.
+    #[test]
+    fn topk_tensor_is_a_subset(t in small_tensor(), keep in 0.0f64..1.0) {
+        let s = topk_tensor(&t, keep);
+        let budget = (t.len() as f64 * keep).round() as usize;
+        prop_assert!(s.nnz() <= budget.max(t.nnz().min(budget)) || s.nnz() == t.nnz());
+        prop_assert!(s.nnz() <= t.nnz());
+        for (a, b) in t.as_slice().iter().zip(s.as_slice()) {
+            prop_assert!(*b == 0.0 || b == a);
+        }
+    }
+
+    /// SGD with zero gradient and no decay leaves parameters untouched.
+    #[test]
+    fn sgd_fixed_point_at_zero_gradient(params in proptest::collection::vec(-3.0f32..3.0, 1..10)) {
+        let mut opt = Sgd::new(0.1).with_momentum(0.9);
+        let mut p = params.clone();
+        let zeros = vec![0.0f32; p.len()];
+        opt.step("p", &mut p, &zeros);
+        prop_assert_eq!(p, params);
+    }
+
+    /// A single SGD step on a quadratic loss reduces it (small lr).
+    #[test]
+    fn sgd_descends_quadratic(x0 in -3.0f32..3.0) {
+        let mut opt = Sgd::new(0.1);
+        let mut p = vec![x0];
+        let grad = vec![2.0 * x0]; // d/dx of x^2
+        opt.step("p", &mut p, &grad);
+        prop_assert!(p[0] * p[0] <= x0 * x0 + 1e-6);
+    }
+
+    /// Linear layer forward is additive in the input.
+    #[test]
+    fn linear_is_affine(a in proptest::collection::vec(-2.0f32..2.0, 6)) {
+        let mut lin = Linear::new(3, 6, 11);
+        let mut t1 = Tensor4::zeros(1, 6, 1, 1);
+        t1.as_mut_slice().copy_from_slice(&a);
+        let zero = Tensor4::zeros(1, 6, 1, 1);
+        let f_a = lin.forward(&t1);
+        let f_0 = lin.forward(&zero);
+        let doubled = t1.map(|v| 2.0 * v);
+        let f_2a = lin.forward(&doubled);
+        // f(2a) - f(0) == 2 (f(a) - f(0))
+        for i in 0..3 {
+            let lhs = f_2a.get(0, i, 0, 0) - f_0.get(0, i, 0, 0);
+            let rhs = 2.0 * (f_a.get(0, i, 0, 0) - f_0.get(0, i, 0, 0));
+            prop_assert!((lhs - rhs).abs() < 1e-4 * (1.0 + rhs.abs()));
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Accelerator traits and the multi-PE wrapper.
+
+use ant_conv::matmul::MatmulShape;
+use ant_conv::ConvShape;
+use ant_sparse::CsrMatrix;
+
+use crate::stats::SimStats;
+
+/// Pipeline start-up cost charged per matrix pair handed to a PE
+/// (paper Section 6.1: "a five-cycle start-up cost whenever a PE is given
+/// new image and kernel matrices").
+pub const STARTUP_CYCLES: u64 = 5;
+
+/// A machine that can simulate one kernel/image convolution pair.
+///
+/// A "pair" is one 2-D kernel against one 2-D image plane — the granularity
+/// at which SCNN-style PEs receive work; multi-channel layers decompose into
+/// many pairs (one per input-channel/output-channel combination).
+pub trait ConvSim {
+    /// Short machine name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Simulates the convolution of one kernel/image pair, returning
+    /// per-pair operation and cycle counts.
+    fn simulate_conv_pair(
+        &self,
+        kernel: &CsrMatrix,
+        image: &CsrMatrix,
+        shape: &ConvShape,
+    ) -> SimStats;
+}
+
+/// A machine that can simulate a matrix-multiplication pair
+/// (paper Section 5).
+pub trait MatmulSim {
+    /// Simulates `image x kernel`, returning operation and cycle counts.
+    fn simulate_matmul_pair(
+        &self,
+        image: &CsrMatrix,
+        kernel: &CsrMatrix,
+        shape: &MatmulShape,
+    ) -> SimStats;
+}
+
+/// A PE model replicated across `num_pes` processing elements with the
+/// paper's perfect-load-balancing assumption (Section 6.1): wall-clock
+/// cycles are the accumulated PE cycles divided by the PE count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Accelerator<S> {
+    sim: S,
+    num_pes: usize,
+}
+
+impl<S> Accelerator<S> {
+    /// Wraps a PE model with `num_pes` PEs (paper Table 4: 64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_pes == 0`.
+    pub fn new(sim: S, num_pes: usize) -> Self {
+        assert!(num_pes > 0, "accelerator needs at least one PE");
+        Self { sim, num_pes }
+    }
+
+    /// The wrapped PE model.
+    pub fn pe(&self) -> &S {
+        &self.sim
+    }
+
+    /// Number of PEs.
+    pub fn num_pes(&self) -> usize {
+        self.num_pes
+    }
+
+    /// Wall-clock cycles under perfect load balancing.
+    pub fn wall_cycles(&self, total: &SimStats) -> u64 {
+        total.total_cycles().div_ceil(self.num_pes as u64)
+    }
+}
+
+impl<S: ConvSim> Accelerator<S> {
+    /// Simulates a sequence of kernel/image pairs and accumulates the stats.
+    pub fn simulate_conv_pairs<'a>(
+        &self,
+        pairs: impl IntoIterator<Item = (&'a CsrMatrix, &'a CsrMatrix, ConvShape)>,
+    ) -> SimStats {
+        let mut total = SimStats::default();
+        for (kernel, image, shape) in pairs {
+            total.accumulate(&self.sim.simulate_conv_pair(kernel, image, &shape));
+        }
+        total
+    }
+}
+
+impl<S: MatmulSim> Accelerator<S> {
+    /// Simulates a sequence of matmul pairs and accumulates the stats.
+    pub fn simulate_matmul_pairs<'a>(
+        &self,
+        pairs: impl IntoIterator<Item = (&'a CsrMatrix, &'a CsrMatrix, MatmulShape)>,
+    ) -> SimStats {
+        let mut total = SimStats::default();
+        for (image, kernel, shape) in pairs {
+            total.accumulate(&self.sim.simulate_matmul_pair(image, kernel, &shape));
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scnn::ScnnPlus;
+    use ant_sparse::DenseMatrix;
+
+    #[test]
+    fn wall_cycles_divide_by_pes() {
+        let acc = Accelerator::new(ScnnPlus::paper_default(), 64);
+        let stats = SimStats {
+            pe_cycles: 6400,
+            startup_cycles: 0,
+            ..SimStats::default()
+        };
+        assert_eq!(acc.wall_cycles(&stats), 100);
+        let stats2 = SimStats {
+            pe_cycles: 6401,
+            ..stats
+        };
+        assert_eq!(acc.wall_cycles(&stats2), 101);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one PE")]
+    fn zero_pes_rejected() {
+        let _ = Accelerator::new(ScnnPlus::paper_default(), 0);
+    }
+
+    #[test]
+    fn pair_iteration_accumulates() {
+        let acc = Accelerator::new(ScnnPlus::paper_default(), 4);
+        let kernel = CsrMatrix::from_dense(&DenseMatrix::from_fn(2, 2, |_, _| 1.0));
+        let image = CsrMatrix::from_dense(&DenseMatrix::from_fn(4, 4, |_, _| 1.0));
+        let shape = ConvShape::new(2, 2, 4, 4, 1).unwrap();
+        let one = acc.simulate_conv_pairs(vec![(&kernel, &image, shape)]);
+        let two = acc.simulate_conv_pairs(vec![(&kernel, &image, shape); 2]);
+        assert_eq!(two.mults, 2 * one.mults);
+        assert_eq!(two.startup_cycles, 2 * one.startup_cycles);
+    }
+}

@@ -1,0 +1,113 @@
+//! Output-accumulator bank-conflict modelling.
+//!
+//! The paper assumes "the Output Accumulator Buffer is appropriately
+//! designed to handle the throughput from the multiplier array"
+//! (Section 6.1), citing DST's exploration of how to size it. This module
+//! makes the assumption ablatable: the accumulator is a banked SRAM
+//! (SCNN provisions ~2x banking over the multiplier count), each valid
+//! product routes to bank `flat_output_index % banks`, and a cycle that
+//! sends `m` products to one bank stalls for `m - 1` extra cycles.
+
+/// A banked accumulator model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccumulatorBanks {
+    banks: usize,
+}
+
+impl AccumulatorBanks {
+    /// Creates a model with the given bank count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks == 0`.
+    pub fn new(banks: usize) -> Self {
+        assert!(banks > 0, "need at least one bank");
+        Self { banks }
+    }
+
+    /// SCNN-style provisioning: `2 * n * n` banks for an `n x n` multiplier
+    /// array (SCNN section 5 sizes the accumulator array at about twice the
+    /// multiplier throughput).
+    pub fn scnn_provisioned(n: usize) -> Self {
+        Self::new(2 * n * n)
+    }
+
+    /// Number of banks.
+    pub fn banks(&self) -> usize {
+        self.banks
+    }
+
+    /// Extra stall cycles for one multiplier-array cycle that produced the
+    /// given flat output indices: `max_bank_occupancy - 1` (zero for an
+    /// empty cycle).
+    pub fn conflict_cycles(&self, flat_output_indices: &[usize]) -> u64 {
+        if flat_output_indices.is_empty() {
+            return 0;
+        }
+        let mut counts = vec![0u32; self.banks];
+        for &idx in flat_output_indices {
+            counts[idx % self.banks] += 1;
+        }
+        let max = *counts.iter().max().expect("non-empty") as u64;
+        max.saturating_sub(1)
+    }
+
+    /// Conflict cycles accumulated over a sequence of array cycles.
+    pub fn conflict_cycles_total<'a>(&self, cycles: impl IntoIterator<Item = &'a [usize]>) -> u64 {
+        cycles.into_iter().map(|c| self.conflict_cycles(c)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_products_no_conflicts() {
+        let banks = AccumulatorBanks::new(8);
+        assert_eq!(banks.conflict_cycles(&[]), 0);
+    }
+
+    #[test]
+    fn distinct_banks_no_conflicts() {
+        let banks = AccumulatorBanks::new(8);
+        assert_eq!(banks.conflict_cycles(&[0, 1, 2, 3]), 0);
+    }
+
+    #[test]
+    fn same_bank_serializes() {
+        let banks = AccumulatorBanks::new(8);
+        // 0, 8, 16 all hit bank 0: three accesses -> two stall cycles.
+        assert_eq!(banks.conflict_cycles(&[0, 8, 16, 3]), 2);
+    }
+
+    #[test]
+    fn single_bank_fully_serializes() {
+        let banks = AccumulatorBanks::new(1);
+        assert_eq!(banks.conflict_cycles(&[5, 9, 2, 7]), 3);
+    }
+
+    #[test]
+    fn scnn_provisioning_is_2n_squared() {
+        assert_eq!(AccumulatorBanks::scnn_provisioned(4).banks(), 32);
+        assert_eq!(AccumulatorBanks::scnn_provisioned(8).banks(), 128);
+    }
+
+    #[test]
+    fn totals_sum_per_cycle() {
+        let banks = AccumulatorBanks::new(4);
+        let cycles: Vec<&[usize]> = vec![&[0, 4], &[1, 2, 3], &[]];
+        assert_eq!(banks.conflict_cycles_total(cycles), 1);
+    }
+
+    #[test]
+    fn more_banks_never_increase_conflicts() {
+        let products = [0usize, 3, 5, 8, 11, 16, 16, 21];
+        let mut prev = u64::MAX;
+        for banks in [2usize, 4, 8, 16, 32] {
+            let c = AccumulatorBanks::new(banks).conflict_cycles(&products);
+            assert!(c <= prev);
+            prev = c;
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! The ANT accelerator PE model: SCNN+ plus the anticipation pipeline
+//! (paper Section 4, Fig. 6).
+//!
+//! Delegates the hardware behaviour — range computation, the FNIR-driven
+//! kernel scan with feedback, and the SRAM access skipping — to `ant-core`'s
+//! [`Anticipator`], and maps its counters into the common [`SimStats`] with
+//! the paper's pipeline assumptions (five-cycle start-up per matrix pair,
+//! single-cycle SRAM).
+
+use ant_conv::matmul::MatmulShape;
+use ant_conv::ConvShape;
+use ant_core::anticipator::{AntConfig, AntCounters, Anticipator};
+use ant_sparse::CsrMatrix;
+
+use crate::accelerator::{ConvSim, MatmulSim, STARTUP_CYCLES};
+use crate::stats::SimStats;
+
+/// The ANT PE model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AntAccelerator {
+    anticipator: Anticipator,
+}
+
+impl AntAccelerator {
+    /// Creates an ANT PE with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid FNIR geometry (`k < n + 1` or zero parameters).
+    pub fn new(config: AntConfig) -> Self {
+        Self {
+            anticipator: Anticipator::new(config),
+        }
+    }
+
+    /// The paper's default configuration: n = 4, k = 16 (Table 4).
+    pub fn paper_default() -> Self {
+        Self::new(AntConfig::paper_default())
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> AntConfig {
+        self.anticipator.config()
+    }
+
+    fn map_counters(&self, c: &AntCounters) -> SimStats {
+        SimStats {
+            // Each FNIR window is one pipeline cycle; a group whose scan
+            // touches nothing still costs its image-fetch cycle.
+            pe_cycles: c.scan_cycles.max(c.groups),
+            startup_cycles: if c.pairs_total > 0 { STARTUP_CYCLES } else { 0 },
+            mults: c.multiplications,
+            useful_mults: c.useful,
+            rcps_executed: c.rcps_executed,
+            rcps_skipped: c.rcps_skipped,
+            pairs_total: c.pairs_total,
+            kernel_value_reads: c.value_reads,
+            kernel_index_reads: c.colidx_reads,
+            rowptr_reads: c.rowptr_reads,
+            image_reads: c.image_reads,
+            index_ops: c.output_index_ops + c.fnir_comparator_ops + c.range_ops,
+            accumulator_writes: c.accumulator_writes,
+            accumulator_adds: c.useful,
+        }
+    }
+}
+
+impl ConvSim for AntAccelerator {
+    fn name(&self) -> &'static str {
+        "ANT"
+    }
+
+    fn simulate_conv_pair(
+        &self,
+        kernel: &CsrMatrix,
+        image: &CsrMatrix,
+        shape: &ConvShape,
+    ) -> SimStats {
+        if kernel.nnz() == 0 || image.nnz() == 0 {
+            return SimStats::default();
+        }
+        let run = self
+            .anticipator
+            .run_conv(kernel, image, shape)
+            .expect("operands validated by caller");
+        self.map_counters(&run.counters)
+    }
+}
+
+impl MatmulSim for AntAccelerator {
+    fn simulate_matmul_pair(
+        &self,
+        image: &CsrMatrix,
+        kernel: &CsrMatrix,
+        shape: &MatmulShape,
+    ) -> SimStats {
+        if kernel.nnz() == 0 || image.nnz() == 0 {
+            return SimStats::default();
+        }
+        let run = self
+            .anticipator
+            .run_matmul(image, kernel, shape)
+            .expect("operands validated by caller");
+        self.map_counters(&run.counters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scnn::ScnnPlus;
+    use ant_sparse::sparsify;
+    use ant_sparse::DenseMatrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_pair(shape: &ConvShape, sparsity: f64, seed: u64) -> (CsrMatrix, CsrMatrix) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kernel =
+            sparsify::random_with_sparsity(shape.kernel_h(), shape.kernel_w(), sparsity, &mut rng);
+        let image =
+            sparsify::random_with_sparsity(shape.image_h(), shape.image_w(), sparsity, &mut rng);
+        (
+            CsrMatrix::from_dense(&kernel),
+            CsrMatrix::from_dense(&image),
+        )
+    }
+
+    #[test]
+    fn ant_and_scnn_agree_on_useful_work() {
+        let shape = ConvShape::new(8, 8, 12, 12, 1).unwrap();
+        let (kernel, image) = random_pair(&shape, 0.8, 1);
+        let scnn = ScnnPlus::paper_default().simulate_conv_pair(&kernel, &image, &shape);
+        let ant = AntAccelerator::paper_default().simulate_conv_pair(&kernel, &image, &shape);
+        assert_eq!(ant.useful_mults, scnn.useful_mults);
+        assert_eq!(ant.pairs_total, scnn.pairs_total);
+        assert!(ant.mults <= scnn.mults);
+    }
+
+    #[test]
+    fn ant_beats_scnn_on_update_phase_geometry() {
+        // G_A * A-like pair: RCPs dominate, ANT should win on cycles, SRAM
+        // traffic, and executed multiplications.
+        let shape = ConvShape::new(14, 14, 16, 16, 1).unwrap();
+        let (kernel, image) = random_pair(&shape, 0.9, 2);
+        let scnn = ScnnPlus::paper_default().simulate_conv_pair(&kernel, &image, &shape);
+        let ant = AntAccelerator::paper_default().simulate_conv_pair(&kernel, &image, &shape);
+        assert!(
+            ant.mults < scnn.mults / 2,
+            "{} vs {}",
+            ant.mults,
+            scnn.mults
+        );
+        assert!(ant.sram_reads() < scnn.sram_reads());
+        assert!(ant.total_cycles() < scnn.total_cycles());
+        assert!(ant.rcps_avoided_fraction() > 0.5);
+    }
+
+    #[test]
+    fn ant_near_parity_on_forward_geometry() {
+        // W * A-like pair (small kernel): few RCPs exist, ANT should not be
+        // much worse than SCNN+ (the paper notes up to ~30% slowdown on
+        // small layers from start-up costs).
+        let shape = ConvShape::new(3, 3, 16, 16, 1).unwrap();
+        let (kernel, image) = random_pair(&shape, 0.5, 3);
+        let scnn = ScnnPlus::paper_default().simulate_conv_pair(&kernel, &image, &shape);
+        let ant = AntAccelerator::paper_default().simulate_conv_pair(&kernel, &image, &shape);
+        assert_eq!(ant.useful_mults, scnn.useful_mults);
+        assert!(ant.total_cycles() <= scnn.total_cycles() * 2);
+    }
+
+    #[test]
+    fn empty_operands_are_free() {
+        let shape = ConvShape::new(3, 3, 6, 6, 1).unwrap();
+        let kernel = CsrMatrix::empty(3, 3);
+        let image = CsrMatrix::from_dense(&DenseMatrix::from_fn(6, 6, |_, _| 1.0));
+        let stats = AntAccelerator::paper_default().simulate_conv_pair(&kernel, &image, &shape);
+        assert_eq!(stats, SimStats::default());
+    }
+
+    #[test]
+    fn matmul_mode_eliminates_nearly_all_rcps() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let image = CsrMatrix::from_dense(&sparsify::random_with_sparsity(32, 64, 0.9, &mut rng));
+        let kernel = CsrMatrix::from_dense(&sparsify::random_with_sparsity(64, 32, 0.9, &mut rng));
+        let shape = MatmulShape::new(32, 64, 64, 32).unwrap();
+        let ant = AntAccelerator::paper_default().simulate_matmul_pair(&image, &kernel, &shape);
+        let scnn = ScnnPlus::paper_default().simulate_matmul_pair(&image, &kernel, &shape);
+        assert_eq!(ant.useful_mults, scnn.useful_mults);
+        assert!(ant.rcps_avoided_fraction() > 0.95);
+    }
+
+    #[test]
+    fn cycles_at_least_one_per_group() {
+        let shape = ConvShape::new(3, 3, 8, 8, 1).unwrap();
+        let (kernel, image) = random_pair(&shape, 0.5, 5);
+        let stats = AntAccelerator::paper_default().simulate_conv_pair(&kernel, &image, &shape);
+        let groups = (image.nnz() as u64).div_ceil(4);
+        assert!(stats.pe_cycles >= groups);
+    }
+
+    #[test]
+    fn ablation_configs_reduce_skipping() {
+        let shape = ConvShape::new(10, 10, 12, 12, 1).unwrap();
+        let (kernel, image) = random_pair(&shape, 0.85, 6);
+        let both = AntAccelerator::paper_default().simulate_conv_pair(&kernel, &image, &shape);
+        for config in [
+            AntConfig {
+                use_r: false,
+                ..AntConfig::paper_default()
+            },
+            AntConfig {
+                use_s: false,
+                ..AntConfig::paper_default()
+            },
+        ] {
+            let ablated = AntAccelerator::new(config).simulate_conv_pair(&kernel, &image, &shape);
+            assert!(ablated.rcps_skipped <= both.rcps_skipped);
+            assert_eq!(ablated.useful_mults, both.useful_mults);
+        }
+    }
+}

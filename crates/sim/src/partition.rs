@@ -1,0 +1,188 @@
+//! SRAM-capacity partitioning: split oversized kernel matrices into
+//! row bands that fit a PE's buffers.
+//!
+//! The paper limits the SRAM buffers to 8 KB for single-cycle access
+//! (Table 4 / Section 4.2) and modifies "the SCNN baseline to split up
+//! the kernel matrix across the 8x8 PEs" for the update phase, where `G_A`
+//! kernels can be far larger than a buffer (Section 6.1). This module
+//! performs that split: a CSR matrix is partitioned into row bands with
+//! bounded non-zero counts; each band keeps the original dimensions (the
+//! untouched rows are simply empty), so every band is a drop-in operand for
+//! any simulator machine and the bands' products sum to the original
+//! convolution.
+
+use ant_sparse::CsrMatrix;
+
+/// SRAM buffer capacity (paper Table 4).
+pub const SRAM_BYTES: usize = 8 * 1024;
+
+/// Maximum non-zeros a value-plus-index buffer pair holds: 16-bit value +
+/// 16-bit index = 4 bytes per element (Section 6.3).
+pub const MAX_NNZ_PER_BUFFER: usize = SRAM_BYTES / 4;
+
+/// Splits a matrix into row bands, each with at most `max_nnz` stored
+/// non-zeros, preserving the original dimensions (rows outside a band are
+/// empty in that band).
+///
+/// Bands are as large as possible subject to the bound; a single row whose
+/// non-zeros exceed `max_nnz` occupies its own band (callers wanting a hard
+/// guarantee must also bound row occupancy, which holds for the paper's
+/// 8-bit-indexed <=256-wide matrices against the 2048-element buffer).
+///
+/// # Panics
+///
+/// Panics if `max_nnz == 0`.
+///
+/// # Example
+///
+/// ```
+/// use ant_sparse::{CsrMatrix, DenseMatrix};
+/// use ant_sim::partition::split_rows_by_nnz;
+///
+/// let m = CsrMatrix::from_dense(&DenseMatrix::from_fn(4, 4, |_, _| 1.0));
+/// let bands = split_rows_by_nnz(&m, 8);
+/// assert_eq!(bands.len(), 2);
+/// assert_eq!(bands[0].nnz() + bands[1].nnz(), 16);
+/// ```
+pub fn split_rows_by_nnz(matrix: &CsrMatrix, max_nnz: usize) -> Vec<CsrMatrix> {
+    assert!(max_nnz > 0, "band capacity must be non-zero");
+    if matrix.nnz() <= max_nnz {
+        return vec![matrix.clone()];
+    }
+    let mut bands = Vec::new();
+    let mut band_entries: Vec<(usize, usize, f32)> = Vec::new();
+    let mut band_nnz = 0usize;
+    for row in 0..matrix.rows() {
+        let row_nnz = matrix.row_range(row).len();
+        if band_nnz > 0 && band_nnz + row_nnz > max_nnz {
+            bands.push(build_band(matrix, &band_entries));
+            band_entries.clear();
+            band_nnz = 0;
+        }
+        let (cols, vals) = matrix.row_entries(row);
+        for (&c, &v) in cols.iter().zip(vals.iter()) {
+            band_entries.push((row, c, v));
+        }
+        band_nnz += row_nnz;
+    }
+    if !band_entries.is_empty() {
+        bands.push(build_band(matrix, &band_entries));
+    }
+    bands
+}
+
+fn build_band(matrix: &CsrMatrix, entries: &[(usize, usize, f32)]) -> CsrMatrix {
+    CsrMatrix::from_triplets(matrix.rows(), matrix.cols(), entries.iter().copied())
+        .expect("band entries come from a valid matrix")
+}
+
+/// Whether a matrix fits a single PE buffer pair under the paper's format.
+pub fn fits_in_sram(matrix: &CsrMatrix) -> bool {
+    matrix.nnz() <= MAX_NNZ_PER_BUFFER
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accelerator::ConvSim;
+    use crate::ant::AntAccelerator;
+    use crate::scnn::ScnnPlus;
+    use crate::stats::SimStats;
+    use ant_conv::outer::sparse_conv_outer;
+    use ant_conv::ConvShape;
+    use ant_sparse::{sparsify, DenseMatrix};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bands_partition_the_nnz() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = CsrMatrix::from_dense(&sparsify::random_with_sparsity(20, 20, 0.5, &mut rng));
+        let bands = split_rows_by_nnz(&m, 40);
+        assert!(bands.len() >= 5);
+        assert_eq!(bands.iter().map(CsrMatrix::nnz).sum::<usize>(), m.nnz());
+        for band in &bands {
+            assert_eq!(band.shape(), m.shape());
+            assert!(band.nnz() <= 40);
+        }
+    }
+
+    #[test]
+    fn small_matrix_is_one_band() {
+        let m = CsrMatrix::from_dense(&DenseMatrix::from_fn(3, 3, |_, _| 1.0));
+        let bands = split_rows_by_nnz(&m, 100);
+        assert_eq!(bands.len(), 1);
+        assert_eq!(bands[0], m);
+    }
+
+    #[test]
+    fn bands_are_row_disjoint() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = CsrMatrix::from_dense(&sparsify::random_with_sparsity(16, 16, 0.3, &mut rng));
+        let bands = split_rows_by_nnz(&m, 30);
+        for pair in bands.windows(2) {
+            let last_row_a = pair[0].iter().map(|(r, _, _)| r).max().unwrap();
+            let first_row_b = pair[1].iter().map(|(r, _, _)| r).min().unwrap();
+            assert!(last_row_a < first_row_b);
+        }
+    }
+
+    #[test]
+    fn band_convolutions_sum_to_the_whole() {
+        // Splitting the kernel must preserve the convolution: each band's
+        // partial output sums to the unsplit result (the SCNN+ mechanism).
+        let shape = ConvShape::new(12, 12, 14, 14, 1).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let kernel = CsrMatrix::from_dense(&sparsify::random_with_sparsity(12, 12, 0.5, &mut rng));
+        let image = CsrMatrix::from_dense(&sparsify::random_with_sparsity(14, 14, 0.5, &mut rng));
+        let whole = sparse_conv_outer(&kernel, &image, &shape).unwrap();
+        let mut acc = DenseMatrix::zeros(shape.out_h(), shape.out_w());
+        for band in split_rows_by_nnz(&kernel, 20) {
+            let partial = sparse_conv_outer(&band, &image, &shape).unwrap();
+            for (r, c, v) in partial.output.iter_nonzero() {
+                acc[(r, c)] += v;
+            }
+        }
+        assert!(acc.approx_eq(&whole.output, 1e-3));
+    }
+
+    #[test]
+    fn band_simulation_preserves_work_counters() {
+        // Total multiplications across bands equal the unsplit total for
+        // both machines; only per-band start-up differs.
+        let shape = ConvShape::new(12, 12, 14, 14, 1).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let kernel = CsrMatrix::from_dense(&sparsify::random_with_sparsity(12, 12, 0.6, &mut rng));
+        let image = CsrMatrix::from_dense(&sparsify::random_with_sparsity(14, 14, 0.6, &mut rng));
+        for (machine, name) in [
+            (
+                Box::new(ScnnPlus::paper_default()) as Box<dyn ConvSim>,
+                "scnn",
+            ),
+            (Box::new(AntAccelerator::paper_default()), "ant"),
+        ] {
+            let whole = machine.simulate_conv_pair(&kernel, &image, &shape);
+            let mut split_total = SimStats::default();
+            let bands = split_rows_by_nnz(&kernel, 15);
+            for band in &bands {
+                split_total.accumulate(&machine.simulate_conv_pair(band, &image, &shape));
+            }
+            assert_eq!(split_total.useful_mults, whole.useful_mults, "{name}");
+            assert_eq!(split_total.startup_cycles, bands.len() as u64 * 5, "{name}");
+        }
+    }
+
+    #[test]
+    fn sram_fit_check() {
+        let small = CsrMatrix::from_dense(&DenseMatrix::from_fn(10, 10, |_, _| 1.0));
+        assert!(fits_in_sram(&small));
+        assert_eq!(MAX_NNZ_PER_BUFFER, 2048);
+    }
+
+    #[test]
+    #[should_panic(expected = "band capacity")]
+    fn zero_capacity_rejected() {
+        let m = CsrMatrix::empty(2, 2);
+        let _ = split_rows_by_nnz(&m, 0);
+    }
+}

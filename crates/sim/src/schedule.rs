@@ -1,0 +1,163 @@
+//! Multi-PE scheduling policies and makespan measurement.
+//!
+//! The paper's evaluation assumes a *perfect* load balancer (Section 6.1):
+//! wall-clock cycles equal total PE cycles divided by the PE count. Real
+//! machines place each kernel/image pair on one PE; this module provides
+//! round-robin and greedy longest-processing-time (LPT) placement so the
+//! gap between the assumption and implementable schedulers is measurable.
+//! LPT is the classic 4/3-approximation for minimizing makespan, and the
+//! paper's own future-work list ("estimating the sparsity of matrices so
+//! that PEs each have a similar amount of computation") is exactly an LPT
+//! oracle.
+
+/// A placement of jobs onto PEs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// `assignment[i]` is the PE index of job `i`.
+    pub assignment: Vec<usize>,
+    /// Total cycles per PE.
+    pub pe_load: Vec<u64>,
+}
+
+impl Schedule {
+    /// Wall-clock cycles: the busiest PE's load.
+    pub fn makespan(&self) -> u64 {
+        self.pe_load.iter().copied().max().unwrap_or(0)
+    }
+
+    /// `makespan / (total / pes)` — 1.0 is the perfect-balance assumption.
+    pub fn imbalance(&self) -> f64 {
+        let total: u64 = self.pe_load.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let ideal = total as f64 / self.pe_load.len() as f64;
+        self.makespan() as f64 / ideal
+    }
+}
+
+/// The perfect-balance lower bound on wall-clock cycles (the paper's
+/// assumption): `ceil(total / pes)`, but never below the largest single
+/// job (a job cannot split across PEs).
+pub fn perfect_balance_cycles(job_cycles: &[u64], pes: usize) -> u64 {
+    assert!(pes > 0, "need at least one PE");
+    let total: u64 = job_cycles.iter().sum();
+    let largest = job_cycles.iter().copied().max().unwrap_or(0);
+    total.div_ceil(pes as u64).max(largest)
+}
+
+/// Round-robin placement: job `i` goes to PE `i % pes` (what a scheduler
+/// with no sparsity knowledge would do).
+pub fn schedule_round_robin(job_cycles: &[u64], pes: usize) -> Schedule {
+    assert!(pes > 0, "need at least one PE");
+    let mut pe_load = vec![0u64; pes];
+    let assignment = job_cycles
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| {
+            let pe = i % pes;
+            pe_load[pe] += c;
+            pe
+        })
+        .collect();
+    Schedule {
+        assignment,
+        pe_load,
+    }
+}
+
+/// Greedy longest-processing-time placement: jobs sorted by descending
+/// cycles, each placed on the currently least-loaded PE. Requires knowing
+/// each job's cost up front — the sparsity-estimation oracle the paper
+/// lists as future work.
+pub fn schedule_lpt(job_cycles: &[u64], pes: usize) -> Schedule {
+    assert!(pes > 0, "need at least one PE");
+    let mut order: Vec<usize> = (0..job_cycles.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(job_cycles[i]));
+    let mut pe_load = vec![0u64; pes];
+    let mut assignment = vec![0usize; job_cycles.len()];
+    for &job in &order {
+        let pe = pe_load
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &load)| load)
+            .map(|(i, _)| i)
+            .expect("at least one PE");
+        assignment[job] = pe;
+        pe_load[pe] += job_cycles[job];
+    }
+    Schedule {
+        assignment,
+        pe_load,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_balance_respects_largest_job() {
+        // 100-cycle job cannot split: the bound is 100, not 104/4.
+        assert_eq!(perfect_balance_cycles(&[100, 2, 1, 1], 4), 100);
+        assert_eq!(perfect_balance_cycles(&[10, 10, 10, 10], 4), 10);
+        assert_eq!(perfect_balance_cycles(&[], 4), 0);
+    }
+
+    #[test]
+    fn round_robin_ignores_cost() {
+        let s = schedule_round_robin(&[100, 1, 100, 1], 2);
+        // Jobs 0 and 2 (both 100) land on PE 0.
+        assert_eq!(s.pe_load, vec![200, 2]);
+        assert_eq!(s.makespan(), 200);
+    }
+
+    #[test]
+    fn lpt_beats_round_robin_on_skewed_jobs() {
+        let jobs = [100u64, 1, 100, 1];
+        let rr = schedule_round_robin(&jobs, 2);
+        let lpt = schedule_lpt(&jobs, 2);
+        assert!(lpt.makespan() < rr.makespan());
+        assert_eq!(lpt.makespan(), 101);
+    }
+
+    #[test]
+    fn lpt_is_within_4_thirds_of_perfect() {
+        // Graham's bound: LPT makespan <= (4/3 - 1/(3m)) * OPT.
+        let jobs: Vec<u64> = (1..=50).map(|i| (i * 7919) % 97 + 1).collect();
+        for pes in [2usize, 4, 8] {
+            let lpt = schedule_lpt(&jobs, pes);
+            let perfect = perfect_balance_cycles(&jobs, pes);
+            assert!(
+                (lpt.makespan() as f64) <= (4.0 / 3.0) * perfect as f64 + 1.0,
+                "pes={pes}: {} vs {}",
+                lpt.makespan(),
+                perfect
+            );
+        }
+    }
+
+    #[test]
+    fn schedules_cover_all_jobs() {
+        let jobs = [5u64, 3, 8, 1, 9, 2];
+        for s in [schedule_round_robin(&jobs, 3), schedule_lpt(&jobs, 3)] {
+            assert_eq!(s.assignment.len(), jobs.len());
+            assert!(s.assignment.iter().all(|&pe| pe < 3));
+            let total: u64 = s.pe_load.iter().sum();
+            assert_eq!(total, jobs.iter().sum::<u64>());
+        }
+    }
+
+    #[test]
+    fn imbalance_is_one_for_uniform_jobs() {
+        let s = schedule_lpt(&[10, 10, 10, 10], 4);
+        assert!((s.imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_job_list() {
+        let s = schedule_lpt(&[], 4);
+        assert_eq!(s.makespan(), 0);
+        assert_eq!(s.imbalance(), 1.0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Unified simulation statistics shared by every accelerator model.
+
+use crate::energy::EnergyModel;
+
+/// Per-category energy totals in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// bf16 multiplications.
+    pub multiply_pj: f64,
+    /// bf16 accumulator additions.
+    pub accumulate_pj: f64,
+    /// Integer index operations (ranges, FNIR comparators, output indices).
+    pub index_pj: f64,
+    /// SRAM reads (values, indices, row pointers, image).
+    pub sram_read_pj: f64,
+    /// Output accumulator SRAM writes.
+    pub sram_write_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in picojoules.
+    pub fn total(&self) -> f64 {
+        self.multiply_pj
+            + self.accumulate_pj
+            + self.index_pj
+            + self.sram_read_pj
+            + self.sram_write_pj
+    }
+}
+
+/// Operation and cycle counters for a simulated workload (one kernel/image
+/// pair, a layer, or a whole network — counters accumulate).
+///
+/// SRAM read counters are in 16-bit words, matching the paper's storage
+/// format (Table 4 / Section 6.3: 16-bit values, 16-bit indices, two
+/// 32-bit elements per 64-bit access).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimStats {
+    /// Active compute cycles accumulated across PEs (pre-load-balancing).
+    pub pe_cycles: u64,
+    /// Pipeline start-up cycles (5 per matrix pair handed to a PE).
+    pub startup_cycles: u64,
+    /// Multiplications executed.
+    pub mults: u64,
+    /// Executed multiplications contributing to a valid output.
+    pub useful_mults: u64,
+    /// Executed multiplications that were RCPs.
+    pub rcps_executed: u64,
+    /// Non-zero products skipped by anticipation.
+    pub rcps_skipped: u64,
+    /// All non-zero kernel/image pairs of the workload.
+    pub pairs_total: u64,
+    /// Kernel Values buffer reads (16-bit words).
+    pub kernel_value_reads: u64,
+    /// Kernel Columns-array reads (16-bit words).
+    pub kernel_index_reads: u64,
+    /// Kernel Row-pointers reads (16-bit words).
+    pub rowptr_reads: u64,
+    /// Image value + index reads (16-bit words).
+    pub image_reads: u64,
+    /// Integer index operations (range computation, FNIR comparators,
+    /// output-index computation) — charged as 32-bit adds (Section 6.3).
+    pub index_ops: u64,
+    /// Output accumulator buffer writes.
+    pub accumulator_writes: u64,
+    /// Accumulator additions (bf16 adds, one per useful product).
+    pub accumulator_adds: u64,
+}
+
+impl SimStats {
+    /// Total cycles including start-up (pre-load-balancing).
+    pub fn total_cycles(&self) -> u64 {
+        self.pe_cycles + self.startup_cycles
+    }
+
+    /// Total SRAM reads in 16-bit words.
+    pub fn sram_reads(&self) -> u64 {
+        self.kernel_value_reads + self.kernel_index_reads + self.rowptr_reads + self.image_reads
+    }
+
+    /// Total RCPs in the workload's cartesian product.
+    pub fn rcps_total(&self) -> u64 {
+        self.rcps_executed + self.rcps_skipped
+    }
+
+    /// Fraction of RCPs eliminated (Table 5 metric); 1.0 when none existed.
+    pub fn rcps_avoided_fraction(&self) -> f64 {
+        let total = self.rcps_total();
+        if total == 0 {
+            1.0
+        } else {
+            self.rcps_skipped as f64 / total as f64
+        }
+    }
+
+    /// Energy in picojoules under the operation-counter model
+    /// (paper Section 6.3).
+    pub fn energy_pj(&self, model: &EnergyModel) -> f64 {
+        self.energy_breakdown(model).total()
+    }
+
+    /// Per-category energy (the stack behind [`SimStats::energy_pj`]).
+    pub fn energy_breakdown(&self, model: &EnergyModel) -> EnergyBreakdown {
+        EnergyBreakdown {
+            multiply_pj: model.mult_bf16 * self.mults as f64,
+            accumulate_pj: model.add_bf16 * self.accumulator_adds as f64,
+            index_pj: model.int_add32 * self.index_ops as f64,
+            sram_read_pj: model.sram_word_read() * self.sram_reads() as f64,
+            sram_write_pj: model.sram_word_write() * self.accumulator_writes as f64,
+        }
+    }
+
+    /// Merges another run's counters into this one.
+    pub fn accumulate(&mut self, other: &SimStats) {
+        self.pe_cycles += other.pe_cycles;
+        self.startup_cycles += other.startup_cycles;
+        self.mults += other.mults;
+        self.useful_mults += other.useful_mults;
+        self.rcps_executed += other.rcps_executed;
+        self.rcps_skipped += other.rcps_skipped;
+        self.pairs_total += other.pairs_total;
+        self.kernel_value_reads += other.kernel_value_reads;
+        self.kernel_index_reads += other.kernel_index_reads;
+        self.rowptr_reads += other.rowptr_reads;
+        self.image_reads += other.image_reads;
+        self.index_ops += other.index_ops;
+        self.accumulator_writes += other.accumulator_writes;
+        self.accumulator_adds += other.accumulator_adds;
+    }
+
+    /// Scales every counter by a real factor (rounding), for channel-pair
+    /// sampling with non-integer ratios.
+    pub fn scaled_f64(&self, factor: f64) -> SimStats {
+        assert!(factor >= 0.0 && factor.is_finite(), "factor must be finite");
+        let s = |v: u64| (v as f64 * factor).round() as u64;
+        SimStats {
+            pe_cycles: s(self.pe_cycles),
+            startup_cycles: s(self.startup_cycles),
+            mults: s(self.mults),
+            useful_mults: s(self.useful_mults),
+            rcps_executed: s(self.rcps_executed),
+            rcps_skipped: s(self.rcps_skipped),
+            pairs_total: s(self.pairs_total),
+            kernel_value_reads: s(self.kernel_value_reads),
+            kernel_index_reads: s(self.kernel_index_reads),
+            rowptr_reads: s(self.rowptr_reads),
+            image_reads: s(self.image_reads),
+            index_ops: s(self.index_ops),
+            accumulator_writes: s(self.accumulator_writes),
+            accumulator_adds: s(self.accumulator_adds),
+        }
+    }
+
+    /// Scales every counter by an integer factor — used when a deterministic
+    /// sample of channel pairs stands in for the full set (DESIGN.md,
+    /// "Sampling").
+    pub fn scaled(&self, factor: u64) -> SimStats {
+        SimStats {
+            pe_cycles: self.pe_cycles * factor,
+            startup_cycles: self.startup_cycles * factor,
+            mults: self.mults * factor,
+            useful_mults: self.useful_mults * factor,
+            rcps_executed: self.rcps_executed * factor,
+            rcps_skipped: self.rcps_skipped * factor,
+            pairs_total: self.pairs_total * factor,
+            kernel_value_reads: self.kernel_value_reads * factor,
+            kernel_index_reads: self.kernel_index_reads * factor,
+            rowptr_reads: self.rowptr_reads * factor,
+            image_reads: self.image_reads * factor,
+            index_ops: self.index_ops * factor,
+            accumulator_writes: self.accumulator_writes * factor,
+            accumulator_adds: self.accumulator_adds * factor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SimStats {
+        SimStats {
+            pe_cycles: 100,
+            startup_cycles: 5,
+            mults: 400,
+            useful_mults: 300,
+            rcps_executed: 100,
+            rcps_skipped: 900,
+            pairs_total: 1300,
+            kernel_value_reads: 50,
+            kernel_index_reads: 80,
+            rowptr_reads: 10,
+            image_reads: 40,
+            index_ops: 500,
+            accumulator_writes: 300,
+            accumulator_adds: 300,
+        }
+    }
+
+    #[test]
+    fn totals_and_fractions() {
+        let s = sample();
+        assert_eq!(s.total_cycles(), 105);
+        assert_eq!(s.sram_reads(), 180);
+        assert_eq!(s.rcps_total(), 1000);
+        assert!((s.rcps_avoided_fraction() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn avoided_fraction_with_no_rcps_is_one() {
+        let s = SimStats::default();
+        assert_eq!(s.rcps_avoided_fraction(), 1.0);
+    }
+
+    #[test]
+    fn accumulate_sums_all_fields() {
+        let mut a = sample();
+        a.accumulate(&sample());
+        assert_eq!(a.mults, 800);
+        assert_eq!(a.pe_cycles, 200);
+        assert_eq!(a.accumulator_adds, 600);
+        assert_eq!(a.pairs_total, 2600);
+    }
+
+    #[test]
+    fn scaled_multiplies_all_fields() {
+        let s = sample().scaled(3);
+        assert_eq!(s.mults, 1200);
+        assert_eq!(s.startup_cycles, 15);
+        assert_eq!(s.image_reads, 120);
+    }
+
+    #[test]
+    fn energy_breakdown_sums_to_total() {
+        let model = EnergyModel::paper_7nm();
+        let s = sample();
+        let b = s.energy_breakdown(&model);
+        assert!((b.total() - s.energy_pj(&model)).abs() < 1e-9);
+        assert!(b.multiply_pj > 0.0 && b.sram_read_pj > 0.0);
+    }
+
+    #[test]
+    fn energy_is_monotone_in_counters() {
+        let model = EnergyModel::paper_7nm();
+        let small = SimStats {
+            mults: 10,
+            ..SimStats::default()
+        };
+        let big = SimStats {
+            mults: 1000,
+            ..SimStats::default()
+        };
+        assert!(big.energy_pj(&model) > small.energy_pj(&model));
+    }
+}

@@ -1,0 +1,272 @@
+//! SCNN-style planar tiling and load-balance measurement
+//! (paper Sections 2.3 and 6.1).
+//!
+//! SCNN partitions each `W x H` activation plane into `W_t x H_t` planar
+//! tiles distributed across PEs; tile edges create cross-tile dependencies
+//! ("halos") that PEs must exchange. The paper's evaluation *assumes* a
+//! perfect load-balancing algorithm; this module makes that assumption
+//! measurable: it partitions an image into tiles, computes per-tile work,
+//! reports the resulting imbalance (`max / mean` PE work), and counts halo
+//! products — the quantities future-work schedulers would optimize.
+
+use ant_conv::ConvShape;
+use ant_sparse::CsrMatrix;
+
+/// A rectangular tile of an image plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tile {
+    /// First row (inclusive).
+    pub row0: usize,
+    /// First column (inclusive).
+    pub col0: usize,
+    /// Height.
+    pub h: usize,
+    /// Width.
+    pub w: usize,
+}
+
+/// A tiling of an `H x W` image into a `tiles_y x tiles_x` grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tiling {
+    tiles: Vec<Tile>,
+    tiles_y: usize,
+    tiles_x: usize,
+}
+
+impl Tiling {
+    /// Splits an `image_h x image_w` plane into a `tiles_y x tiles_x` grid
+    /// of (nearly) equal tiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either grid dimension is zero or exceeds the image.
+    pub fn grid(image_h: usize, image_w: usize, tiles_y: usize, tiles_x: usize) -> Self {
+        assert!(tiles_y > 0 && tiles_x > 0, "grid must be non-empty");
+        assert!(
+            tiles_y <= image_h && tiles_x <= image_w,
+            "more tiles than rows/columns"
+        );
+        let mut tiles = Vec::with_capacity(tiles_y * tiles_x);
+        for ty in 0..tiles_y {
+            let row0 = ty * image_h / tiles_y;
+            let row1 = (ty + 1) * image_h / tiles_y;
+            for tx in 0..tiles_x {
+                let col0 = tx * image_w / tiles_x;
+                let col1 = (tx + 1) * image_w / tiles_x;
+                tiles.push(Tile {
+                    row0,
+                    col0,
+                    h: row1 - row0,
+                    w: col1 - col0,
+                });
+            }
+        }
+        Self {
+            tiles,
+            tiles_y,
+            tiles_x,
+        }
+    }
+
+    /// The tiles in row-major grid order.
+    pub fn tiles(&self) -> &[Tile] {
+        &self.tiles
+    }
+
+    /// Grid dimensions `(tiles_y, tiles_x)`.
+    pub fn grid_shape(&self) -> (usize, usize) {
+        (self.tiles_y, self.tiles_x)
+    }
+
+    /// Non-zero count per tile for a CSR image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image is smaller than the tiling assumed.
+    pub fn nnz_per_tile(&self, image: &CsrMatrix) -> Vec<usize> {
+        let mut counts = vec![0usize; self.tiles.len()];
+        for (y, x, _) in image.iter() {
+            let idx = self.tile_index(y, x);
+            counts[idx] += 1;
+        }
+        counts
+    }
+
+    fn tile_index(&self, y: usize, x: usize) -> usize {
+        // Position within the (nearly) equal grid.
+        let find = |coord: usize, n: usize, total: usize| -> usize {
+            // Inverse of the split rule `start = t*total/n`.
+            ((coord + 1) * n - 1) / total
+        };
+        let ty = find(y, self.tiles_y, self.rows_total());
+        let tx = find(x, self.tiles_x, self.cols_total());
+        ty.min(self.tiles_y - 1) * self.tiles_x + tx.min(self.tiles_x - 1)
+    }
+
+    fn rows_total(&self) -> usize {
+        let last = self.tiles[self.tiles.len() - 1];
+        last.row0 + last.h
+    }
+
+    fn cols_total(&self) -> usize {
+        let last = self.tiles[self.tiles.len() - 1];
+        last.col0 + last.w
+    }
+}
+
+/// Load-balance statistics of distributing tile work over PEs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadBalance {
+    /// Work (non-zeros) on the busiest PE.
+    pub max_work: usize,
+    /// Mean work per PE.
+    pub mean_work: f64,
+    /// `max / mean` — 1.0 is perfect.
+    pub imbalance: f64,
+    /// Wall-clock inflation vs. the perfect-balance assumption
+    /// (equal to `imbalance` for work-proportional cycles).
+    pub slowdown_vs_perfect: f64,
+}
+
+/// Distributes per-tile work round-robin over `num_pes` PEs and measures the
+/// imbalance.
+///
+/// # Panics
+///
+/// Panics if `num_pes == 0` or `tile_work` is empty.
+pub fn load_balance(tile_work: &[usize], num_pes: usize) -> LoadBalance {
+    assert!(num_pes > 0, "need at least one PE");
+    assert!(!tile_work.is_empty(), "no tiles");
+    let mut per_pe = vec![0usize; num_pes];
+    for (i, &w) in tile_work.iter().enumerate() {
+        per_pe[i % num_pes] += w;
+    }
+    let max_work = *per_pe.iter().max().expect("non-empty");
+    let total: usize = per_pe.iter().sum();
+    let mean_work = total as f64 / num_pes as f64;
+    let imbalance = if mean_work == 0.0 {
+        1.0
+    } else {
+        max_work as f64 / mean_work
+    };
+    LoadBalance {
+        max_work,
+        mean_work,
+        imbalance,
+        slowdown_vs_perfect: imbalance,
+    }
+}
+
+/// Counts halo products: useful products whose image element lies within
+/// the kernel's footprint of a tile edge, i.e. products whose output
+/// accumulation crosses a tile boundary and requires PE-to-PE communication
+/// (paper Section 2.3).
+pub fn halo_products(
+    kernel: &CsrMatrix,
+    image: &CsrMatrix,
+    shape: &ConvShape,
+    tiling: &Tiling,
+) -> u64 {
+    let mut halo = 0u64;
+    for (y, x, _) in image.iter() {
+        let home = tiling.tile_index(y, x);
+        for (r, s, _) in kernel.iter() {
+            if let Some((ox, oy)) = shape.output_index(x, y, s, r) {
+                // The output element belongs to the tile containing its
+                // top-left input coordinate; a different tile means the
+                // partial sum must travel.
+                let out_y = (oy * shape.stride()).min(tiling.rows_total() - 1);
+                let out_x = (ox * shape.stride()).min(tiling.cols_total() - 1);
+                if tiling.tile_index(out_y, out_x) != home {
+                    halo += 1;
+                }
+            }
+        }
+    }
+    halo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ant_sparse::{sparsify, DenseMatrix};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn grid_partitions_exactly() {
+        let tiling = Tiling::grid(10, 10, 3, 2);
+        let tiles = tiling.tiles();
+        assert_eq!(tiles.len(), 6);
+        let area: usize = tiles.iter().map(|t| t.h * t.w).sum();
+        assert_eq!(area, 100);
+        // Tiles cover disjoint rows/cols by construction of the split rule.
+        assert_eq!(tiles[0].row0, 0);
+        assert_eq!(tiles[5].row0 + tiles[5].h, 10);
+    }
+
+    #[test]
+    fn tile_index_consistent_with_bounds() {
+        let tiling = Tiling::grid(9, 9, 3, 3);
+        for (i, t) in tiling.tiles().iter().enumerate() {
+            for y in t.row0..t.row0 + t.h {
+                for x in t.col0..t.col0 + t.w {
+                    assert_eq!(tiling.tile_index(y, x), i, "({y},{x})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nnz_per_tile_sums_to_total() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let image = CsrMatrix::from_dense(&sparsify::random_with_sparsity(16, 16, 0.7, &mut rng));
+        let tiling = Tiling::grid(16, 16, 4, 4);
+        let counts = tiling.nnz_per_tile(&image);
+        assert_eq!(counts.iter().sum::<usize>(), image.nnz());
+    }
+
+    #[test]
+    fn uniform_work_balances_perfectly() {
+        let lb = load_balance(&[10, 10, 10, 10], 4);
+        assert_eq!(lb.imbalance, 1.0);
+        assert_eq!(lb.max_work, 10);
+    }
+
+    #[test]
+    fn skewed_work_shows_imbalance() {
+        let lb = load_balance(&[100, 0, 0, 0], 4);
+        assert_eq!(lb.max_work, 100);
+        assert_eq!(lb.imbalance, 4.0);
+    }
+
+    #[test]
+    fn empty_work_is_balanced() {
+        let lb = load_balance(&[0, 0], 2);
+        assert_eq!(lb.imbalance, 1.0);
+    }
+
+    #[test]
+    fn halo_products_bounded_by_useful() {
+        let shape = ConvShape::new(3, 3, 12, 12, 1).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let kernel = CsrMatrix::from_dense(&sparsify::random_with_sparsity(3, 3, 0.3, &mut rng));
+        let image = CsrMatrix::from_dense(&sparsify::random_with_sparsity(12, 12, 0.3, &mut rng));
+        let tiling = Tiling::grid(12, 12, 2, 2);
+        let halo = halo_products(&kernel, &image, &shape, &tiling);
+        let useful = ant_conv::rcp::count_useful_products(&kernel, &image, &shape);
+        assert!(halo <= useful);
+        // A 3x3 kernel over 2x2 tiles of a 12x12 image must create some
+        // cross-tile products for dense-ish inputs.
+        assert!(halo > 0);
+    }
+
+    #[test]
+    fn single_tile_has_no_halo() {
+        let shape = ConvShape::new(3, 3, 8, 8, 1).unwrap();
+        let kernel = CsrMatrix::from_dense(&DenseMatrix::from_fn(3, 3, |_, _| 1.0));
+        let image = CsrMatrix::from_dense(&DenseMatrix::from_fn(8, 8, |_, _| 1.0));
+        let tiling = Tiling::grid(8, 8, 1, 1);
+        assert_eq!(halo_products(&kernel, &image, &shape, &tiling), 0);
+    }
+}

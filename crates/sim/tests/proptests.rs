@@ -1,0 +1,150 @@
+//! Property-based tests for the simulator machines.
+
+use ant_conv::ConvShape;
+use ant_sim::ant::AntAccelerator;
+use ant_sim::dst::DstAccelerator;
+use ant_sim::inner::{DenseInnerProduct, TensorDash};
+use ant_sim::intersection::IntersectionAccelerator;
+use ant_sim::scnn::ScnnPlus;
+use ant_sim::tiling::{load_balance, Tiling};
+use ant_sim::{ConvSim, EnergyModel};
+use ant_sparse::{CsrMatrix, DenseMatrix};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct ConvCase {
+    shape: ConvShape,
+    kernel: DenseMatrix,
+    image: DenseMatrix,
+}
+
+fn sparse_values(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(prop_oneof![3 => Just(0.0f32), 1 => -3.0f32..3.0f32], len)
+}
+
+fn conv_case() -> impl Strategy<Value = ConvCase> {
+    (1usize..8, 1usize..3)
+        .prop_flat_map(|(kdim, stride)| (Just((kdim, stride)), kdim..kdim + 10))
+        .prop_flat_map(|((kdim, stride), idim)| {
+            (
+                Just(ConvShape::new(kdim, kdim, idim, idim, stride).expect("valid")),
+                sparse_values(kdim * kdim),
+                sparse_values(idim * idim),
+            )
+        })
+        .prop_map(|(shape, kvals, ivals)| ConvCase {
+            shape,
+            kernel: DenseMatrix::from_vec(shape.kernel_h(), shape.kernel_w(), kvals)
+                .expect("sized"),
+            image: DenseMatrix::from_vec(shape.image_h(), shape.image_w(), ivals).expect("sized"),
+        })
+}
+
+proptest! {
+    /// Every machine reports internally consistent counters.
+    #[test]
+    fn stats_invariants_hold_for_every_machine(case in conv_case()) {
+        let kernel = CsrMatrix::from_dense(&case.kernel);
+        let image = CsrMatrix::from_dense(&case.image);
+        let machines: Vec<Box<dyn ConvSim>> = vec![
+            Box::new(ScnnPlus::paper_default()),
+            Box::new(AntAccelerator::paper_default()),
+            Box::new(DenseInnerProduct::paper_default()),
+            Box::new(TensorDash::paper_default()),
+            Box::new(IntersectionAccelerator::training_default()),
+            Box::new(DstAccelerator::paper_default()),
+        ];
+        for m in &machines {
+            let s = m.simulate_conv_pair(&kernel, &image, &case.shape);
+            prop_assert_eq!(
+                s.mults,
+                s.useful_mults + s.rcps_executed,
+                "{}",
+                m.name()
+            );
+            prop_assert!(s.useful_mults <= s.mults, "{}", m.name());
+            prop_assert!(s.rcps_avoided_fraction() >= 0.0 && s.rcps_avoided_fraction() <= 1.0);
+            // Energy is finite and non-negative.
+            let e = s.energy_pj(&EnergyModel::paper_7nm());
+            prop_assert!(e.is_finite() && e >= 0.0, "{}", m.name());
+        }
+    }
+
+    /// ANT and SCNN+ always agree on useful work, and ANT never executes
+    /// more multiplications.
+    #[test]
+    fn ant_never_worse_than_scnn_on_mults(case in conv_case()) {
+        let kernel = CsrMatrix::from_dense(&case.kernel);
+        let image = CsrMatrix::from_dense(&case.image);
+        let s = ScnnPlus::paper_default().simulate_conv_pair(&kernel, &image, &case.shape);
+        let a = AntAccelerator::paper_default().simulate_conv_pair(&kernel, &image, &case.shape);
+        prop_assert_eq!(a.useful_mults, s.useful_mults);
+        prop_assert!(a.mults <= s.mults);
+        prop_assert!(a.kernel_value_reads <= s.kernel_value_reads);
+    }
+
+    /// Sparsity-oblivious machines: the dense IP cost depends only on shape.
+    #[test]
+    fn dense_ip_is_shape_determined(case in conv_case()) {
+        let kernel = CsrMatrix::from_dense(&case.kernel);
+        let image = CsrMatrix::from_dense(&case.image);
+        let dense_kernel =
+            CsrMatrix::from_dense(&DenseMatrix::from_fn(case.shape.kernel_h(), case.shape.kernel_w(), |_, _| 1.0));
+        let dense_image =
+            CsrMatrix::from_dense(&DenseMatrix::from_fn(case.shape.image_h(), case.shape.image_w(), |_, _| 1.0));
+        let m = DenseInnerProduct::paper_default();
+        let sparse = m.simulate_conv_pair(&kernel, &image, &case.shape);
+        let dense = m.simulate_conv_pair(&dense_kernel, &dense_image, &case.shape);
+        prop_assert_eq!(sparse.pe_cycles, dense.pe_cycles);
+        prop_assert_eq!(sparse.mults, dense.mults);
+    }
+
+    /// Intersection and DST machines execute exactly the useful work.
+    #[test]
+    fn rcp_free_machines_do_useful_work_only(case in conv_case()) {
+        let kernel = CsrMatrix::from_dense(&case.kernel);
+        let image = CsrMatrix::from_dense(&case.image);
+        let useful = ant_conv::rcp::count_useful_products(&kernel, &image, &case.shape);
+        for s in [
+            IntersectionAccelerator::training_default().simulate_conv_pair(&kernel, &image, &case.shape),
+            DstAccelerator::paper_default().simulate_conv_pair(&kernel, &image, &case.shape),
+        ] {
+            if kernel.nnz() == 0 || image.nnz() == 0 || (s.mults == 0 && useful == 0) {
+                continue;
+            }
+            prop_assert_eq!(s.mults, useful);
+            prop_assert_eq!(s.rcps_executed, 0);
+        }
+    }
+
+    /// Tiling accounting: per-tile nnz sums to the total and imbalance is
+    /// at least 1 whenever there is any work.
+    #[test]
+    fn tiling_partitions_and_balances(
+        case in conv_case(),
+        ty in 1usize..4,
+        tx in 1usize..4,
+        pes in 1usize..8,
+    ) {
+        let image = CsrMatrix::from_dense(&case.image);
+        let (h, w) = image.shape();
+        let ty = ty.min(h);
+        let tx = tx.min(w);
+        let tiling = Tiling::grid(h, w, ty, tx);
+        let counts = tiling.nnz_per_tile(&image);
+        prop_assert_eq!(counts.iter().sum::<usize>(), image.nnz());
+        let lb = load_balance(&counts, pes);
+        prop_assert!(lb.imbalance >= 1.0 - 1e-9);
+    }
+
+    /// Scaling stats by 2 equals accumulating twice.
+    #[test]
+    fn scaled_equals_double_accumulate(case in conv_case()) {
+        let kernel = CsrMatrix::from_dense(&case.kernel);
+        let image = CsrMatrix::from_dense(&case.image);
+        let s = ScnnPlus::paper_default().simulate_conv_pair(&kernel, &image, &case.shape);
+        let mut twice = s;
+        twice.accumulate(&s);
+        prop_assert_eq!(twice, s.scaled(2));
+    }
+}

@@ -1,0 +1,127 @@
+//! Bfloat16 value-format helpers.
+//!
+//! The paper stores values in Bfloat16 (Table 4). Simulation arithmetic in
+//! this workspace runs in `f32` for speed, but the training substrate can
+//! round through bf16 to reproduce the numeric regime of the accelerator, and
+//! the energy model charges multiply/add at bf16 cost.
+//!
+//! bf16 is the top 16 bits of an IEEE-754 `f32`; rounding uses
+//! round-to-nearest-even on the truncated mantissa bits, matching common
+//! hardware implementations.
+
+/// Rounds an `f32` to the nearest representable bf16 value and returns it as
+/// an `f32` again.
+///
+/// NaN payloads are canonicalized. Rounding is round-to-nearest-even.
+///
+/// # Example
+///
+/// ```
+/// use ant_sparse::bf16::round_to_bf16;
+///
+/// // bf16 has an 8-bit mantissa: 1.0 + 2^-9 rounds back to 1.0.
+/// assert_eq!(round_to_bf16(1.0 + f32::powi(2.0, -9)), 1.0);
+/// // Values representable in bf16 pass through unchanged.
+/// assert_eq!(round_to_bf16(1.5), 1.5);
+/// ```
+pub fn round_to_bf16(value: f32) -> f32 {
+    f32::from_bits(u32::from(to_bits(value)) << 16)
+}
+
+/// Converts an `f32` to raw bf16 bits (round-to-nearest-even).
+pub fn to_bits(value: f32) -> u16 {
+    let bits = value.to_bits();
+    if value.is_nan() {
+        // Canonical quiet NaN in bf16.
+        return 0x7FC0;
+    }
+    // Round to nearest even: add the rounding bias derived from bit 16.
+    let rounding_bias = 0x7FFFu32 + ((bits >> 16) & 1);
+    ((bits + rounding_bias) >> 16) as u16
+}
+
+/// Reconstructs an `f32` from raw bf16 bits.
+pub fn from_bits(bits: u16) -> f32 {
+    f32::from_bits(u32::from(bits) << 16)
+}
+
+/// Rounds every element of a slice through bf16 in place.
+pub fn round_slice_in_place(values: &mut [f32]) {
+    for v in values {
+        *v = round_to_bf16(*v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_values_pass_through() {
+        for v in [0.0f32, 1.0, -1.0, 0.5, 2.0, -0.25, 128.0] {
+            assert_eq!(round_to_bf16(v), v, "{v} should be exactly representable");
+        }
+    }
+
+    #[test]
+    fn rounding_is_to_nearest() {
+        // 1.0 in bf16 has mantissa step 2^-7 near 1.0; halfway rounds to even.
+        let step = f32::powi(2.0, -7);
+        let just_below_half = 1.0 + step * 0.49;
+        let just_above_half = 1.0 + step * 0.51;
+        assert_eq!(round_to_bf16(just_below_half), 1.0);
+        assert_eq!(round_to_bf16(just_above_half), 1.0 + step);
+    }
+
+    #[test]
+    fn halfway_rounds_to_even() {
+        let step = f32::powi(2.0, -7);
+        // 1.0 has even mantissa (0); 1.0 + step/2 rounds down to 1.0.
+        assert_eq!(round_to_bf16(1.0 + step / 2.0), 1.0);
+        // 1.0 + 1.5*step is halfway between odd (1+step) and even (1+2*step).
+        assert_eq!(round_to_bf16(1.0 + 1.5 * step), 1.0 + 2.0 * step);
+    }
+
+    #[test]
+    fn nan_is_canonicalized() {
+        let nan = round_to_bf16(f32::NAN);
+        assert!(nan.is_nan());
+        assert_eq!(to_bits(f32::NAN), 0x7FC0);
+    }
+
+    #[test]
+    fn infinities_preserved() {
+        assert_eq!(round_to_bf16(f32::INFINITY), f32::INFINITY);
+        assert_eq!(round_to_bf16(f32::NEG_INFINITY), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn sign_preserved() {
+        assert_eq!(round_to_bf16(-2.5), -2.5);
+        assert!(round_to_bf16(-0.0).to_bits() == (-0.0f32).to_bits());
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        for bits in [0u16, 0x3F80, 0xBF80, 0x4000, 0x7F80] {
+            assert_eq!(to_bits(from_bits(bits)), bits);
+        }
+    }
+
+    #[test]
+    fn round_slice_rounds_all() {
+        let mut vals = vec![1.0 + f32::powi(2.0, -9), 2.0];
+        round_slice_in_place(&mut vals);
+        assert_eq!(vals, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn relative_error_bounded() {
+        // bf16 has 8 mantissa bits -> relative error <= 2^-8 for normals.
+        for i in 1..1000 {
+            let v = i as f32 * 0.0137;
+            let r = round_to_bf16(v);
+            assert!(((r - v) / v).abs() <= f32::powi(2.0, -8), "v={v} r={r}");
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Bitmask (bitmap) sparsity format.
+//!
+//! Intersection accelerators like GoSPA represent one operand's sparsity
+//! pattern as a bitmask — the "Static Sparsity Filter" (paper Section 2.2) —
+//! so matching non-zero pairs can be found with bitwise ANDs. The paper's
+//! argument against intersection machines for training is precisely that
+//! this mask must be rebuilt from CSR every convolution when sparsity is
+//! dynamic; [`Bitmask::from_csr`] is that rebuild, and its cost model lives
+//! in `ant-sim`'s intersection machine.
+
+use crate::csr::CsrMatrix;
+use crate::dense::DenseMatrix;
+
+/// A dense bitmap of a matrix's non-zero positions, packed row-major into
+/// 64-bit words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmask {
+    rows: usize,
+    cols: usize,
+    words: Vec<u64>,
+}
+
+impl Bitmask {
+    /// An all-zero mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "dimensions must be non-zero");
+        Self {
+            rows,
+            cols,
+            words: vec![0; (rows * cols).div_ceil(64)],
+        }
+    }
+
+    /// Builds the mask of a CSR matrix's non-zero positions (the dynamic
+    /// filter rebuild).
+    pub fn from_csr(matrix: &CsrMatrix) -> Self {
+        let mut mask = Self::zeros(matrix.rows(), matrix.cols());
+        for (r, c, _) in matrix.iter() {
+            mask.set(r, c, true);
+        }
+        mask
+    }
+
+    /// Builds the mask of a dense matrix's non-zero positions.
+    pub fn from_dense(matrix: &DenseMatrix) -> Self {
+        let mut mask = Self::zeros(matrix.rows(), matrix.cols());
+        for (r, c, _) in matrix.iter_nonzero() {
+            mask.set(r, c, true);
+        }
+        mask
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    fn bit(&self, row: usize, col: usize) -> (usize, u64) {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        let idx = row * self.cols + col;
+        (idx / 64, 1u64 << (idx % 64))
+    }
+
+    /// Whether position `(row, col)` is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        let (word, bit) = self.bit(row, col);
+        self.words[word] & bit != 0
+    }
+
+    /// Sets or clears position `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, value: bool) {
+        let (word, bit) = self.bit(row, col);
+        if value {
+            self.words[word] |= bit;
+        } else {
+            self.words[word] &= !bit;
+        }
+    }
+
+    /// Population count (non-zero positions).
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Bitwise AND with another mask of the same shape — the intersection
+    /// primitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn and(&self, other: &Bitmask) -> Bitmask {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
+        Bitmask {
+            rows: self.rows,
+            cols: self.cols,
+            words: self
+                .words
+                .iter()
+                .zip(other.words.iter())
+                .map(|(a, b)| a & b)
+                .collect(),
+        }
+    }
+
+    /// Iterates the set positions in row-major order.
+    pub fn iter_set(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let cols = self.cols;
+        (0..self.rows * self.cols)
+            .filter(move |&i| self.words[i / 64] & (1u64 << (i % 64)) != 0)
+            .map(move |i| (i / cols, i % cols))
+    }
+
+    /// Storage in bits (the SRAM/area cost of holding the filter).
+    pub fn storage_bits(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Number of 64-bit words an SRAM port writes to build this mask — the
+    /// per-convolution rebuild traffic the paper's dynamic-sparsity argument
+    /// rests on.
+    pub fn rebuild_words(&self) -> usize {
+        self.words.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DenseMatrix {
+        DenseMatrix::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 3.0, 0.0]])
+    }
+
+    #[test]
+    fn from_dense_sets_nonzero_positions() {
+        let mask = Bitmask::from_dense(&sample());
+        assert!(mask.get(0, 0));
+        assert!(!mask.get(0, 1));
+        assert!(mask.get(1, 1));
+        assert_eq!(mask.count_ones(), 3);
+    }
+
+    #[test]
+    fn from_csr_matches_from_dense() {
+        let dense = sample();
+        let via_csr = Bitmask::from_csr(&CsrMatrix::from_dense(&dense));
+        assert_eq!(via_csr, Bitmask::from_dense(&dense));
+    }
+
+    #[test]
+    fn set_and_clear() {
+        let mut mask = Bitmask::zeros(4, 4);
+        mask.set(2, 3, true);
+        assert!(mask.get(2, 3));
+        mask.set(2, 3, false);
+        assert!(!mask.get(2, 3));
+        assert_eq!(mask.count_ones(), 0);
+    }
+
+    #[test]
+    fn and_is_intersection() {
+        let a = Bitmask::from_dense(&DenseMatrix::from_rows(&[&[1.0, 1.0, 0.0]]));
+        let b = Bitmask::from_dense(&DenseMatrix::from_rows(&[&[0.0, 1.0, 1.0]]));
+        let c = a.and(&b);
+        assert_eq!(c.count_ones(), 1);
+        assert!(c.get(0, 1));
+    }
+
+    #[test]
+    fn iter_set_is_row_major() {
+        let mask = Bitmask::from_dense(&sample());
+        let set: Vec<_> = mask.iter_set().collect();
+        assert_eq!(set, vec![(0, 0), (0, 2), (1, 1)]);
+    }
+
+    #[test]
+    fn crosses_word_boundaries() {
+        // 10x10 = 100 bits spans two words.
+        let mut mask = Bitmask::zeros(10, 10);
+        mask.set(9, 9, true);
+        mask.set(6, 3, true); // bit 63 -> last bit of word 0
+        assert!(mask.get(9, 9));
+        assert!(mask.get(6, 3));
+        assert_eq!(mask.count_ones(), 2);
+        assert_eq!(mask.rebuild_words(), 2);
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let mask = Bitmask::zeros(16, 16);
+        assert_eq!(mask.storage_bits(), 256);
+        assert_eq!(mask.rebuild_words(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn and_rejects_mismatched_shapes() {
+        let a = Bitmask::zeros(2, 2);
+        let b = Bitmask::zeros(2, 3);
+        let _ = a.and(&b);
+    }
+}

@@ -1,0 +1,270 @@
+//! Compressed Sparse Column (CSC) matrices.
+//!
+//! CSC is the dual of CSR: the CSC representation of a matrix equals the CSR
+//! representation of its transpose (paper Section 4.1 notes ANT works equally
+//! well with either). We provide it both for completeness and for the
+//! kernel-stationary dataflow (paper Section 4.6), where the roles of the
+//! image and kernel buffers swap.
+
+use std::fmt;
+
+use crate::dense::DenseMatrix;
+use crate::error::SparseError;
+
+/// A Compressed Sparse Column matrix of `f32` values.
+///
+/// Invariants mirror [`crate::CsrMatrix`] with rows and columns swapped:
+/// `col_ptr.len() == cols + 1`, row indices strictly increase within each
+/// column, values are stored column-major.
+///
+/// # Example
+///
+/// ```
+/// use ant_sparse::{CscMatrix, DenseMatrix};
+///
+/// let dense = DenseMatrix::from_rows(&[
+///     &[0.0, 7.0],
+///     &[3.0, 0.0],
+/// ]);
+/// let csc = CscMatrix::from_dense(&dense);
+/// assert_eq!(csc.col_ptr(), &[0, 1, 2]);
+/// assert_eq!(csc.row_idx(), &[1, 0]);
+/// assert_eq!(csc.values(), &[3.0, 7.0]);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct CscMatrix {
+    rows: usize,
+    cols: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<f32>,
+}
+
+impl CscMatrix {
+    /// Converts a dense matrix to CSC, dropping exact zeros.
+    pub fn from_dense(dense: &DenseMatrix) -> Self {
+        Self::from_triplets(dense.rows(), dense.cols(), dense.iter_nonzero())
+            .expect("dense matrix produces valid triplets")
+    }
+
+    /// Builds a CSC matrix from `(row, col, value)` triplets (any order,
+    /// zeros skipped).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DuplicateEntry`] on repeated coordinates and
+    /// [`SparseError::InvalidColumnIndex`] on out-of-range coordinates.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: impl IntoIterator<Item = (usize, usize, f32)>,
+    ) -> Result<Self, SparseError> {
+        if rows == 0 || cols == 0 {
+            return Err(SparseError::InvalidDimensions { rows, cols });
+        }
+        let mut entries: Vec<(usize, usize, f32)> =
+            triplets.into_iter().filter(|&(_, _, v)| v != 0.0).collect();
+        for &(r, c, _) in &entries {
+            if r >= rows || c >= cols {
+                return Err(SparseError::InvalidColumnIndex {
+                    row: r,
+                    col: c,
+                    cols,
+                });
+            }
+        }
+        entries.sort_by_key(|&(r, c, _)| (c, r));
+        for w in entries.windows(2) {
+            if w[0].0 == w[1].0 && w[0].1 == w[1].1 {
+                return Err(SparseError::DuplicateEntry {
+                    row: w[0].0,
+                    col: w[0].1,
+                });
+            }
+        }
+        let mut col_ptr = vec![0usize; cols + 1];
+        for &(_, c, _) in &entries {
+            col_ptr[c + 1] += 1;
+        }
+        for c in 0..cols {
+            col_ptr[c + 1] += col_ptr[c];
+        }
+        let row_idx = entries.iter().map(|&(r, _, _)| r).collect();
+        let values = entries.iter().map(|&(_, _, v)| v).collect();
+        Ok(Self {
+            rows,
+            cols,
+            col_ptr,
+            row_idx,
+            values,
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of stored non-zero entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The column-pointer array (`cols + 1` entries).
+    pub fn col_ptr(&self) -> &[usize] {
+        &self.col_ptr
+    }
+
+    /// The row-index array (one entry per non-zero).
+    pub fn row_idx(&self) -> &[usize] {
+        &self.row_idx
+    }
+
+    /// The values array (one entry per non-zero).
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// The `(row_idx, values)` slices of one column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col >= self.cols()`.
+    pub fn col_entries(&self, col: usize) -> (&[usize], &[f32]) {
+        assert!(col < self.cols, "column out of bounds");
+        let range = self.col_ptr[col]..self.col_ptr[col + 1];
+        (&self.row_idx[range.clone()], &self.values[range])
+    }
+
+    /// Looks up element `(row, col)`, returning 0.0 when absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f32 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        let (rows, vals) = self.col_entries(col);
+        match rows.binary_search(&row) {
+            Ok(i) => vals[i],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterates over `(row, col, value)` in column-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
+        (0..self.cols).flat_map(move |c| {
+            let (rows, vals) = self.col_entries(c);
+            rows.iter().zip(vals.iter()).map(move |(&r, &v)| (r, c, v))
+        })
+    }
+
+    /// Converts back to a dense matrix.
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows, self.cols);
+        for (r, c, v) in self.iter() {
+            out[(r, c)] = v;
+        }
+        out
+    }
+
+    /// Converts to CSR via triplets.
+    pub fn to_csr(&self) -> crate::CsrMatrix {
+        crate::CsrMatrix::from_triplets(self.rows, self.cols, self.iter())
+            .expect("valid CSC produces valid triplets")
+    }
+}
+
+impl fmt::Debug for CscMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CscMatrix {}x{} nnz={}",
+            self.rows,
+            self.cols,
+            self.nnz()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CsrMatrix;
+
+    fn sample() -> DenseMatrix {
+        DenseMatrix::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 3.0, 0.0], &[4.0, 0.0, 5.0]])
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let dense = sample();
+        let csc = CscMatrix::from_dense(&dense);
+        assert_eq!(csc.nnz(), 5);
+        assert_eq!(csc.to_dense(), dense);
+    }
+
+    #[test]
+    fn csc_is_csr_of_transpose() {
+        // Paper Section 4.1: "the CSC representation of a matrix equals the
+        // CSR representation of the transposed matrix".
+        let dense = sample();
+        let csc = CscMatrix::from_dense(&dense);
+        let csr_t = CsrMatrix::from_dense(&dense.transpose());
+        assert_eq!(csc.col_ptr(), csr_t.row_ptr());
+        assert_eq!(csc.row_idx(), csr_t.col_idx());
+        assert_eq!(csc.values(), csr_t.values());
+    }
+
+    #[test]
+    fn col_entries_are_sorted_by_row() {
+        let csc = CscMatrix::from_dense(&sample());
+        let (rows, vals) = csc.col_entries(0);
+        assert_eq!(rows, &[0, 2]);
+        assert_eq!(vals, &[1.0, 4.0]);
+    }
+
+    #[test]
+    fn get_returns_zero_for_missing() {
+        let csc = CscMatrix::from_dense(&sample());
+        assert_eq!(csc.get(1, 0), 0.0);
+        assert_eq!(csc.get(2, 2), 5.0);
+    }
+
+    #[test]
+    fn duplicate_triplets_rejected() {
+        let err = CscMatrix::from_triplets(2, 2, vec![(0, 1, 1.0), (0, 1, 2.0)]);
+        assert_eq!(err, Err(SparseError::DuplicateEntry { row: 0, col: 1 }));
+    }
+
+    #[test]
+    fn out_of_bounds_triplets_rejected() {
+        let err = CscMatrix::from_triplets(2, 2, vec![(0, 5, 1.0)]);
+        assert!(matches!(err, Err(SparseError::InvalidColumnIndex { .. })));
+    }
+
+    #[test]
+    fn to_csr_round_trip() {
+        let dense = sample();
+        let csc = CscMatrix::from_dense(&dense);
+        assert_eq!(csc.to_csr().to_dense(), dense);
+    }
+
+    #[test]
+    fn iter_is_column_major() {
+        let csc = CscMatrix::from_dense(&sample());
+        let items: Vec<_> = csc.iter().collect();
+        assert!(items
+            .windows(2)
+            .all(|w| (w[0].1, w[0].0) < (w[1].1, w[1].0)));
+    }
+}

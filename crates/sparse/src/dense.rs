@@ -1,0 +1,466 @@
+//! Row-major dense `f32` matrices.
+//!
+//! [`DenseMatrix`] is the reference representation: sparse formats round-trip
+//! through it in tests, the training substrate (`ant-nn`) uses it for layer
+//! tensors, and the reference convolution in `ant-conv` operates on it.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use crate::error::SparseError;
+
+/// A row-major dense matrix of `f32` values.
+///
+/// Indexing convention throughout the workspace follows the paper: an
+/// `H x W` *image* has rows indexed by `y in [0, H)` and columns indexed by
+/// `x in [0, W)`; an `R x S` *kernel* has rows indexed by `r in [0, R)` and
+/// columns indexed by `s in [0, S)`. `DenseMatrix` is agnostic: `get(row,
+/// col)`.
+///
+/// # Example
+///
+/// ```
+/// use ant_sparse::DenseMatrix;
+///
+/// let mut m = DenseMatrix::zeros(2, 3);
+/// m[(1, 2)] = 5.0;
+/// assert_eq!(m.get(1, 2), 5.0);
+/// assert_eq!(m.nnz(), 1);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl DenseMatrix {
+    /// Creates a `rows x cols` matrix of zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero; use [`DenseMatrix::try_zeros`] to
+    /// handle that case as an error.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self::try_zeros(rows, cols).expect("matrix dimensions must be non-zero")
+    }
+
+    /// Creates a `rows x cols` matrix of zeros, or an error for degenerate
+    /// dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::InvalidDimensions`] if `rows == 0` or
+    /// `cols == 0`.
+    pub fn try_zeros(rows: usize, cols: usize) -> Result<Self, SparseError> {
+        if rows == 0 || cols == 0 {
+            return Err(SparseError::InvalidDimensions { rows, cols });
+        }
+        Ok(Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        })
+    }
+
+    /// Builds a matrix from a slice of row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or the rows have differing lengths.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty(), "from_rows requires at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "from_rows requires at least one column");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            assert_eq!(row.len(), cols, "all rows must have the same length");
+            data.extend_from_slice(row);
+        }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Builds a matrix from a flat row-major vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::LengthMismatch`] if `data.len() != rows * cols`
+    /// and [`SparseError::InvalidDimensions`] for zero dimensions.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, SparseError> {
+        if rows == 0 || cols == 0 {
+            return Err(SparseError::InvalidDimensions { rows, cols });
+        }
+        if data.len() != rows * cols {
+            return Err(SparseError::LengthMismatch {
+                values: data.len(),
+                indices: rows * cols,
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` at every coordinate.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m[(r, c)] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements (`rows * cols`).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix holds no elements. Always `false` for a
+    /// successfully constructed matrix (dimensions are non-zero).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Returns the element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f32 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, value: f32) {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Borrows the backing row-major data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrows the backing row-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns the backing row-major data.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Borrows one row as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.rows()`.
+    pub fn row(&self, row: usize) -> &[f32] {
+        assert!(row < self.rows, "row out of bounds");
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Iterates over `(row, col, value)` for every element, including zeros.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
+        let cols = self.cols;
+        self.data
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (i / cols, i % cols, v))
+    }
+
+    /// Iterates over `(row, col, value)` for the non-zero elements only.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
+        self.iter().filter(|&(_, _, v)| v != 0.0)
+    }
+
+    /// Number of non-zero elements.
+    pub fn nnz(&self) -> usize {
+        self.data.iter().filter(|&&v| v != 0.0).count()
+    }
+
+    /// Fraction of elements that are exactly zero, in `[0, 1]`.
+    pub fn sparsity(&self) -> f64 {
+        1.0 - self.nnz() as f64 / self.len() as f64
+    }
+
+    /// Returns the matrix rotated by 180 degrees (both axes reversed).
+    ///
+    /// This is the `R(W)` rotation used by the backward pass of CNN training
+    /// (paper Eq. 2 / Algorithm 3): element `(y, x)` moves to
+    /// `(rows-1-y, cols-1-x)`.
+    pub fn rotate180(&self) -> Self {
+        let mut out = Self::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(self.rows - 1 - r, self.cols - 1 - c, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Returns the transposed matrix.
+    pub fn transpose(&self) -> Self {
+        let mut out = Self::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Element-wise map into a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Element-wise maximum with zero (ReLU), returned as a new matrix.
+    pub fn relu(&self) -> Self {
+        let data = self.data.iter().map(|&v| v.max(0.0)).collect();
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Maximum absolute value over all elements (0.0 for an all-zero matrix).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |acc, &v| acc.max(v.abs()))
+    }
+
+    /// Dense matrix multiplication `self * rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::ShapeMismatch`] if `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &DenseMatrix) -> Result<DenseMatrix, SparseError> {
+        if self.cols != rhs.rows {
+            return Err(SparseError::ShapeMismatch {
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        let mut out = DenseMatrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs.get(k, j);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns `true` when every element differs from `other` by at most
+    /// `tol` (absolute).
+    pub fn approx_eq(&self, other: &DenseMatrix, tol: f32) -> bool {
+        self.shape() == other.shape()
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+}
+
+impl Index<(usize, usize)> for DenseMatrix {
+    type Output = f32;
+
+    fn index(&self, (row, col): (usize, usize)) -> &f32 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        &self.data[row * self.cols + col]
+    }
+}
+
+impl IndexMut<(usize, usize)> for DenseMatrix {
+    fn index_mut(&mut self, (row, col): (usize, usize)) -> &mut f32 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        &mut self.data[row * self.cols + col]
+    }
+}
+
+impl fmt::Debug for DenseMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DenseMatrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            write!(f, "  ")?;
+            for c in 0..self.cols.min(12) {
+                write!(f, "{:7.2} ", self.get(r, c))?;
+            }
+            if self.cols > 12 {
+                write!(f, "...")?;
+            }
+            writeln!(f)?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_fig2_image() -> DenseMatrix {
+        // The 3x3 image from paper Figure 2a.
+        DenseMatrix::from_rows(&[&[1.0, 0.0, -1.0], &[0.0, 0.0, 2.0], &[3.0, 0.0, 0.0]])
+    }
+
+    #[test]
+    fn zeros_has_expected_shape_and_content() {
+        let m = DenseMatrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.sparsity(), 1.0);
+    }
+
+    #[test]
+    fn try_zeros_rejects_degenerate_dims() {
+        assert_eq!(
+            DenseMatrix::try_zeros(0, 4),
+            Err(SparseError::InvalidDimensions { rows: 0, cols: 4 })
+        );
+        assert_eq!(
+            DenseMatrix::try_zeros(4, 0),
+            Err(SparseError::InvalidDimensions { rows: 4, cols: 0 })
+        );
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(DenseMatrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+        assert!(matches!(
+            DenseMatrix::from_vec(2, 2, vec![1.0; 3]),
+            Err(SparseError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn indexing_round_trips() {
+        let mut m = DenseMatrix::zeros(2, 3);
+        m[(0, 1)] = 2.5;
+        m.set(1, 2, -1.0);
+        assert_eq!(m[(0, 1)], 2.5);
+        assert_eq!(m.get(1, 2), -1.0);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn out_of_bounds_get_panics() {
+        let m = DenseMatrix::zeros(2, 2);
+        let _ = m.get(2, 0);
+    }
+
+    #[test]
+    fn iter_nonzero_skips_zeros() {
+        let m = paper_fig2_image();
+        let nz: Vec<_> = m.iter_nonzero().collect();
+        assert_eq!(
+            nz,
+            vec![(0, 0, 1.0), (0, 2, -1.0), (1, 2, 2.0), (2, 0, 3.0)]
+        );
+    }
+
+    #[test]
+    fn rotate180_moves_corners() {
+        let m = paper_fig2_image();
+        let r = m.rotate180();
+        assert_eq!(r.get(2, 2), 1.0);
+        assert_eq!(r.get(2, 0), -1.0);
+        assert_eq!(r.get(0, 2), 3.0);
+        // Rotating twice is the identity.
+        assert_eq!(r.rotate180(), m);
+    }
+
+    #[test]
+    fn transpose_swaps_axes() {
+        let m = DenseMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t.get(2, 0), 3.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn relu_zeroes_negatives() {
+        let m = DenseMatrix::from_rows(&[&[-1.0, 2.0], &[0.5, -3.0]]);
+        let r = m.relu();
+        assert_eq!(r, DenseMatrix::from_rows(&[&[0.0, 2.0], &[0.5, 0.0]]));
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = DenseMatrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, DenseMatrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_rejects_mismatched_shapes() {
+        let a = DenseMatrix::zeros(2, 3);
+        let b = DenseMatrix::zeros(2, 3);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(SparseError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn from_fn_populates_every_cell() {
+        let m = DenseMatrix::from_fn(3, 3, |r, c| (r * 3 + c) as f32);
+        assert_eq!(m.get(2, 2), 8.0);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.nnz(), 8); // only (0,0) is zero
+    }
+
+    #[test]
+    fn max_abs_handles_negatives() {
+        let m = DenseMatrix::from_rows(&[&[-5.0, 2.0]]);
+        assert_eq!(m.max_abs(), 5.0);
+    }
+
+    #[test]
+    fn debug_output_is_nonempty() {
+        let m = DenseMatrix::zeros(1, 1);
+        assert!(!format!("{m:?}").is_empty());
+    }
+}

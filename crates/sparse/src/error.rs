@@ -1,0 +1,115 @@
+//! Error types for sparse-matrix construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or validating sparse matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// A matrix dimension was zero or otherwise unusable.
+    InvalidDimensions {
+        /// Number of rows requested.
+        rows: usize,
+        /// Number of columns requested.
+        cols: usize,
+    },
+    /// The row-pointer array is malformed (wrong length, non-monotonic, or
+    /// out of bounds).
+    InvalidRowPointers {
+        /// Human-readable description of the violation.
+        reason: &'static str,
+    },
+    /// A column index is out of bounds or out of order within its row.
+    InvalidColumnIndex {
+        /// The row the bad entry lives in.
+        row: usize,
+        /// The offending column index.
+        col: usize,
+        /// Number of columns the matrix actually has.
+        cols: usize,
+    },
+    /// The values and index arrays disagree in length.
+    LengthMismatch {
+        /// Length of the values array.
+        values: usize,
+        /// Length of the index array.
+        indices: usize,
+    },
+    /// An entry coordinate repeats in triplet input.
+    DuplicateEntry {
+        /// Row of the duplicated coordinate.
+        row: usize,
+        /// Column of the duplicated coordinate.
+        col: usize,
+    },
+    /// Matrix shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Shape of the left operand.
+        left: (usize, usize),
+        /// Shape of the right operand.
+        right: (usize, usize),
+    },
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::InvalidDimensions { rows, cols } => {
+                write!(f, "invalid matrix dimensions {rows}x{cols}")
+            }
+            SparseError::InvalidRowPointers { reason } => {
+                write!(f, "invalid row pointers: {reason}")
+            }
+            SparseError::InvalidColumnIndex { row, col, cols } => {
+                write!(
+                    f,
+                    "invalid column index {col} in row {row} (matrix has {cols} columns)"
+                )
+            }
+            SparseError::LengthMismatch { values, indices } => {
+                write!(
+                    f,
+                    "values length {values} does not match indices length {indices}"
+                )
+            }
+            SparseError::DuplicateEntry { row, col } => {
+                write!(f, "duplicate entry at ({row}, {col})")
+            }
+            SparseError::ShapeMismatch { left, right } => {
+                write!(
+                    f,
+                    "incompatible shapes {}x{} and {}x{}",
+                    left.0, left.1, right.0, right.1
+                )
+            }
+        }
+    }
+}
+
+impl Error for SparseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let err = SparseError::InvalidDimensions { rows: 0, cols: 3 };
+        assert_eq!(err.to_string(), "invalid matrix dimensions 0x3");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SparseError>();
+    }
+
+    #[test]
+    fn shape_mismatch_display() {
+        let err = SparseError::ShapeMismatch {
+            left: (2, 3),
+            right: (4, 5),
+        };
+        assert_eq!(err.to_string(), "incompatible shapes 2x3 and 4x5");
+    }
+}

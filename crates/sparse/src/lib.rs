@@ -1,0 +1,47 @@
+//! Dense and compressed-sparse matrix substrate for the ANT reproduction.
+//!
+//! This crate provides the data structures that the rest of the workspace
+//! builds on:
+//!
+//! * [`DenseMatrix`] — a row-major 2-D `f32` matrix used as the reference
+//!   representation and by the training substrate.
+//! * [`CsrMatrix`] / [`CscMatrix`] — Compressed Sparse Row / Column formats,
+//!   the formats the ANT accelerator consumes (paper Section 4.1).
+//! * [`sparsify`] — utilities that produce sparse matrices at a target
+//!   sparsity (magnitude top-K as used in the paper's synthetic traces,
+//!   Bernoulli masking, thresholding).
+//! * [`bf16`] — Bfloat16 rounding helpers matching the paper's value format
+//!   (Table 4).
+//!
+//! # Example
+//!
+//! ```
+//! use ant_sparse::{DenseMatrix, CsrMatrix};
+//!
+//! let dense = DenseMatrix::from_rows(&[
+//!     &[0.0, 2.0, 0.0],
+//!     &[1.0, 0.0, 3.0],
+//! ]);
+//! let csr = CsrMatrix::from_dense(&dense);
+//! assert_eq!(csr.nnz(), 3);
+//! assert_eq!(csr.to_dense(), dense);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bf16;
+pub mod bitmask;
+pub mod csc;
+pub mod csr;
+pub mod dense;
+pub mod error;
+pub mod sparsify;
+pub mod stats;
+
+pub use bitmask::Bitmask;
+pub use csc::CscMatrix;
+pub use csr::CsrMatrix;
+pub use dense::DenseMatrix;
+pub use error::SparseError;
+pub use stats::SparsityStats;

@@ -1,0 +1,141 @@
+//! Sparsity statistics used in reporting and load-balance modelling.
+
+use std::fmt;
+
+use crate::csr::CsrMatrix;
+use crate::dense::DenseMatrix;
+
+/// Summary statistics of a matrix's sparsity structure.
+///
+/// # Example
+///
+/// ```
+/// use ant_sparse::{DenseMatrix, SparsityStats};
+///
+/// let m = DenseMatrix::from_rows(&[&[1.0, 0.0], &[0.0, 0.0]]);
+/// let stats = SparsityStats::of_dense(&m);
+/// assert_eq!(stats.nnz, 1);
+/// assert_eq!(stats.sparsity, 0.75);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparsityStats {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Non-zero count.
+    pub nnz: usize,
+    /// Zero fraction in `[0, 1]`.
+    pub sparsity: f64,
+    /// Non-zeros in the emptiest row.
+    pub min_row_nnz: usize,
+    /// Non-zeros in the fullest row.
+    pub max_row_nnz: usize,
+    /// Mean non-zeros per row.
+    pub mean_row_nnz: f64,
+    /// Number of completely empty rows.
+    pub empty_rows: usize,
+}
+
+impl SparsityStats {
+    /// Computes statistics for a CSR matrix.
+    pub fn of_csr(matrix: &CsrMatrix) -> Self {
+        let rows = matrix.rows();
+        let mut min_row = usize::MAX;
+        let mut max_row = 0usize;
+        let mut empty = 0usize;
+        for r in 0..rows {
+            let n = matrix.row_range(r).len();
+            min_row = min_row.min(n);
+            max_row = max_row.max(n);
+            if n == 0 {
+                empty += 1;
+            }
+        }
+        Self {
+            rows,
+            cols: matrix.cols(),
+            nnz: matrix.nnz(),
+            sparsity: matrix.sparsity(),
+            min_row_nnz: min_row,
+            max_row_nnz: max_row,
+            mean_row_nnz: matrix.nnz() as f64 / rows as f64,
+            empty_rows: empty,
+        }
+    }
+
+    /// Computes statistics for a dense matrix.
+    pub fn of_dense(matrix: &DenseMatrix) -> Self {
+        Self::of_csr(&CsrMatrix::from_dense(matrix))
+    }
+
+    /// Load imbalance measure: `max_row_nnz / mean_row_nnz` (1.0 = perfectly
+    /// balanced rows). Returns `f64::INFINITY` when the matrix is all-zero
+    /// but some row statistics exist.
+    pub fn row_imbalance(&self) -> f64 {
+        if self.mean_row_nnz == 0.0 {
+            if self.max_row_nnz == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.max_row_nnz as f64 / self.mean_row_nnz
+        }
+    }
+}
+
+impl fmt::Display for SparsityStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{} nnz={} sparsity={:.2}% rows(min/mean/max)={}|{:.1}|{} empty_rows={}",
+            self.rows,
+            self.cols,
+            self.nnz,
+            self.sparsity * 100.0,
+            self.min_row_nnz,
+            self.mean_row_nnz,
+            self.max_row_nnz,
+            self.empty_rows
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_mixed_matrix() {
+        let m = DenseMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[0.0, 0.0, 0.0], &[4.0, 0.0, 0.0]]);
+        let s = SparsityStats::of_dense(&m);
+        assert_eq!(s.nnz, 4);
+        assert_eq!(s.min_row_nnz, 0);
+        assert_eq!(s.max_row_nnz, 3);
+        assert_eq!(s.empty_rows, 1);
+        assert!((s.mean_row_nnz - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_of_uniform_matrix_is_one() {
+        let m = DenseMatrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        let s = SparsityStats::of_dense(&m);
+        assert_eq!(s.row_imbalance(), 1.0);
+    }
+
+    #[test]
+    fn imbalance_of_empty_matrix_is_one() {
+        let m = DenseMatrix::zeros(3, 3);
+        let s = SparsityStats::of_dense(&m);
+        assert_eq!(s.row_imbalance(), 1.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let m = DenseMatrix::from_rows(&[&[1.0, 0.0]]);
+        let text = SparsityStats::of_dense(&m).to_string();
+        assert!(text.contains("nnz=1"));
+        assert!(text.contains("50.00%"));
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for the sparse-matrix substrate.
+
+use ant_sparse::sparsify;
+use ant_sparse::{CscMatrix, CsrMatrix, DenseMatrix};
+use proptest::prelude::*;
+
+/// Strategy producing an arbitrary small dense matrix with ~50% zeros.
+fn dense_matrix() -> impl Strategy<Value = DenseMatrix> {
+    (1usize..12, 1usize..12).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec(
+            prop_oneof![3 => Just(0.0f32), 2 => -100.0f32..100.0f32],
+            rows * cols,
+        )
+        .prop_map(move |data| DenseMatrix::from_vec(rows, cols, data).expect("sized correctly"))
+    })
+}
+
+proptest! {
+    #[test]
+    fn csr_round_trips_dense(m in dense_matrix()) {
+        let csr = CsrMatrix::from_dense(&m);
+        prop_assert_eq!(csr.to_dense(), m);
+    }
+
+    #[test]
+    fn csc_round_trips_dense(m in dense_matrix()) {
+        let csc = CscMatrix::from_dense(&m);
+        prop_assert_eq!(csc.to_dense(), m);
+    }
+
+    #[test]
+    fn csr_csc_agree(m in dense_matrix()) {
+        let csr = CsrMatrix::from_dense(&m);
+        prop_assert_eq!(csr.to_csc().to_dense(), m);
+    }
+
+    #[test]
+    fn csr_nnz_matches_dense(m in dense_matrix()) {
+        let csr = CsrMatrix::from_dense(&m);
+        prop_assert_eq!(csr.nnz(), m.nnz());
+    }
+
+    #[test]
+    fn csr_row_ptr_invariants(m in dense_matrix()) {
+        let csr = CsrMatrix::from_dense(&m);
+        let rp = csr.row_ptr();
+        prop_assert_eq!(rp.len(), m.rows() + 1);
+        prop_assert_eq!(rp[0], 0);
+        prop_assert_eq!(*rp.last().unwrap(), csr.nnz());
+        prop_assert!(rp.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn csr_columns_sorted_within_rows(m in dense_matrix()) {
+        let csr = CsrMatrix::from_dense(&m);
+        for r in 0..csr.rows() {
+            let (cols, _) = csr.row_entries(r);
+            prop_assert!(cols.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn rotate180_twice_is_identity(m in dense_matrix()) {
+        let csr = CsrMatrix::from_dense(&m);
+        prop_assert_eq!(csr.rotate180().rotate180(), csr);
+    }
+
+    #[test]
+    fn rotate180_matches_dense(m in dense_matrix()) {
+        let csr = CsrMatrix::from_dense(&m);
+        prop_assert_eq!(csr.rotate180().to_dense(), m.rotate180());
+    }
+
+    #[test]
+    fn transpose_twice_is_identity(m in dense_matrix()) {
+        let csr = CsrMatrix::from_dense(&m);
+        prop_assert_eq!(csr.transpose().transpose(), csr);
+    }
+
+    #[test]
+    fn from_triplets_equals_from_dense(m in dense_matrix()) {
+        let via_triplets =
+            CsrMatrix::from_triplets(m.rows(), m.cols(), m.iter_nonzero()).unwrap();
+        prop_assert_eq!(via_triplets, CsrMatrix::from_dense(&m));
+    }
+
+    #[test]
+    fn top_k_never_increases_nnz(m in dense_matrix(), k in 0usize..64) {
+        let s = sparsify::top_k(&m, k);
+        prop_assert!(s.nnz() <= k);
+        prop_assert!(s.nnz() <= m.nnz());
+    }
+
+    #[test]
+    fn top_k_keeps_subset_of_values(m in dense_matrix(), k in 0usize..64) {
+        let s = sparsify::top_k(&m, k);
+        for (r, c, v) in s.iter_nonzero() {
+            prop_assert_eq!(m.get(r, c), v);
+        }
+    }
+
+    #[test]
+    fn top_k_kept_dominate_dropped(m in dense_matrix(), k in 1usize..32) {
+        let s = sparsify::top_k(&m, k);
+        let kept_min = s
+            .iter_nonzero()
+            .map(|(_, _, v)| v.abs())
+            .fold(f32::INFINITY, f32::min);
+        for (r, c, v) in m.iter_nonzero() {
+            if s.get(r, c) == 0.0 {
+                prop_assert!(v.abs() <= kept_min);
+            }
+        }
+    }
+
+    #[test]
+    fn bf16_round_is_idempotent(v in -1e30f32..1e30f32) {
+        let once = ant_sparse::bf16::round_to_bf16(v);
+        let twice = ant_sparse::bf16::round_to_bf16(once);
+        prop_assert_eq!(once.to_bits(), twice.to_bits());
+    }
+
+    #[test]
+    fn bf16_round_error_bounded(v in 1e-20f32..1e20f32) {
+        let r = ant_sparse::bf16::round_to_bf16(v);
+        prop_assert!(((r - v) / v).abs() <= f32::powi(2.0, -8));
+    }
+
+    #[test]
+    fn submatrix_agrees_with_dense_window(m in dense_matrix()) {
+        let csr = CsrMatrix::from_dense(&m);
+        let h = (m.rows() / 2).max(1);
+        let w = (m.cols() / 2).max(1);
+        let sub = csr.submatrix(0, 0, h, w);
+        for r in 0..h {
+            for c in 0..w {
+                prop_assert_eq!(sub.get(r, c), m.get(r, c));
+            }
+        }
+    }
+}

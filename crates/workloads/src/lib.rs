@@ -1,0 +1,31 @@
+//! Evaluation workloads for the ANT reproduction: network layer-shape
+//! databases and synthetic sparse-trace generation.
+//!
+//! The paper evaluates on DenseNet-121, ResNet18, VGG16, Wide ResNet
+//! (WRN-16-8) at CIFAR scale, ResNet-50 at ImageNet scale, plus a
+//! text-translation transformer and a text-classification RNN (Sections 6–7).
+//! [`models`] encodes the per-layer convolution geometries of those
+//! networks; [`synth`] turns a layer spec plus target sparsities into the
+//! sparse kernel/image planes the simulators consume, with channel-pair
+//! sampling for ImageNet-scale layers (sampling policy documented in
+//! DESIGN.md).
+//!
+//! # Example
+//!
+//! ```
+//! use ant_workloads::models;
+//!
+//! let net = models::resnet18_cifar();
+//! assert_eq!(net.name, "ResNet18/CIFAR");
+//! assert!(net.total_conv_count() >= 17);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod models;
+pub mod synth;
+pub mod trace_io;
+
+pub use models::{ConvLayerSpec, NetworkModel};
+pub use synth::{LayerSparsity, SynthesizedLayer};

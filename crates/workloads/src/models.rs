@@ -1,0 +1,638 @@
+//! Layer-shape databases for the paper's evaluation networks.
+//!
+//! Each [`NetworkModel`] lists the convolution layers (with multiplicity)
+//! of one network at one input resolution. Only geometry is recorded —
+//! channel counts, kernel sizes, spatial dims, stride, padding — because
+//! that is what determines RCP structure and simulator work; values come
+//! from the synthesizer or the training substrate.
+
+use ant_conv::matmul::MatmulShape;
+
+/// One convolution layer's geometry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConvLayerSpec {
+    /// Layer label.
+    pub name: String,
+    /// Output channels `K`.
+    pub out_channels: usize,
+    /// Input channels `C`.
+    pub in_channels: usize,
+    /// Kernel height `R`.
+    pub kernel_h: usize,
+    /// Kernel width `S`.
+    pub kernel_w: usize,
+    /// Unpadded input height `H`.
+    pub input_h: usize,
+    /// Unpadded input width `W`.
+    pub input_w: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Symmetric padding.
+    pub padding: usize,
+    /// How many times this exact geometry appears in the network.
+    pub count: usize,
+}
+
+impl ConvLayerSpec {
+    /// Convenience constructor.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        out_channels: usize,
+        in_channels: usize,
+        kernel: usize,
+        input: usize,
+        stride: usize,
+        padding: usize,
+        count: usize,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            out_channels,
+            in_channels,
+            kernel_h: kernel,
+            kernel_w: kernel,
+            input_h: input,
+            input_w: input,
+            stride,
+            padding,
+            count,
+        }
+    }
+
+    /// Output spatial dims `(H_out, W_out)`.
+    pub fn output_dims(&self) -> (usize, usize) {
+        let ph = self.input_h + 2 * self.padding;
+        let pw = self.input_w + 2 * self.padding;
+        (
+            (ph - self.kernel_h) / self.stride + 1,
+            (pw - self.kernel_w) / self.stride + 1,
+        )
+    }
+
+    /// Dense forward MACs for one instance of this layer.
+    pub fn forward_macs(&self) -> u64 {
+        let (oh, ow) = self.output_dims();
+        self.out_channels as u64
+            * self.in_channels as u64
+            * self.kernel_h as u64
+            * self.kernel_w as u64
+            * oh as u64
+            * ow as u64
+    }
+}
+
+/// A network: a list of conv layer geometries with multiplicities.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkModel {
+    /// Network label as used in the paper's figures.
+    pub name: &'static str,
+    /// The layers.
+    pub layers: Vec<ConvLayerSpec>,
+}
+
+impl NetworkModel {
+    /// Total convolution count (sum of multiplicities).
+    pub fn total_conv_count(&self) -> usize {
+        self.layers.iter().map(|l| l.count).sum()
+    }
+
+    /// Total dense forward MACs.
+    pub fn total_forward_macs(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| l.forward_macs() * l.count as u64)
+            .sum()
+    }
+}
+
+/// ResNet18 at CIFAR resolution (32x32 inputs).
+pub fn resnet18_cifar() -> NetworkModel {
+    let mut layers = vec![ConvLayerSpec::new("conv1", 64, 3, 3, 32, 1, 1, 1)];
+    // Four stages of two BasicBlocks each.
+    let stages = [
+        (64usize, 64usize, 32usize),
+        (128, 64, 32),
+        (256, 128, 16),
+        (512, 256, 8),
+    ];
+    for (i, &(width, in_c, in_spatial)) in stages.iter().enumerate() {
+        if i == 0 {
+            layers.push(ConvLayerSpec::new("stage1.conv", 64, 64, 3, 32, 1, 1, 4));
+        } else {
+            let out_spatial = in_spatial / 2;
+            layers.push(ConvLayerSpec::new(
+                format!("stage{}.down3x3", i + 1),
+                width,
+                in_c,
+                3,
+                in_spatial,
+                2,
+                1,
+                1,
+            ));
+            layers.push(ConvLayerSpec::new(
+                format!("stage{}.down1x1", i + 1),
+                width,
+                in_c,
+                1,
+                in_spatial,
+                2,
+                0,
+                1,
+            ));
+            layers.push(ConvLayerSpec::new(
+                format!("stage{}.conv", i + 1),
+                width,
+                width,
+                3,
+                out_spatial,
+                1,
+                1,
+                3,
+            ));
+        }
+    }
+    NetworkModel {
+        name: "ResNet18/CIFAR",
+        layers,
+    }
+}
+
+/// ResNet18 at ImageNet resolution (224x224 inputs) — used for the Figure 1
+/// characterization.
+pub fn resnet18_imagenet() -> NetworkModel {
+    NetworkModel {
+        name: "ResNet18/ImageNet",
+        layers: vec![
+            ConvLayerSpec::new("conv1", 64, 3, 7, 224, 2, 3, 1),
+            ConvLayerSpec::new("stage1.conv", 64, 64, 3, 56, 1, 1, 4),
+            ConvLayerSpec::new("stage2.down3x3", 128, 64, 3, 56, 2, 1, 1),
+            ConvLayerSpec::new("stage2.down1x1", 128, 64, 1, 56, 2, 0, 1),
+            ConvLayerSpec::new("stage2.conv", 128, 128, 3, 28, 1, 1, 3),
+            ConvLayerSpec::new("stage3.down3x3", 256, 128, 3, 28, 2, 1, 1),
+            ConvLayerSpec::new("stage3.down1x1", 256, 128, 1, 28, 2, 0, 1),
+            ConvLayerSpec::new("stage3.conv", 256, 256, 3, 14, 1, 1, 3),
+            ConvLayerSpec::new("stage4.down3x3", 512, 256, 3, 14, 2, 1, 1),
+            ConvLayerSpec::new("stage4.down1x1", 512, 256, 1, 14, 2, 0, 1),
+            ConvLayerSpec::new("stage4.conv", 512, 512, 3, 7, 1, 1, 3),
+        ],
+    }
+}
+
+/// ResNet-50 at ImageNet resolution (224x224 inputs).
+pub fn resnet50_imagenet() -> NetworkModel {
+    let mut layers = vec![ConvLayerSpec::new("conv1", 64, 3, 7, 224, 2, 3, 1)];
+    // Bottleneck stages: (blocks, in_c, mid_c, out_c, spatial_in, downsample)
+    let stages = [
+        (3usize, 64usize, 64usize, 256usize, 56usize),
+        (4, 256, 128, 512, 56),
+        (6, 512, 256, 1024, 28),
+        (3, 1024, 512, 2048, 14), // ResNet-50 stage 4 has 3 blocks
+    ];
+    for (i, &(blocks, in_c, mid_c, out_c, spatial_in)) in stages.iter().enumerate() {
+        let stride = if i == 0 { 1 } else { 2 };
+        let spatial_out = spatial_in / stride;
+        // First block (with projection shortcut).
+        layers.push(ConvLayerSpec::new(
+            format!("stage{}.b0.1x1a", i + 1),
+            mid_c,
+            in_c,
+            1,
+            spatial_in,
+            1,
+            0,
+            1,
+        ));
+        layers.push(ConvLayerSpec::new(
+            format!("stage{}.b0.3x3", i + 1),
+            mid_c,
+            mid_c,
+            3,
+            spatial_in,
+            stride,
+            1,
+            1,
+        ));
+        layers.push(ConvLayerSpec::new(
+            format!("stage{}.b0.1x1b", i + 1),
+            out_c,
+            mid_c,
+            1,
+            spatial_out,
+            1,
+            0,
+            1,
+        ));
+        layers.push(ConvLayerSpec::new(
+            format!("stage{}.b0.proj", i + 1),
+            out_c,
+            in_c,
+            1,
+            spatial_in,
+            stride,
+            0,
+            1,
+        ));
+        // Remaining blocks.
+        if blocks > 1 {
+            layers.push(ConvLayerSpec::new(
+                format!("stage{}.bn.1x1a", i + 1),
+                mid_c,
+                out_c,
+                1,
+                spatial_out,
+                1,
+                0,
+                blocks - 1,
+            ));
+            layers.push(ConvLayerSpec::new(
+                format!("stage{}.bn.3x3", i + 1),
+                mid_c,
+                mid_c,
+                3,
+                spatial_out,
+                1,
+                1,
+                blocks - 1,
+            ));
+            layers.push(ConvLayerSpec::new(
+                format!("stage{}.bn.1x1b", i + 1),
+                out_c,
+                mid_c,
+                1,
+                spatial_out,
+                1,
+                0,
+                blocks - 1,
+            ));
+        }
+    }
+    NetworkModel {
+        name: "ResNet50/ImageNet",
+        layers,
+    }
+}
+
+/// VGG16 at CIFAR resolution.
+pub fn vgg16_cifar() -> NetworkModel {
+    let cfg: [(usize, usize, usize, usize); 5] = [
+        // (out_c, in_c, spatial, convs)
+        (64, 3, 32, 1),
+        (128, 64, 16, 1),
+        (256, 128, 8, 1),
+        (512, 256, 4, 1),
+        (512, 512, 2, 1),
+    ];
+    let mut layers = Vec::new();
+    for &(out_c, in_c, spatial, _) in &cfg {
+        // First conv of the block changes channel count.
+        layers.push(ConvLayerSpec::new(
+            format!("block{out_c}.first"),
+            out_c,
+            in_c,
+            3,
+            spatial,
+            1,
+            1,
+            1,
+        ));
+        // Same-width convs: VGG16 has 2,2,3,3,3 convs per block.
+        let same = match out_c {
+            64 | 128 => 1,
+            _ => 2,
+        };
+        layers.push(ConvLayerSpec::new(
+            format!("block{out_c}.same"),
+            out_c,
+            out_c,
+            3,
+            spatial,
+            1,
+            1,
+            same,
+        ));
+    }
+    NetworkModel {
+        name: "VGG16/CIFAR",
+        layers,
+    }
+}
+
+/// DenseNet-121 at CIFAR resolution (growth rate 32, bottleneck 4x).
+pub fn densenet121_cifar() -> NetworkModel {
+    let growth = 32usize;
+    let mut layers = vec![ConvLayerSpec::new("conv0", 2 * growth, 3, 3, 32, 1, 1, 1)];
+    let block_sizes = [6usize, 12, 24, 16];
+    let spatials = [32usize, 16, 8, 4];
+    let mut channels = 2 * growth;
+    for (b, (&block, &spatial)) in block_sizes.iter().zip(spatials.iter()).enumerate() {
+        for l in 0..block {
+            let in_c = channels + l * growth;
+            layers.push(ConvLayerSpec::new(
+                format!("block{}.layer{}.1x1", b + 1, l),
+                4 * growth,
+                in_c,
+                1,
+                spatial,
+                1,
+                0,
+                1,
+            ));
+            layers.push(ConvLayerSpec::new(
+                format!("block{}.layer{}.3x3", b + 1, l),
+                growth,
+                4 * growth,
+                3,
+                spatial,
+                1,
+                1,
+                1,
+            ));
+        }
+        channels += block * growth;
+        if b + 1 < block_sizes.len() {
+            // Transition: 1x1 halving channels, then 2x2 average pool.
+            layers.push(ConvLayerSpec::new(
+                format!("transition{}", b + 1),
+                channels / 2,
+                channels,
+                1,
+                spatial,
+                1,
+                0,
+                1,
+            ));
+            channels /= 2;
+        }
+    }
+    NetworkModel {
+        name: "DenseNet-121/CIFAR",
+        layers,
+    }
+}
+
+/// Wide ResNet 16-8 at CIFAR resolution.
+pub fn wrn_16_8_cifar() -> NetworkModel {
+    let widen = 8usize;
+    let widths = [16usize, 16 * widen, 32 * widen, 64 * widen];
+    let spatials = [32usize, 32, 16, 8];
+    let mut layers = vec![ConvLayerSpec::new("conv1", widths[0], 3, 3, 32, 1, 1, 1)];
+    for g in 1..4 {
+        let (w_in, w_out) = (widths[g - 1], widths[g]);
+        let spatial_in = spatials[g - 1];
+        let stride = if g == 1 { 1 } else { 2 };
+        let spatial_out = spatials[g];
+        layers.push(ConvLayerSpec::new(
+            format!("group{g}.b0.conv1"),
+            w_out,
+            w_in,
+            3,
+            spatial_in,
+            stride,
+            1,
+            1,
+        ));
+        layers.push(ConvLayerSpec::new(
+            format!("group{g}.b0.proj"),
+            w_out,
+            w_in,
+            1,
+            spatial_in,
+            stride,
+            0,
+            1,
+        ));
+        // Remaining convs at the group width: b0.conv2 + b1.conv1 + b1.conv2.
+        layers.push(ConvLayerSpec::new(
+            format!("group{g}.same"),
+            w_out,
+            w_out,
+            3,
+            spatial_out,
+            1,
+            1,
+            3,
+        ));
+    }
+    NetworkModel {
+        name: "WRN-16-8/CIFAR",
+        layers,
+    }
+}
+
+/// The five CNN evaluation networks of Figure 9 / Table 5.
+pub fn figure9_networks() -> Vec<NetworkModel> {
+    vec![
+        densenet121_cifar(),
+        resnet18_cifar(),
+        vgg16_cifar(),
+        wrn_16_8_cifar(),
+        resnet50_imagenet(),
+    ]
+}
+
+/// One matmul layer geometry (transformer / RNN workloads, Table 3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatmulLayerSpec {
+    /// Layer label.
+    pub name: String,
+    /// Image dims `(H, W)`.
+    pub image: (usize, usize),
+    /// Kernel dims `(R, S)` with `R == W`.
+    pub kernel: (usize, usize),
+    /// Multiplicity.
+    pub count: usize,
+}
+
+impl MatmulLayerSpec {
+    /// The [`MatmulShape`] of the layer.
+    ///
+    /// # Panics
+    ///
+    /// Never for specs constructed by this module (inner dims agree).
+    pub fn shape(&self) -> MatmulShape {
+        MatmulShape::new(self.image.0, self.image.1, self.kernel.0, self.kernel.1)
+            .expect("specs are constructed with matching inner dims")
+    }
+}
+
+/// The transformer training matmuls of Table 3 (text translation,
+/// d_model 512, batched sequence of 72 tokens).
+pub fn transformer_matmuls() -> Vec<MatmulLayerSpec> {
+    transformer_training_matmuls(512, 72, 4)
+}
+
+/// Derives the three training-phase matmuls of a transformer projection
+/// layer (paper Sections 5–6): for a weight `d_model x d_model` applied to
+/// a sequence of `seq` token vectors,
+///
+/// * forward `A x W`: the transposed activation block (`d_model x seq`)
+///   against the sequence-major weight view (`seq x d_model` inner layout
+///   as Table 3 lists it),
+/// * backward `G_A x W`: same dimensions as forward,
+/// * update `A x G_A`: `seq x d_model` against `d_model x d_model`.
+///
+/// `count` is the number of such projections per block (4 for Q/K/V/out).
+pub fn transformer_training_matmuls(
+    d_model: usize,
+    seq: usize,
+    count: usize,
+) -> Vec<MatmulLayerSpec> {
+    vec![
+        MatmulLayerSpec {
+            name: "attn.AxW".into(),
+            image: (d_model, seq),
+            kernel: (seq, d_model),
+            count,
+        },
+        MatmulLayerSpec {
+            name: "attn.AxG_A".into(),
+            image: (seq, d_model),
+            kernel: (d_model, d_model),
+            count,
+        },
+    ]
+}
+
+/// The RNN training matmuls of Table 3 (text classification on the movie
+/// review dataset, embedding 300, hidden 300, 4 gates -> 1200).
+pub fn rnn_matmuls() -> Vec<MatmulLayerSpec> {
+    vec![
+        MatmulLayerSpec {
+            name: "rnn.AxW.embed".into(),
+            image: (300, 3),
+            kernel: (3, 1200),
+            count: 1,
+        },
+        MatmulLayerSpec {
+            name: "rnn.G_AxW.embed".into(),
+            image: (1200, 3),
+            kernel: (3, 300),
+            count: 1,
+        },
+        MatmulLayerSpec {
+            name: "rnn.AxG_A.embed".into(),
+            image: (3, 300),
+            kernel: (300, 1200),
+            count: 1,
+        },
+        MatmulLayerSpec {
+            name: "rnn.AxW.hidden".into(),
+            image: (300, 8),
+            kernel: (8, 1200),
+            count: 1,
+        },
+        MatmulLayerSpec {
+            name: "rnn.G_AxW.hidden".into(),
+            image: (1200, 8),
+            kernel: (8, 300),
+            count: 1,
+        },
+        MatmulLayerSpec {
+            name: "rnn.AxG_A.hidden".into(),
+            image: (8, 300),
+            kernel: (300, 1200),
+            count: 1,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet18_cifar_structure() {
+        let net = resnet18_cifar();
+        assert_eq!(net.total_conv_count(), 17 + 3); // 17 main + 3 downsample 1x1
+                                                    // All layers produce valid output dims.
+        for l in &net.layers {
+            let (oh, ow) = l.output_dims();
+            assert!(oh > 0 && ow > 0, "{}", l.name);
+        }
+    }
+
+    #[test]
+    fn resnet50_macs_in_expected_range() {
+        let net = resnet50_imagenet();
+        let gmacs = net.total_forward_macs() as f64 / 1e9;
+        // ResNet-50 is ~4.1 GMACs; the shape DB should land in the right
+        // ballpark (we fold batch-norm/fc out).
+        assert!((3.0..5.5).contains(&gmacs), "GMACs {gmacs}");
+    }
+
+    #[test]
+    fn resnet18_imagenet_first_layer_matches_table2() {
+        let net = resnet18_imagenet();
+        let l = &net.layers[0];
+        assert_eq!((l.kernel_h, l.input_h + 2 * l.padding), (7, 230));
+        assert_eq!(l.output_dims(), (112, 112));
+    }
+
+    #[test]
+    fn vgg16_has_13_convs() {
+        let net = vgg16_cifar();
+        assert_eq!(net.total_conv_count(), 13);
+    }
+
+    #[test]
+    fn densenet_has_121_structure() {
+        let net = densenet121_cifar();
+        // 1 stem + 2 per dense layer (58 layers) + 3 transitions = 120 convs.
+        assert_eq!(net.total_conv_count(), 1 + 2 * 58 + 3);
+        // Channel accounting: final block input grows correctly.
+        let last_1x1 = net
+            .layers
+            .iter()
+            .find(|l| l.name.starts_with("block4.layer15.1x1"))
+            .expect("final dense layer present");
+        assert_eq!(last_1x1.in_channels, 512 + 15 * 32);
+    }
+
+    #[test]
+    fn wrn_width_progression() {
+        let net = wrn_16_8_cifar();
+        let widths: Vec<usize> = net.layers.iter().map(|l| l.out_channels).collect();
+        assert!(widths.contains(&128) && widths.contains(&256) && widths.contains(&512));
+        // 16-layer WRN: 1 stem + 12 block convs (+ 3 projections).
+        assert_eq!(net.total_conv_count(), 1 + 12 + 3);
+    }
+
+    #[test]
+    fn figure9_lists_five_networks() {
+        let nets = figure9_networks();
+        assert_eq!(nets.len(), 5);
+        let names: Vec<_> = nets.iter().map(|n| n.name).collect();
+        assert!(names.contains(&"ResNet50/ImageNet"));
+    }
+
+    #[test]
+    fn derived_transformer_matmuls_generalize() {
+        // The Table 3 rows are the (512, 72, 4) instantiation.
+        assert_eq!(
+            transformer_training_matmuls(512, 72, 4),
+            transformer_matmuls()
+        );
+        // A different model size still yields valid shapes with the 1/R law.
+        for spec in transformer_training_matmuls(256, 100, 3) {
+            let shape = spec.shape();
+            assert!(
+                (shape.outer_product_efficiency() - 1.0 / shape.kernel_r() as f64).abs() < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_specs_are_valid_and_match_table3() {
+        for spec in transformer_matmuls().iter().chain(rnn_matmuls().iter()) {
+            let shape = spec.shape();
+            assert!(shape.outer_product_efficiency() > 0.0, "{}", spec.name);
+        }
+        // Spot-check two Table 3 efficiencies.
+        let t = transformer_matmuls();
+        assert!((t[0].shape().outer_product_efficiency() - 1.0 / 72.0).abs() < 1e-12);
+        let r = rnn_matmuls();
+        assert!((r[2].shape().outer_product_efficiency() - 1.0 / 300.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,237 @@
+//! Synthetic sparse-trace generation (paper Section 6.2, "synthetically
+//! sparsified ... by selecting the top-K values and setting the rest to 0").
+//!
+//! Given a layer geometry and target sparsities, this module fabricates the
+//! per-channel weight / activation / gradient planes with *exact* non-zero
+//! counts at uniformly random positions — the same distribution the paper's
+//! top-K synthetic sparsification yields for ImageNet-scale models, the
+//! transformer, and the RNN. Channel-pair sampling (`max_channels`) keeps
+//! ImageNet-scale layers tractable; counters scale back linearly, which is
+//! sound because channel pairs at fixed sparsity are statistically
+//! interchangeable (DESIGN.md, "Sampling").
+
+use ant_conv::matmul::MatmulShape;
+use ant_nn::ConvTrace;
+use ant_sparse::{sparsify, CsrMatrix, DenseMatrix};
+use rand::Rng;
+
+use crate::models::ConvLayerSpec;
+
+/// Target sparsities for the three tensor roles of a training step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerSparsity {
+    /// Weight sparsity (`W`).
+    pub weight: f64,
+    /// Activation sparsity (`A`).
+    pub activation: f64,
+    /// Activation-gradient sparsity (`G_A`).
+    pub gradient: f64,
+}
+
+impl LayerSparsity {
+    /// Uniform sparsity across all three roles (the paper's "90% sparse
+    /// training" setting).
+    pub fn uniform(sparsity: f64) -> Self {
+        Self {
+            weight: sparsity,
+            activation: sparsity,
+            gradient: sparsity,
+        }
+    }
+}
+
+/// A synthesized layer: the (possibly channel-sampled) trace plus the
+/// scale factor that maps sampled counters back to the full layer.
+#[derive(Debug, Clone)]
+pub struct SynthesizedLayer {
+    /// The trace with `k_sampled x c_sampled` channel planes.
+    pub trace: ConvTrace,
+    /// Multiply sampled counters by this to recover the full layer
+    /// (`(K * C) / (k_sampled * c_sampled)`).
+    pub channel_scale: f64,
+}
+
+/// Synthesizes a layer trace at the target sparsities.
+///
+/// At most `max_channels` output and input channels are materialized; the
+/// returned `channel_scale` restores full-layer counts. Activation planes
+/// are generated non-negative (ReLU regime) with the padding border zeroed,
+/// exactly as a padded feature map looks in SRAM.
+///
+/// # Panics
+///
+/// Panics if `max_channels == 0` or a sparsity is outside `[0, 1]`.
+pub fn synthesize_layer<R: Rng>(
+    spec: &ConvLayerSpec,
+    sparsity: &LayerSparsity,
+    max_channels: usize,
+    rng: &mut R,
+) -> SynthesizedLayer {
+    assert!(max_channels > 0, "need at least one channel");
+    let k_s = spec.out_channels.min(max_channels);
+    let c_s = spec.in_channels.min(max_channels);
+    let (oh, ow) = spec.output_dims();
+    let pad = spec.padding;
+    let (ph, pw) = (spec.input_h + 2 * pad, spec.input_w + 2 * pad);
+
+    let weights = (0..k_s)
+        .map(|_| {
+            (0..c_s)
+                .map(|_| random_plane(spec.kernel_h, spec.kernel_w, sparsity.weight, false, rng))
+                .collect()
+        })
+        .collect();
+    let activations = (0..c_s)
+        .map(|_| {
+            // Interior at target sparsity, zero border from padding.
+            let interior = random_plane(spec.input_h, spec.input_w, sparsity.activation, true, rng);
+            pad_plane(&interior, pad, ph, pw)
+        })
+        .collect();
+    let grad_out = (0..k_s)
+        .map(|_| random_plane(oh, ow, sparsity.gradient, false, rng))
+        .collect();
+
+    SynthesizedLayer {
+        trace: ConvTrace::from_planes(&spec.name, spec.stride, weights, activations, grad_out),
+        channel_scale: (spec.out_channels * spec.in_channels) as f64 / (k_s * c_s) as f64,
+    }
+}
+
+/// Synthesizes a sparse matmul operand pair for a [`MatmulShape`].
+pub fn synthesize_matmul<R: Rng>(
+    shape: &MatmulShape,
+    image_sparsity: f64,
+    kernel_sparsity: f64,
+    rng: &mut R,
+) -> (CsrMatrix, CsrMatrix) {
+    let image =
+        sparsify::random_with_sparsity(shape.image_h(), shape.image_w(), image_sparsity, rng);
+    let kernel =
+        sparsify::random_with_sparsity(shape.kernel_r(), shape.kernel_s(), kernel_sparsity, rng);
+    (
+        CsrMatrix::from_dense(&image),
+        CsrMatrix::from_dense(&kernel),
+    )
+}
+
+fn random_plane<R: Rng>(
+    rows: usize,
+    cols: usize,
+    sparsity: f64,
+    nonnegative: bool,
+    rng: &mut R,
+) -> DenseMatrix {
+    let plane = sparsify::random_with_sparsity(rows, cols, sparsity, rng);
+    if nonnegative {
+        plane.map(f32::abs)
+    } else {
+        plane
+    }
+}
+
+fn pad_plane(interior: &DenseMatrix, pad: usize, ph: usize, pw: usize) -> DenseMatrix {
+    let mut out = DenseMatrix::zeros(ph, pw);
+    for (r, c, v) in interior.iter_nonzero() {
+        out[(r + pad, c + pad)] = v;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn spec_small() -> ConvLayerSpec {
+        ConvLayerSpec::new("test", 8, 4, 3, 16, 1, 1, 1)
+    }
+
+    #[test]
+    fn synthesized_dims_match_spec() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = synthesize_layer(&spec_small(), &LayerSparsity::uniform(0.9), 16, &mut rng);
+        assert_eq!(s.trace.out_channels(), 8);
+        assert_eq!(s.trace.in_channels(), 4);
+        assert_eq!(s.trace.activations[0].shape(), (18, 18));
+        assert_eq!(s.trace.grad_out[0].shape(), (16, 16));
+        assert_eq!(s.channel_scale, 1.0);
+    }
+
+    #[test]
+    fn channel_sampling_scales() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let spec = ConvLayerSpec::new("big", 64, 32, 3, 8, 1, 1, 1);
+        let s = synthesize_layer(&spec, &LayerSparsity::uniform(0.5), 8, &mut rng);
+        assert_eq!(s.trace.out_channels(), 8);
+        assert_eq!(s.trace.in_channels(), 8);
+        assert_eq!(s.channel_scale, (64.0 * 32.0) / 64.0);
+    }
+
+    #[test]
+    fn sparsities_hit_targets() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let spec = ConvLayerSpec::new("t", 4, 4, 3, 24, 1, 0, 1);
+        let s = synthesize_layer(
+            &spec,
+            &LayerSparsity {
+                weight: 0.5,
+                activation: 0.9,
+                gradient: 0.8,
+            },
+            8,
+            &mut rng,
+        );
+        assert!((s.trace.weight_sparsity() - 0.5).abs() < 0.12);
+        assert!((s.trace.activation_sparsity() - 0.9).abs() < 0.05);
+        assert!((s.trace.gradient_sparsity() - 0.8).abs() < 0.05);
+    }
+
+    #[test]
+    fn activations_are_nonnegative_with_zero_border() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = synthesize_layer(&spec_small(), &LayerSparsity::uniform(0.3), 4, &mut rng);
+        for plane in &s.trace.activations {
+            assert!(plane.iter_nonzero().all(|(_, _, v)| v > 0.0));
+            // Border is zero (padding).
+            for c in 0..plane.cols() {
+                assert_eq!(plane.get(0, c), 0.0);
+                assert_eq!(plane.get(plane.rows() - 1, c), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn synthesized_pairs_feed_the_simulator() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = synthesize_layer(&spec_small(), &LayerSparsity::uniform(0.9), 4, &mut rng);
+        let pairs = s.trace.update_pairs().unwrap();
+        assert_eq!(pairs.len(), 16);
+        // Update kernel is the gradient plane (16x16 -> big kernel regime).
+        assert_eq!(pairs[0].kernel.shape(), (16, 16));
+        assert_eq!((pairs[0].shape.out_h(), pairs[0].shape.out_w()), (3, 3));
+    }
+
+    #[test]
+    fn matmul_synthesis_matches_shape() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let spec = &models::transformer_matmuls()[0];
+        let shape = spec.shape();
+        let (image, kernel) = synthesize_matmul(&shape, 0.9, 0.9, &mut rng);
+        assert_eq!(image.shape(), (512, 72));
+        assert_eq!(kernel.shape(), (72, 512));
+        assert!((image.sparsity() - 0.9).abs() < 0.01);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let s1 = synthesize_layer(&spec_small(), &LayerSparsity::uniform(0.7), 4, &mut a);
+        let s2 = synthesize_layer(&spec_small(), &LayerSparsity::uniform(0.7), 4, &mut b);
+        assert_eq!(s1.trace.weights[0][0], s2.trace.weights[0][0]);
+        assert_eq!(s1.trace.grad_out[0], s2.trace.grad_out[0]);
+    }
+}

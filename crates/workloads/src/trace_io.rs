@@ -1,0 +1,290 @@
+//! Trace-bundle serialization.
+//!
+//! The paper's methodology revolves around *traces* — per-layer W/A/G_A
+//! planes collected once and replayed through simulators. This module gives
+//! them a compact on-disk format so a trace collected from one training run
+//! (or shared by another group) can be replayed bit-identically later:
+//!
+//! ```text
+//! magic "ANTTRC01"
+//! u32 trace_count
+//! per trace:
+//!   u32 name_len, name bytes (utf-8)
+//!   u32 stride, u32 K, u32 C
+//!   K*C weight planes, C activation planes, K gradient planes
+//! per plane (CSR): u32 rows, u32 cols, u32 nnz,
+//!   (rows+1) x u32 row_ptr, nnz x u32 col_idx, nnz x f32 values (LE)
+//! ```
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use ant_nn::ConvTrace;
+use ant_sparse::{CsrMatrix, DenseMatrix};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 8] = b"ANTTRC01";
+
+/// Errors decoding a trace bundle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceIoError {
+    /// The buffer does not start with the format magic.
+    BadMagic,
+    /// The buffer ended before the declared content.
+    Truncated,
+    /// A decoded field was inconsistent (bad UTF-8, invalid CSR, absurd
+    /// dimensions).
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::BadMagic => write!(f, "not an ANT trace bundle (bad magic)"),
+            TraceIoError::Truncated => write!(f, "trace bundle ends prematurely"),
+            TraceIoError::Corrupt(what) => write!(f, "corrupt trace bundle: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+/// Encodes a set of traces into the bundle format.
+pub fn encode_traces(traces: &[ConvTrace]) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u32(traces.len() as u32);
+    for trace in traces {
+        buf.put_u32(trace.name.len() as u32);
+        buf.put_slice(trace.name.as_bytes());
+        buf.put_u32(trace.stride as u32);
+        buf.put_u32(trace.out_channels() as u32);
+        buf.put_u32(trace.in_channels() as u32);
+        for row in &trace.weights {
+            for plane in row {
+                encode_plane(&mut buf, plane);
+            }
+        }
+        for plane in &trace.activations {
+            encode_plane(&mut buf, plane);
+        }
+        for plane in &trace.grad_out {
+            encode_plane(&mut buf, plane);
+        }
+    }
+    buf.freeze()
+}
+
+fn encode_plane(buf: &mut BytesMut, plane: &DenseMatrix) {
+    let csr = CsrMatrix::from_dense(plane);
+    buf.put_u32(csr.rows() as u32);
+    buf.put_u32(csr.cols() as u32);
+    buf.put_u32(csr.nnz() as u32);
+    for &p in csr.row_ptr() {
+        buf.put_u32(p as u32);
+    }
+    for &c in csr.col_idx() {
+        buf.put_u32(c as u32);
+    }
+    for &v in csr.values() {
+        buf.put_f32_le(v);
+    }
+}
+
+/// Decodes a bundle back into traces.
+///
+/// # Errors
+///
+/// Returns a [`TraceIoError`] describing the first malformation found; a
+/// valid bundle round-trips bit-identically.
+pub fn decode_traces(mut data: &[u8]) -> Result<Vec<ConvTrace>, TraceIoError> {
+    if data.len() < MAGIC.len() || &data[..MAGIC.len()] != MAGIC {
+        return Err(TraceIoError::BadMagic);
+    }
+    data.advance(MAGIC.len());
+    let count = read_u32(&mut data)? as usize;
+    if count > 1 << 20 {
+        return Err(TraceIoError::Corrupt("absurd trace count"));
+    }
+    let mut traces = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name_len = read_u32(&mut data)? as usize;
+        if data.remaining() < name_len {
+            return Err(TraceIoError::Truncated);
+        }
+        let name = String::from_utf8(data[..name_len].to_vec())
+            .map_err(|_| TraceIoError::Corrupt("trace name is not utf-8"))?;
+        data.advance(name_len);
+        let stride = read_u32(&mut data)? as usize;
+        let k = read_u32(&mut data)? as usize;
+        let c = read_u32(&mut data)? as usize;
+        if stride == 0 || k == 0 || c == 0 || k > 1 << 16 || c > 1 << 16 {
+            return Err(TraceIoError::Corrupt("bad trace dimensions"));
+        }
+        let mut weights = Vec::with_capacity(k);
+        for _ in 0..k {
+            let mut row = Vec::with_capacity(c);
+            for _ in 0..c {
+                row.push(decode_plane(&mut data)?);
+            }
+            weights.push(row);
+        }
+        let mut activations = Vec::with_capacity(c);
+        for _ in 0..c {
+            activations.push(decode_plane(&mut data)?);
+        }
+        let mut grad_out = Vec::with_capacity(k);
+        for _ in 0..k {
+            grad_out.push(decode_plane(&mut data)?);
+        }
+        traces.push(ConvTrace::from_planes(
+            &name,
+            stride,
+            weights,
+            activations,
+            grad_out,
+        ));
+    }
+    Ok(traces)
+}
+
+fn decode_plane(data: &mut &[u8]) -> Result<DenseMatrix, TraceIoError> {
+    let rows = read_u32(data)? as usize;
+    let cols = read_u32(data)? as usize;
+    let nnz = read_u32(data)? as usize;
+    if rows == 0 || cols == 0 || rows > 1 << 16 || cols > 1 << 16 || nnz > rows * cols {
+        return Err(TraceIoError::Corrupt("bad plane dimensions"));
+    }
+    let mut row_ptr = Vec::with_capacity(rows + 1);
+    for _ in 0..=rows {
+        row_ptr.push(read_u32(data)? as usize);
+    }
+    let mut col_idx = Vec::with_capacity(nnz);
+    for _ in 0..nnz {
+        col_idx.push(read_u32(data)? as usize);
+    }
+    let mut values = Vec::with_capacity(nnz);
+    for _ in 0..nnz {
+        if data.remaining() < 4 {
+            return Err(TraceIoError::Truncated);
+        }
+        values.push(data.get_f32_le());
+    }
+    let csr = CsrMatrix::from_raw(rows, cols, row_ptr, col_idx, values)
+        .map_err(|_| TraceIoError::Corrupt("invalid CSR plane"))?;
+    Ok(csr.to_dense())
+}
+
+fn read_u32(data: &mut &[u8]) -> Result<u32, TraceIoError> {
+    if data.remaining() < 4 {
+        return Err(TraceIoError::Truncated);
+    }
+    Ok(data.get_u32())
+}
+
+/// Writes a trace bundle to disk.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn save_traces(path: impl AsRef<Path>, traces: &[ConvTrace]) -> io::Result<()> {
+    fs::write(path, encode_traces(traces))
+}
+
+/// Reads a trace bundle from disk.
+///
+/// # Errors
+///
+/// Propagates I/O errors; decode failures map to
+/// [`io::ErrorKind::InvalidData`].
+pub fn load_traces(path: impl AsRef<Path>) -> io::Result<Vec<ConvTrace>> {
+    let data = fs::read(path)?;
+    decode_traces(&data).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::ConvLayerSpec;
+    use crate::synth::{synthesize_layer, LayerSparsity};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_traces() -> Vec<ConvTrace> {
+        let mut rng = StdRng::seed_from_u64(42);
+        let spec_a = ConvLayerSpec::new("layer-a", 3, 2, 3, 10, 1, 1, 1);
+        let spec_b = ConvLayerSpec::new("layer-b", 2, 3, 5, 12, 1, 0, 1);
+        vec![
+            synthesize_layer(&spec_a, &LayerSparsity::uniform(0.8), 4, &mut rng).trace,
+            synthesize_layer(&spec_b, &LayerSparsity::uniform(0.5), 4, &mut rng).trace,
+        ]
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let traces = sample_traces();
+        let decoded = decode_traces(&encode_traces(&traces)).unwrap();
+        assert_eq!(decoded.len(), traces.len());
+        for (a, b) in traces.iter().zip(decoded.iter()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.stride, b.stride);
+            assert_eq!(a.weights, b.weights);
+            assert_eq!(a.activations, b.activations);
+            assert_eq!(a.grad_out, b.grad_out);
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let traces = sample_traces();
+        let dir = std::env::temp_dir().join("ant-trace-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bundle.anttrc");
+        save_traces(&path, &traces).unwrap();
+        let loaded = load_traces(&path).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[0].weights, traces[0].weights);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(decode_traces(b"NOTATRACE"), Err(TraceIoError::BadMagic));
+        assert_eq!(decode_traces(b""), Err(TraceIoError::BadMagic));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let traces = sample_traces();
+        let full = encode_traces(&traces);
+        for cut in [9usize, 20, full.len() / 2, full.len() - 1] {
+            let err = decode_traces(&full[..cut]).unwrap_err();
+            assert!(
+                matches!(err, TraceIoError::Truncated | TraceIoError::Corrupt(_)),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let traces = sample_traces();
+        let mut data = encode_traces(&traces).to_vec();
+        // Stomp the trace count with an absurd value.
+        data[8..12].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert!(matches!(
+            decode_traces(&data),
+            Err(TraceIoError::Corrupt(_)) | Err(TraceIoError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn decoded_traces_still_feed_the_simulator() {
+        let traces = sample_traces();
+        let decoded = decode_traces(&encode_traces(&traces)).unwrap();
+        let pairs = decoded[0].update_pairs().unwrap();
+        assert!(!pairs.is_empty());
+    }
+}

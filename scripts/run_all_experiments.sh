@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure of the paper plus the extra ablations.
+# CSV output lands in target/experiments/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --workspace --release
+
+BINARIES=(
+  fig01_breakdown
+  tab02_efficiency
+  tab03_matmul_efficiency
+  fig09_speedup_energy
+  tab05_rcps_avoided
+  fig10_vs_dense
+  fig11_same_sparsity
+  fig12_multiplier_sweep
+  fig13_fnir_sweep
+  fig14_ablation
+  sec75_area
+  sec76_overhead
+  sec77_inner_product
+  sec78_transformer_rnn
+  extra_real_traces
+  extra_table1_machines
+  extra_load_balance
+  extra_dataflow
+  extra_pattern_sensitivity
+  extra_accumulator
+  extra_minimum_mults
+  extra_energy_breakdown
+  extra_scheduling
+  extra_resnet_traces
+)
+
+for bin in "${BINARIES[@]}"; do
+  echo
+  echo "================================================================"
+  echo "== $bin"
+  echo "================================================================"
+  ./target/release/"$bin"
+done

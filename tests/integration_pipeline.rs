@@ -1,0 +1,124 @@
+//! Cross-crate integration: sparse formats -> convolution math -> ANT
+//! anticipator agree end to end.
+
+use ant_conv::algorithms::{ideal_anticipation, vector_anticipation, ConditionMask};
+use ant_conv::dense::conv2d;
+use ant_conv::efficiency::TrainingPhases;
+use ant_conv::outer::sparse_conv_outer;
+use ant_conv::rcp::breakdown;
+use ant_conv::ConvShape;
+use ant_core::anticipator::{AntConfig, Anticipator};
+use ant_sparse::{sparsify, CsrMatrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn sparse_pair(shape: &ConvShape, sparsity: f64, seed: u64) -> (CsrMatrix, CsrMatrix) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let kernel =
+        sparsify::random_with_sparsity(shape.kernel_h(), shape.kernel_w(), sparsity, &mut rng);
+    let image =
+        sparsify::random_with_sparsity(shape.image_h(), shape.image_w(), sparsity, &mut rng);
+    (
+        CsrMatrix::from_dense(&kernel),
+        CsrMatrix::from_dense(&image),
+    )
+}
+
+/// Every execution strategy computes the same convolution.
+#[test]
+fn all_strategies_agree_on_output() {
+    for (shape, seed) in [
+        (ConvShape::new(3, 3, 12, 12, 1).unwrap(), 1u64),
+        (ConvShape::new(10, 10, 12, 12, 1).unwrap(), 2),
+        (ConvShape::new(3, 3, 13, 13, 2).unwrap(), 3),
+    ] {
+        let (kernel, image) = sparse_pair(&shape, 0.8, seed);
+        let reference = conv2d(&kernel.to_dense(), &image.to_dense(), &shape).unwrap();
+        let outer = sparse_conv_outer(&kernel, &image, &shape).unwrap();
+        let ideal = ideal_anticipation(&kernel, &image, &shape).unwrap();
+        let vector = vector_anticipation(&kernel, &image, &shape, 4, ConditionMask::BOTH).unwrap();
+        let hardware = Anticipator::new(AntConfig::paper_default())
+            .run_conv(&kernel, &image, &shape)
+            .unwrap();
+        for (label, output) in [
+            ("outer", &outer.output),
+            ("ideal", &ideal.output),
+            ("vector", &vector.output),
+            ("hardware", &hardware.output),
+        ] {
+            assert!(
+                output.approx_eq(&reference, 1e-3),
+                "{label} diverged on {shape}"
+            );
+        }
+    }
+}
+
+/// The anticipation hierarchy holds: ideal skips the most RCPs, the
+/// hardware scan (Algorithm 2 granularity) at most as many, the plain outer
+/// product none — and all find identical useful work.
+#[test]
+fn anticipation_hierarchy() {
+    let shape = ConvShape::new(12, 12, 16, 16, 1).unwrap();
+    let (kernel, image) = sparse_pair(&shape, 0.9, 7);
+    let outer = sparse_conv_outer(&kernel, &image, &shape).unwrap();
+    let ideal = ideal_anticipation(&kernel, &image, &shape).unwrap();
+    let hardware = Anticipator::new(AntConfig::paper_default())
+        .run_conv(&kernel, &image, &shape)
+        .unwrap();
+    assert_eq!(ideal.counters.useful, outer.useful);
+    assert_eq!(hardware.counters.useful, outer.useful);
+    assert!(ideal.counters.rcps_skipped >= hardware.counters.rcps_skipped);
+    assert!(hardware.counters.multiplications <= outer.products);
+    // At stride 1, ideal anticipation eliminates every RCP.
+    assert_eq!(ideal.counters.rcps_executed, 0);
+}
+
+/// The analytic breakdown counter agrees with what execution observes.
+#[test]
+fn breakdown_agrees_with_execution() {
+    let shape = ConvShape::new(8, 8, 12, 12, 1).unwrap();
+    let (kernel, image) = sparse_pair(&shape, 0.7, 9);
+    let outer = sparse_conv_outer(&kernel, &image, &shape).unwrap();
+    let b = breakdown(&kernel, &image, &shape).unwrap();
+    assert_eq!(b.useful, outer.useful);
+    assert_eq!(b.nonzero_rcp, outer.rcps);
+    assert_eq!(b.useful + b.nonzero_rcp, outer.products);
+}
+
+/// Phase-shape algebra is self-consistent: the update phase of each layer
+/// produces the weight-gradient dimensions, and its efficiency is far below
+/// the forward phase's.
+#[test]
+fn training_phase_shapes_consistent() {
+    for (r, h, stride, pad) in [
+        (3usize, 32usize, 1usize, 1usize),
+        (3, 16, 1, 1),
+        (7, 224, 2, 3),
+    ] {
+        let phases = TrainingPhases::for_layer(r, r, h, h, stride, pad).unwrap();
+        assert_eq!((phases.update.out_h(), phases.update.out_w()), (r, r));
+        assert_eq!(
+            (phases.update.kernel_h(), phases.update.kernel_w()),
+            (phases.forward.out_h(), phases.forward.out_w())
+        );
+        assert!(
+            phases.update.outer_product_efficiency()
+                < phases.forward.outer_product_efficiency() / 5.0
+        );
+    }
+}
+
+/// Rotation through the hardware buffer equals rotation in math: running the
+/// backward convolution with the ROTATE flag set gives the same result as
+/// rotating the kernel up front.
+#[test]
+fn rotate_flag_matches_explicit_rotation() {
+    let shape = ConvShape::new(3, 3, 10, 10, 1).unwrap();
+    let (kernel, image) = sparse_pair(&shape, 0.5, 11);
+    let mut buffer = ant_core::rotate::KernelBuffer::new(kernel.clone());
+    buffer.set_rotate(true);
+    let via_flag = sparse_conv_outer(&buffer.effective(), &image, &shape).unwrap();
+    let explicit = sparse_conv_outer(&kernel.rotate180(), &image, &shape).unwrap();
+    assert_eq!(via_flag.output, explicit.output);
+}
