@@ -6,6 +6,7 @@
 //! into a banked accumulator model and sweeps the bank count, reporting the
 //! conflict-stall overhead relative to the assumed-ideal cycle count.
 
+use ant_bench::obs::Experiment;
 use ant_bench::report::{percent, Table};
 use ant_conv::ConvShape;
 use ant_core::anticipator::{AntConfig, Anticipator};
@@ -15,7 +16,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() -> Result<(), ant_conv::ConvError> {
-    println!("Extra: accumulator bank-conflict sensitivity (4x4 array)\n");
+    let mut exp = Experiment::start("extra_accumulator", "Extra: accumulator bank-conflict sensitivity (4x4 array)");
+    exp.config("seed", 0xACCu64).config("banks", "4,8,32,128");
+    println!();
     let ant = Anticipator::new(AntConfig::paper_default());
     let mut table = Table::new(&["geometry", "sparsity", "banks", "stall overhead"]);
     let cases = [
@@ -64,9 +67,6 @@ fn main() -> Result<(), ant_conv::ConvError> {
          banking. That requirement is invisible under the paper's assumption and\n\
          is exactly the kind of design note this ablation is for."
     );
-    match table.write_csv("extra_accumulator") {
-        Ok(path) => println!("\ncsv: {}", path.display()),
-        Err(e) => eprintln!("csv write failed: {e}"),
-    }
+    exp.finish(&table);
     Ok(())
 }

@@ -7,6 +7,7 @@
 //! is smaller: holding the small side stationary means fewer groups and a
 //! shorter scan of the big side per group.
 
+use ant_bench::obs::Experiment;
 use ant_bench::report::{percent, Table};
 use ant_conv::ConvShape;
 use ant_core::anticipator::{AntConfig, Anticipator};
@@ -16,7 +17,9 @@ use rand::SeedableRng;
 
 fn main() -> Result<(), ant_conv::ConvError> {
     let ant = Anticipator::new(AntConfig::paper_default());
-    println!("Extra: dataflow comparison at 90% sparsity\n");
+    let mut exp = Experiment::start("extra_dataflow", "Extra: dataflow comparison at 90% sparsity");
+    exp.config("sparsity", 0.9).config("seed", 0xDFu64);
+    println!();
     let mut table = Table::new(&[
         "geometry",
         "dataflow",
@@ -72,9 +75,6 @@ fn main() -> Result<(), ant_conv::ConvError> {
          executes an RCP but replaces them with CSR probe traffic (3-10x the\n\
          SRAM reads here), showing why the paper anticipates instead of gathers."
     );
-    match table.write_csv("extra_dataflow") {
-        Ok(path) => println!("\ncsv: {}", path.display()),
-        Err(e) => eprintln!("csv write failed: {e}"),
-    }
+    exp.finish(&table);
     Ok(())
 }

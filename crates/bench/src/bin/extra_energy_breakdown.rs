@@ -7,6 +7,7 @@
 //! importantly, the kernel SRAM traffic skipped via the CSR indirection
 //! (paper Fig. 7).
 
+use ant_bench::obs::Experiment;
 use ant_bench::report::{percent, Table};
 use ant_bench::runner::{simulate_network_parallel, ExperimentConfig};
 use ant_sim::ant::AntAccelerator;
@@ -23,7 +24,11 @@ fn main() {
     let sb = s.total.energy_breakdown(&model);
     let ab = a.total.energy_breakdown(&model);
 
-    println!("Extra: energy breakdown (ResNet18/CIFAR @ 90% sparsity)\n");
+    let mut exp = Experiment::start("extra_energy_breakdown", "Extra: energy breakdown (ResNet18/CIFAR @ 90% sparsity)");
+    exp.config("network", net.name)
+        .config("sparsity", 0.9)
+        .config_experiment(&cfg);
+    println!();
     let mut table = Table::new(&["category", "SCNN+ (uJ)", "ANT (uJ)", "ANT saves"]);
     let rows = [
         ("bf16 multiplies", sb.multiply_pj, ab.multiply_pj),
@@ -47,8 +52,5 @@ fn main() {
          (Fig. 7's indirection skipping) shrink; accumulator traffic is identical\n\
          because both machines write exactly the useful products."
     );
-    match table.write_csv("extra_energy_breakdown") {
-        Ok(path) => println!("\ncsv: {}", path.display()),
-        Err(e) => eprintln!("csv write failed: {e}"),
-    }
+    exp.finish(&table);
 }

@@ -7,6 +7,7 @@
 //! `max/mean` PE-work imbalance and the halo (cross-tile) product fraction —
 //! the two quantities a real scheduler must manage.
 
+use ant_bench::obs::Experiment;
 use ant_bench::report::{percent, Table};
 use ant_sim::tiling::{halo_products, load_balance, Tiling};
 use ant_sparse::{sparsify, CsrMatrix};
@@ -15,7 +16,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    println!("Extra: tiling load balance and halo traffic (8x8 PE grid)\n");
+    let mut exp = Experiment::start("extra_load_balance", "Extra: tiling load balance and halo traffic (8x8 PE grid)");
+    exp.config("pe_grid", "8x8").config("seed", 0x10adu64);
+    println!();
     let mut table = Table::new(&[
         "plane",
         "sparsity",
@@ -60,8 +63,5 @@ fn main() {
          handful of non-zeros each, so imbalance grows — quantifying why the paper\n\
          (and DESIGN.md) call load balancing out as the key future-work lever."
     );
-    match table.write_csv("extra_load_balance") {
-        Ok(path) => println!("\ncsv: {}", path.display()),
-        Err(e) => eprintln!("csv write failed: {e}"),
-    }
+    exp.finish(&table);
 }

@@ -8,6 +8,7 @@
 //! "residual conservatism" (ANT's vector-granularity test) from "zero
 //! operands" (dense machines).
 
+use ant_bench::obs::Experiment;
 use ant_bench::report::{ratio, Table};
 use ant_conv::direct::sparse_conv_direct;
 use ant_sim::ant::AntAccelerator;
@@ -20,7 +21,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    println!("Extra: executed multiplications vs the useful-products floor\n");
+    let mut exp = Experiment::start("extra_minimum_mults", "Extra: executed multiplications vs the useful-products floor");
+    exp.config("sparsity", 0.9).config("seed", 0x313u64);
+    println!();
     let spec = ConvLayerSpec::new("3x3/32x32", 4, 4, 3, 32, 1, 1, 1);
     let mut rng = StdRng::seed_from_u64(0x313);
     let synth = synthesize_layer(&spec, &LayerSparsity::uniform(0.9), 4, &mut rng);
@@ -70,8 +73,5 @@ fn main() {
          ANT's residue above 1.00x is the conservatism of the vector-granularity\n\
          test (Algorithm 2 vs Algorithm 1); the dense machine pays for zeros."
     );
-    match table.write_csv("extra_minimum_mults") {
-        Ok(path) => println!("\ncsv: {}", path.display()),
-        Err(e) => eprintln!("csv write failed: {e}"),
-    }
+    exp.finish(&table);
 }

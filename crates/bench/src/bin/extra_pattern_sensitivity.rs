@@ -8,6 +8,7 @@
 //! regions) — on the update-phase geometry where anticipation does its
 //! work.
 
+use ant_bench::obs::Experiment;
 use ant_bench::report::{percent, ratio, Table};
 use ant_conv::ConvShape;
 use ant_sim::ant::AntAccelerator;
@@ -18,7 +19,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    println!("Extra: sparsity-pattern sensitivity (update-phase 32x32 (*) 34x34)\n");
+    let mut exp = Experiment::start("extra_pattern_sensitivity", "Extra: sparsity-pattern sensitivity (update-phase 32x32 (*) 34x34)");
+    exp.config("seed", 0xBA7u64).config("sparsities", "0.8,0.9,0.95");
+    println!();
     let shape = ConvShape::new(32, 32, 34, 34, 1).expect("valid shape");
     let scnn = ScnnPlus::paper_default();
     let ant = AntAccelerator::paper_default();
@@ -60,8 +63,5 @@ fn main() {
          min/max spans), so anticipation sharpens — the mechanism behind the\n\
          paper's remark that distribution, not just level, drives ANT's gains."
     );
-    match table.write_csv("extra_pattern_sensitivity") {
-        Ok(path) => println!("\ncsv: {}", path.display()),
-        Err(e) => eprintln!("csv write failed: {e}"),
-    }
+    exp.finish(&table);
 }

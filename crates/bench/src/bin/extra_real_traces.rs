@@ -8,6 +8,7 @@
 //! produced by a real training algorithm (ReLU-structured activations,
 //! delta-sparsified gradients).
 
+use ant_bench::obs::Experiment;
 use ant_bench::report::{percent, ratio, Table};
 use ant_nn::data::SyntheticDataset;
 use ant_nn::model::{SmallCnn, SparseMode};
@@ -68,7 +69,9 @@ fn run_mode(label: &str, mut mode: SparseMode, table: &mut Table) {
 }
 
 fn main() {
-    println!("Extra: real backprop traces through SCNN+ and ANT\n");
+    let mut exp = Experiment::start("extra_real_traces", "Extra: real backprop traces through SCNN+ and ANT");
+    exp.config("train_steps", 20u64).config("batch", 8u64);
+    println!();
     let mut table = Table::new(&[
         "training mode",
         "loss@20",
@@ -77,20 +80,22 @@ fn main() {
         "ANT speedup",
         "RCPs avoided",
     ]);
+    let mut progress = exp.progress(3);
     run_mode("dense", SparseMode::Dense, &mut table);
+    progress.step("dense");
     run_mode(
         "SWAT-90%",
         SparseMode::Swat(SwatSparsifier::new(0.9)),
         &mut table,
     );
+    progress.step("SWAT-90%");
     run_mode(
         "ReSprop-90%",
         SparseMode::ReSprop(ReSpropSparsifier::new(0.9)),
         &mut table,
     );
+    progress.step("ReSprop-90%");
+    progress.finish();
     print!("{}", table.render());
-    match table.write_csv("extra_real_traces") {
-        Ok(path) => println!("\ncsv: {}", path.display()),
-        Err(e) => eprintln!("csv write failed: {e}"),
-    }
+    exp.finish(&table);
 }

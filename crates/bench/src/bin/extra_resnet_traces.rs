@@ -6,6 +6,7 @@
 //! binary trains the `ant-nn` residual classifier end to end and runs its
 //! captured traces through SCNN+ and ANT, reporting per-conv-layer results.
 
+use ant_bench::obs::Experiment;
 use ant_bench::report::{percent, ratio, Table};
 use ant_nn::data::SyntheticDataset;
 use ant_nn::resnet::ResNetLite;
@@ -40,7 +41,11 @@ fn main() {
     let mut traces = Vec::new();
     let _ = net.train_step(&batch, 0.03, Some(&mut traces));
 
-    println!("Extra: residual-network (conv-BN-ReLU + skip) traces, loss@25 = {last_loss:.3}\n");
+    let mut exp = Experiment::start("extra_resnet_traces", &format!("Extra: residual-network (conv-BN-ReLU + skip) traces, loss@25 = {last_loss:.3}"));
+    exp.config("train_steps", 25u64)
+        .config("seed", 2026u64)
+        .config("final_loss", last_loss);
+    println!();
     let scnn = ScnnPlus::paper_default();
     let ant = AntAccelerator::paper_default();
     let mut table = Table::new(&[
@@ -67,8 +72,5 @@ fn main() {
          ReLU-only paths; the update phase still carries enough RCPs for ANT\n\
          to win on every layer."
     );
-    match table.write_csv("extra_resnet_traces") {
-        Ok(path) => println!("\ncsv: {}", path.display()),
-        Err(e) => eprintln!("csv write failed: {e}"),
-    }
+    exp.finish(&table);
 }

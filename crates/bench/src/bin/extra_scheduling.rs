@@ -8,6 +8,7 @@
 //! LPT placement (needs per-pair cost estimates — the paper's future-work
 //! oracle), and cost-blind round-robin.
 
+use ant_bench::obs::Experiment;
 use ant_bench::report::{ratio, Table};
 use ant_sim::ant::AntAccelerator;
 use ant_sim::schedule::{perfect_balance_cycles, schedule_lpt, schedule_round_robin};
@@ -21,7 +22,11 @@ fn main() {
     let ant = AntAccelerator::paper_default();
     let net = resnet18_cifar();
     let pes = 64usize;
-    println!("Extra: scheduler comparison (ANT, ResNet18/CIFAR @ 90%, 64 PEs)\n");
+    let mut exp = Experiment::start("extra_scheduling", "Extra: scheduler comparison (ANT, ResNet18/CIFAR @ 90%, 64 PEs)");
+    exp.config("network", net.name)
+        .config("pes", pes as u64)
+        .config("sparsity", 0.9);
+    println!();
     // Gather per-pair cycles for every layer and phase.
     let mut job_cycles: Vec<u64> = Vec::new();
     for (li, layer) in net.layers.iter().enumerate() {
@@ -65,8 +70,5 @@ fn main() {
          scheduler; cost-blind placement leaves real cycles on the table.",
         job_cycles.len()
     );
-    match table.write_csv("extra_scheduling") {
-        Ok(path) => println!("\ncsv: {}", path.display()),
-        Err(e) => eprintln!("csv write failed: {e}"),
-    }
+    exp.finish(&table);
 }

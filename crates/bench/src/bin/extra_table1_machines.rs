@@ -9,6 +9,7 @@
 //! workload, plus the update-phase-only slice where the differences are
 //! starkest.
 
+use ant_bench::obs::Experiment;
 use ant_bench::report::{ratio, Table};
 use ant_bench::runner::{simulate_network_parallel, ExperimentConfig};
 use ant_sim::ant::AntAccelerator;
@@ -24,7 +25,11 @@ fn main() {
     let energy = EnergyModel::paper_7nm();
     let net = resnet18_cifar();
 
-    println!("Extra: accelerator-class comparison (ResNet18/CIFAR, 90% sparsity)\n");
+    let mut exp = Experiment::start("extra_table1_machines", "Extra: accelerator-class comparison (ResNet18/CIFAR, 90% sparsity)");
+    exp.config("network", net.name)
+        .config("sparsity", 0.9)
+        .config_experiment(&cfg);
+    println!();
     let machines: Vec<(&str, Box<dyn ConvSim + Sync>)> = vec![
         (
             "DaDianNao (dense IP)",
@@ -51,8 +56,10 @@ fn main() {
     ];
     let dense = simulate_network_parallel(&DenseInnerProduct::paper_default(), &net, &cfg);
     let mut table = Table::new(&["machine", "cycles", "vs dense", "energy (uJ)"]);
+    let mut progress = exp.progress(machines.len());
     for (label, machine) in &machines {
         let r = simulate_network_parallel(machine.as_ref(), &net, &cfg);
+        progress.step(label);
         table.push_row(vec![
             label.to_string(),
             r.wall_cycles.to_string(),
@@ -60,6 +67,7 @@ fn main() {
             format!("{:.1}", r.total.energy_pj(&energy) / 1e6),
         ]);
     }
+    progress.finish();
     print!("{}", table.render());
     println!(
         "\n* the static-filter row is the inference regime GoSPA was built for;\n\
@@ -67,8 +75,5 @@ fn main() {
          Table 1's claim quantified: only the outer-product machines support\n\
          two-sided dynamic sparsity, and ANT removes the RCPs they pay for it."
     );
-    match table.write_csv("extra_table1_machines") {
-        Ok(path) => println!("\ncsv: {}", path.display()),
-        Err(e) => eprintln!("csv write failed: {e}"),
-    }
+    exp.finish(&table);
 }

@@ -5,6 +5,7 @@
 //! Paper takeaway: RCPs are a large share of the *non-zero* products, and
 //! the `G_A * A` phase pushes them to ~90-96% of useful computation.
 
+use ant_bench::obs::Experiment;
 use ant_bench::report::{percent, Table};
 use ant_conv::efficiency::TrainingPhase;
 use ant_conv::rcp::{breakdown, ProductBreakdown};
@@ -18,10 +19,18 @@ fn main() {
     let sparsity = LayerSparsity::uniform(0.9);
     let max_channels = 2; // ImageNet-scale planes are large; scale linearly.
 
-    println!(
-        "Figure 1: partial-product breakdown, {} @ 90% sparse training\n",
-        net.name
+    let mut exp = Experiment::start(
+        "fig01_breakdown",
+        &format!(
+            "Figure 1: partial-product breakdown, {} @ 90% sparse training",
+            net.name
+        ),
     );
+    exp.config("network", net.name)
+        .config("sparsity", 0.9)
+        .config("max_channels", max_channels as u64)
+        .config("seed", 0xF16u64);
+    println!();
     let mut table = Table::new(&[
         "phase",
         "useful/total",
@@ -29,7 +38,10 @@ fn main() {
         "zero-op/total",
         "RCP share of non-zero",
     ]);
+    let mut progress = exp.progress(TrainingPhase::ALL.len());
     for phase in TrainingPhase::ALL {
+        let mut phase_span = ant_obs::span("phase");
+        phase_span.record("phase", phase.paper_name());
         let mut agg = ProductBreakdown::default();
         for (li, layer) in net.layers.iter().enumerate() {
             let mut rng = StdRng::seed_from_u64(0xF16 ^ li as u64);
@@ -58,6 +70,12 @@ fn main() {
         }
         let total = agg.total as f64;
         let zero_ops = (agg.kernel_zero_only + agg.image_zero_only + agg.both_zero) as f64;
+        if phase_span.is_recording() {
+            phase_span
+                .record("total_products", agg.total)
+                .record("useful", agg.useful)
+                .record("nonzero_rcp", agg.nonzero_rcp);
+        }
         table.push_row(vec![
             phase.to_string(),
             percent(agg.useful as f64 / total),
@@ -65,14 +83,14 @@ fn main() {
             percent(zero_ops / total),
             percent(agg.rcp_fraction_of_nonzero()),
         ]);
+        drop(phase_span);
+        progress.step(phase.paper_name());
     }
+    progress.finish();
     print!("{}", table.render());
     println!(
         "\npaper: RCPs reach up to 96% of useful computation in G_A*A; \
          forward/backward phases are mostly useful."
     );
-    match table.write_csv("fig01_breakdown") {
-        Ok(path) => println!("\ncsv: {}", path.display()),
-        Err(e) => eprintln!("csv write failed: {e}"),
-    }
+    exp.finish(&table);
 }

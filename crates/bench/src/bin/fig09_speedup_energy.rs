@@ -4,6 +4,7 @@
 //!
 //! Paper reference: geometric mean 3.71x speedup and 4.40x lower energy.
 
+use ant_bench::obs::Experiment;
 use ant_bench::report::{geomean, percent, ratio, Table};
 use ant_bench::runner::{energy_ratio, simulate_network_parallel, speedup, ExperimentConfig};
 use ant_sim::ant::AntAccelerator;
@@ -17,7 +18,11 @@ fn main() {
     let scnn = ScnnPlus::paper_default();
     let ant = AntAccelerator::paper_default();
 
-    println!("Figure 9: ANT vs SCNN+ at 90% sparse training");
+    let mut exp = Experiment::start(
+        "fig09_speedup_energy",
+        "Figure 9: ANT vs SCNN+ at 90% sparse training",
+    );
+    exp.config("sparsity", 0.9).config_experiment(&cfg);
     println!(
         "(config: n={}, k={}, {} PEs, channel sample {})\n",
         4, 16, cfg.num_pes, cfg.max_channels
@@ -31,9 +36,11 @@ fn main() {
         "energy ratio",
         "RCPs avoided",
     ]);
+    let networks = figure9_networks();
+    let mut progress = exp.progress(networks.len());
     let mut speedups = Vec::new();
     let mut energies = Vec::new();
-    for net in figure9_networks() {
+    for net in networks {
         let s = simulate_network_parallel(&scnn, &net, &cfg);
         let a = simulate_network_parallel(&ant, &net, &cfg);
         let sp = speedup(&s, &a);
@@ -48,14 +55,21 @@ fn main() {
             ratio(er),
             percent(a.total.rcps_avoided_fraction()),
         ]);
+        progress.step(net.name);
     }
+    progress.finish();
     print!("{}", table.render());
+    let geo_speedup = geomean(&speedups);
+    let geo_energy = geomean(&energies);
     println!(
         "\ngeomean speedup: {}   geomean energy reduction: {}",
-        ratio(geomean(&speedups)),
-        ratio(geomean(&energies))
+        ratio(geo_speedup),
+        ratio(geo_energy)
     );
     println!("paper:           3.71x                              4.40x");
+    exp.stat("geomean_speedup", geo_speedup)
+        .stat("geomean_energy_reduction", geo_energy)
+        .stat("networks", speedups.len() as u64);
 
     // Per-phase detail for one network: where the win comes from.
     let net = ant_workloads::models::resnet18_cifar();
@@ -71,8 +85,5 @@ fn main() {
             percent(1.0 - aa.mults as f64 / ss.mults.max(1) as f64)
         );
     }
-    match table.write_csv("fig09_speedup_energy") {
-        Ok(path) => println!("\ncsv: {}", path.display()),
-        Err(e) => eprintln!("csv write failed: {e}"),
-    }
+    exp.finish(&table);
 }

@@ -4,6 +4,7 @@
 //! Paper reference: DenseNet-121 93.6%, ResNet18 98.0%, VGG16 74.9%,
 //! WRN-16-8 94.8%, ResNet50 91.9% — average 90.3%.
 
+use ant_bench::obs::Experiment;
 use ant_bench::report::{percent, Table};
 use ant_bench::runner::{simulate_network_parallel, ExperimentConfig};
 use ant_sim::ant::AntAccelerator;
@@ -12,11 +13,17 @@ use ant_workloads::models::figure9_networks;
 fn main() {
     let cfg = ExperimentConfig::paper_default();
     let ant = AntAccelerator::paper_default();
-    println!("Table 5: RCPs avoided by ANT at 90% sparsity\n");
+    let mut exp = Experiment::start(
+        "tab05_rcps_avoided",
+        "Table 5: RCPs avoided by ANT at 90% sparsity",
+    );
+    exp.config("sparsity", 0.9).config_experiment(&cfg);
+    println!();
     let paper = [93.6, 98.0, 74.9, 94.8, 91.9];
     let mut table = Table::new(&["network", "RCPs avoided", "paper"]);
     let mut sum = 0.0;
     let nets = figure9_networks();
+    let mut progress = exp.progress(nets.len());
     for (net, paper_pct) in nets.iter().zip(paper.iter()) {
         let result = simulate_network_parallel(&ant, net, &cfg);
         let avoided = result.total.rcps_avoided_fraction();
@@ -26,14 +33,13 @@ fn main() {
             percent(avoided),
             format!("{paper_pct:.1}%"),
         ]);
+        progress.step(net.name);
     }
+    progress.finish();
     print!("{}", table.render());
-    println!(
-        "\naverage: {}   (paper average: 90.3%)",
-        percent(sum / nets.len() as f64)
-    );
-    match table.write_csv("tab05_rcps_avoided") {
-        Ok(path) => println!("\ncsv: {}", path.display()),
-        Err(e) => eprintln!("csv write failed: {e}"),
-    }
+    let average = sum / nets.len() as f64;
+    println!("\naverage: {}   (paper average: 90.3%)", percent(average));
+    exp.stat("average_rcps_avoided", average)
+        .stat("networks", nets.len() as u64);
+    exp.finish(&table);
 }

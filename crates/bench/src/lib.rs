@@ -7,13 +7,18 @@
 //!   x channel-sampled pairs) through any simulator machine and aggregates
 //!   [`ant_sim::SimStats`], with deterministic seeding and linear scaling
 //!   back to full layer dimensions.
-//! * [`report`] — fixed-width console tables plus CSV output under
+//! * [`report`] — fixed-width console tables plus CSV/JSONL output under
 //!   `target/experiments/`.
+//! * [`obs`] — the per-binary experiment harness: banner, root span,
+//!   progress reporting, and a run-manifest sidecar for every output
+//!   (tracing gated by `ANT_TRACE`; see `docs/OBSERVABILITY.md`).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod obs;
 pub mod report;
 pub mod runner;
 
+pub use obs::Experiment;
 pub use runner::{ExperimentConfig, NetworkResult};

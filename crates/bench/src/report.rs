@@ -1,9 +1,30 @@
-//! Console tables and CSV output for the experiment binaries.
+//! Console tables plus CSV/JSONL output for the experiment binaries.
 
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
 use std::path::PathBuf;
+
+/// A row whose width does not match the table header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowWidthError {
+    /// Columns the table header declares.
+    pub expected: usize,
+    /// Columns the rejected row carried.
+    pub actual: usize,
+}
+
+impl std::fmt::Display for RowWidthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "row width mismatch: table has {} columns, row has {}",
+            self.expected, self.actual
+        )
+    }
+}
+
+impl std::error::Error for RowWidthError {}
 
 /// A simple fixed-width table: header row plus data rows of strings.
 #[derive(Debug, Clone, Default)]
@@ -21,14 +42,33 @@ impl Table {
         }
     }
 
+    /// Appends a data row, rejecting rows whose width differs from the
+    /// header width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RowWidthError`] (and drops the row) on width mismatch.
+    pub fn try_push_row(&mut self, row: Vec<String>) -> Result<(), RowWidthError> {
+        if row.len() != self.header.len() {
+            return Err(RowWidthError {
+                expected: self.header.len(),
+                actual: row.len(),
+            });
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
     /// Appends a data row.
     ///
     /// # Panics
     ///
-    /// Panics if the row width differs from the header width.
+    /// Panics if the row width differs from the header width. Fallible
+    /// callers should use [`Table::try_push_row`].
     pub fn push_row(&mut self, row: Vec<String>) {
-        assert_eq!(row.len(), self.header.len(), "row width mismatch");
-        self.rows.push(row);
+        if let Err(err) = self.try_push_row(row) {
+            panic!("row width mismatch: {err}");
+        }
     }
 
     /// Number of data rows.
@@ -69,11 +109,13 @@ impl Table {
         out
     }
 
-    /// Renders the table as CSV.
+    /// Renders the table as CSV (RFC 4180 quoting: cells containing commas,
+    /// quotes, or line breaks of either flavour are quoted, embedded quotes
+    /// doubled).
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
         let esc = |cell: &str| {
-            if cell.contains([',', '"', '\n']) {
+            if cell.contains([',', '"', '\n', '\r']) {
                 format!("\"{}\"", cell.replace('"', "\"\""))
             } else {
                 cell.to_string()
@@ -107,6 +149,60 @@ impl Table {
         let path = dir.join(format!("{name}.csv"));
         fs::write(&path, self.to_csv())?;
         Ok(path)
+    }
+
+    /// Renders the table as JSONL: one object per data row, keyed by the
+    /// header cells. Numeric-looking cells stay strings — the table layer
+    /// has already formatted them (`3.71x`, `90.3%`) and round-tripping that
+    /// formatting is the point.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for row in &self.rows {
+            out.push('{');
+            for (i, (key, cell)) in self.header.iter().zip(row.iter()).enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                ant_obs::json::write_json_string(key, &mut out);
+                out.push(':');
+                ant_obs::json::write_json_string(cell, &mut out);
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+
+    /// Writes the JSONL rendering to `target/experiments/<name>.jsonl` and
+    /// returns the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_jsonl(&self, name: &str) -> io::Result<PathBuf> {
+        let dir = experiments_dir();
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{name}.jsonl"));
+        fs::write(&path, self.to_jsonl())?;
+        Ok(path)
+    }
+
+    /// Writes both the CSV and JSONL renderings under `name`, records them
+    /// (plus the row count) in `manifest`, and returns the CSV path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_with_manifest(
+        &self,
+        name: &str,
+        manifest: &mut ant_obs::RunManifest,
+    ) -> io::Result<PathBuf> {
+        let csv = self.write_csv(name)?;
+        let jsonl = self.write_jsonl(name)?;
+        manifest.output(csv.display().to_string());
+        manifest.output(jsonl.display().to_string());
+        manifest.stat("table_rows", self.len() as u64);
+        Ok(csv)
     }
 }
 
@@ -168,10 +264,44 @@ mod tests {
     }
 
     #[test]
+    fn try_push_row_reports_widths() {
+        let mut t = Table::new(&["a", "b"]);
+        assert!(t.try_push_row(vec!["1".into(), "2".into()]).is_ok());
+        let err = t.try_push_row(vec!["only-one".into()]).unwrap_err();
+        assert_eq!(err, RowWidthError { expected: 2, actual: 1 });
+        assert!(err.to_string().contains("2 columns"));
+        // The bad row was dropped.
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
     fn csv_escapes_commas() {
         let mut t = Table::new(&["x"]);
         t.push_row(vec!["a,b".into()]);
         assert_eq!(t.to_csv(), "x\n\"a,b\"\n");
+    }
+
+    #[test]
+    fn csv_escapes_quotes_and_line_breaks() {
+        let mut t = Table::new(&["x", "y"]);
+        t.push_row(vec!["say \"hi\"".into(), "line1\r\nline2".into()]);
+        assert_eq!(t.to_csv(), "x,y\n\"say \"\"hi\"\"\",\"line1\r\nline2\"\n");
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_parser() {
+        let mut t = Table::new(&["network", "speedup"]);
+        t.push_row(vec!["vgg16".into(), "3.71x".into()]);
+        t.push_row(vec!["with \"quote\"".into(), "2.00x".into()]);
+        let jsonl = t.to_jsonl();
+        let rows: Vec<_> = jsonl
+            .lines()
+            .map(|l| ant_obs::parse_json(l).expect("valid JSON"))
+            .collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("network").unwrap().as_str(), Some("vgg16"));
+        assert_eq!(rows[0].get("speedup").unwrap().as_str(), Some("3.71x"));
+        assert_eq!(rows[1].get("network").unwrap().as_str(), Some("with \"quote\""));
     }
 
     #[test]

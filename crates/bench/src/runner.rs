@@ -69,6 +69,8 @@ pub fn simulate_network<S: ConvSim + ?Sized>(
     net: &NetworkModel,
     cfg: &ExperimentConfig,
 ) -> NetworkResult {
+    let mut span = ant_obs::span("network");
+    span.record("network", net.name).record("machine", pe.name());
     let mut result = NetworkResult {
         network: net.name,
         machine: pe.name(),
@@ -88,7 +90,20 @@ pub fn simulate_network<S: ConvSim + ?Sized>(
         .total_cycles()
         .div_ceil(cfg.num_pes as u64)
         .max(1);
+    if span.is_recording() {
+        span.record("layers", net.layers.len());
+        span.record("wall_cycles", result.wall_cycles);
+        span.record_all(stats_fields(&result.total));
+    }
     result
+}
+
+/// A SimStats snapshot as typed span fields.
+fn stats_fields(stats: &SimStats) -> impl Iterator<Item = (&'static str, ant_obs::Value)> {
+    stats
+        .fields()
+        .into_iter()
+        .map(|(name, value)| (name, ant_obs::Value::U64(value)))
 }
 
 /// Parallel variant of [`simulate_network`]: layers are simulated on worker
@@ -103,6 +118,11 @@ pub fn simulate_network_parallel<S: ConvSim + Sync + ?Sized>(
         .map(|n| n.get())
         .unwrap_or(1)
         .min(net.layers.len().max(1));
+    let mut span = ant_obs::span("network");
+    span.record("network", net.name)
+        .record("machine", pe.name())
+        .record("threads", threads)
+        .record("parallel", true);
     let results: Vec<NetworkResult> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for chunk_id in 0..threads {
@@ -157,6 +177,11 @@ pub fn simulate_network_parallel<S: ConvSim + Sync + ?Sized>(
         .total_cycles()
         .div_ceil(cfg.num_pes as u64)
         .max(1);
+    if span.is_recording() {
+        span.record("layers", net.layers.len());
+        span.record("wall_cycles", merged.wall_cycles);
+        span.record_all(stats_fields(&merged.total));
+    }
     merged
 }
 
@@ -167,10 +192,17 @@ fn accumulate_layer<S: ConvSim + ?Sized>(
     cfg: &ExperimentConfig,
     out: &mut NetworkResult,
 ) {
+    let mut layer_span = ant_obs::span("layer");
+    layer_span
+        .record("layer", layer.name.as_str())
+        .record("layer_index", layer_index)
+        .record("network", out.network)
+        .record("machine", pe.name());
     let mut rng =
         StdRng::seed_from_u64(cfg.seed ^ (layer_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let synth = synthesize_layer(layer, &cfg.sparsity, cfg.max_channels, &mut rng);
     let scale = synth.channel_scale * layer.count as f64;
+    layer_span.record("channel_scale", synth.channel_scale);
     let phases: [(TrainingPhase, Vec<ConvPair>); 3] = [
         (
             TrainingPhase::Forward,
@@ -186,6 +218,13 @@ fn accumulate_layer<S: ConvSim + ?Sized>(
         ),
     ];
     for (phase, pairs) in phases {
+        let mut phase_span = ant_obs::span("phase");
+        phase_span
+            .record("phase", phase.paper_name())
+            .record("network", out.network)
+            .record("machine", pe.name())
+            .record("layer", layer.name.as_str())
+            .record("pairs", pairs.len());
         let mut phase_stats = SimStats::default();
         for pair in &pairs {
             phase_stats.accumulate(&pe.simulate_conv_pair(&pair.kernel, &pair.image, &pair.shape));
@@ -205,6 +244,9 @@ fn accumulate_layer<S: ConvSim + ?Sized>(
             .startup_cycles
             .min(ant_sim::accelerator::STARTUP_CYCLES * distinct_images);
         let scaled = phase_stats.scaled_f64(scale);
+        // The scaled stats are exactly this phase's contribution (delta)
+        // to the network totals; attach them to the phase span.
+        phase_span.record_all(stats_fields(&scaled));
         out.total.accumulate(&scaled);
         out.per_phase
             .iter_mut()
@@ -223,6 +265,8 @@ pub fn simulate_matmul_layers<S: ant_sim::MatmulSim + ?Sized>(
     sparsity: f64,
     seed: u64,
 ) -> SimStats {
+    let mut span = ant_obs::span("matmul_layers");
+    span.record("layers", layers.len()).record("sparsity", sparsity);
     let mut total = SimStats::default();
     for (li, spec) in layers.iter().enumerate() {
         let mut rng = StdRng::seed_from_u64(seed ^ (li as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
@@ -231,6 +275,9 @@ pub fn simulate_matmul_layers<S: ant_sim::MatmulSim + ?Sized>(
             ant_workloads::synth::synthesize_matmul(&shape, sparsity, sparsity, &mut rng);
         let stats = pe.simulate_matmul_pair(&image, &kernel, &shape);
         total.accumulate(&stats.scaled(spec.count as u64));
+    }
+    if span.is_recording() {
+        span.record_all(stats_fields(&total));
     }
     total
 }

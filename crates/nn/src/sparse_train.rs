@@ -86,7 +86,15 @@ impl SwatSparsifier {
 
     /// Sparsifies an activation tensor for the backward pass.
     pub fn sparsify_activations(&self, activations: &Tensor4) -> Tensor4 {
-        topk_tensor(activations, self.keep_fraction())
+        let mut span = ant_obs::span("swat_sparsify");
+        let out = topk_tensor(activations, self.keep_fraction());
+        if span.is_recording() {
+            span.record("keep_fraction", self.keep_fraction())
+                .record("elements", activations.len() as u64)
+                .record("nnz_in", activations.nnz() as u64)
+                .record("nnz_out", out.nnz() as u64);
+        }
+        out
     }
 }
 
@@ -129,7 +137,11 @@ impl ReSpropSparsifier {
     /// actually consume under ReSprop; the reused portion was computed last
     /// iteration.
     pub fn sparsify_gradient(&mut self, layer: &str, grad: &Tensor4) -> Tensor4 {
+        let mut span = ant_obs::span("resprop_sparsify");
         let keep = 1.0 - self.target_sparsity;
+        let reused = matches!(
+            self.previous.get(layer), Some(prev) if prev.shape() == grad.shape()
+        );
         let delta = match self.previous.get(layer) {
             Some(prev) if prev.shape() == grad.shape() => {
                 let mut d = grad.clone();
@@ -141,7 +153,15 @@ impl ReSpropSparsifier {
             _ => grad.clone(),
         };
         self.previous.insert(layer.to_string(), grad.clone());
-        topk_tensor(&delta, keep)
+        let out = topk_tensor(&delta, keep);
+        if span.is_recording() {
+            span.record("layer", layer)
+                .record("reused_previous", reused)
+                .record("nnz_in", grad.nnz() as u64)
+                .record("delta_nnz", delta.nnz() as u64)
+                .record("nnz_out", out.nnz() as u64);
+        }
+        out
     }
 
     /// Forgets all remembered gradients (e.g. at an epoch boundary).

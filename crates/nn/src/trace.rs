@@ -69,13 +69,27 @@ impl ConvTrace {
         let grads = (0..conv.out_channels())
             .map(|k| grad_out.channel(sample, k))
             .collect();
-        Self {
+        let trace = Self {
             name: name.to_string(),
             stride: conv.stride(),
             weights,
             activations,
             grad_out: grads,
+        };
+        if ant_obs::enabled() {
+            ant_obs::event(
+                "trace_capture",
+                &[
+                    ("layer", name.into()),
+                    ("out_channels", (trace.out_channels() as u64).into()),
+                    ("in_channels", (trace.in_channels() as u64).into()),
+                    ("weight_sparsity", trace.weight_sparsity().into()),
+                    ("activation_sparsity", trace.activation_sparsity().into()),
+                    ("gradient_sparsity", trace.gradient_sparsity().into()),
+                ],
+            );
         }
+        trace
     }
 
     /// Builds a trace directly from planes (used by `ant-workloads` for
@@ -172,6 +186,7 @@ impl ConvTrace {
     ///
     /// Propagates [`ConvError`] from shape construction.
     pub fn forward_pairs(&self) -> Result<Vec<ConvPair>, ConvError> {
+        let mut span = self.pairs_span("forward");
         let shape = self.forward_shape()?;
         let mut pairs = Vec::with_capacity(self.out_channels() * self.in_channels());
         for k in 0..self.out_channels() {
@@ -183,6 +198,7 @@ impl ConvTrace {
                 });
             }
         }
+        span.record("pairs", pairs.len() as u64);
         Ok(pairs)
     }
 
@@ -193,6 +209,7 @@ impl ConvTrace {
     ///
     /// Propagates [`ConvError`] from shape construction.
     pub fn update_pairs(&self) -> Result<Vec<ConvPair>, ConvError> {
+        let mut span = self.pairs_span("update");
         let shape = self.update_shape()?;
         let mut pairs = Vec::with_capacity(self.out_channels() * self.in_channels());
         for k in 0..self.out_channels() {
@@ -204,6 +221,7 @@ impl ConvTrace {
                 });
             }
         }
+        span.record("pairs", pairs.len() as u64);
         Ok(pairs)
     }
 
@@ -214,6 +232,7 @@ impl ConvTrace {
     ///
     /// Propagates [`ConvError`] from shape construction.
     pub fn backward_pairs(&self) -> Result<Vec<ConvPair>, ConvError> {
+        let mut span = self.pairs_span("backward");
         let w0 = &self.weights[0][0];
         let mut pairs = Vec::with_capacity(self.out_channels() * self.in_channels());
         for k in 0..self.out_channels() {
@@ -229,7 +248,17 @@ impl ConvTrace {
                 });
             }
         }
+        span.record("pairs", pairs.len() as u64);
         Ok(pairs)
+    }
+
+    /// Opens the span under which one phase's pairs are materialized.
+    fn pairs_span(&self, phase: &'static str) -> ant_obs::Span {
+        let mut span = ant_obs::span("materialize_pairs");
+        if span.is_recording() {
+            span.record("layer", self.name.as_str()).record("phase", phase);
+        }
+        span
     }
 
     /// Mean sparsity of the weight planes.

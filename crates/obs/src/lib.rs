@@ -1,0 +1,38 @@
+//! `ant-obs`: zero-dependency observability for the ANT simulator stack.
+//!
+//! The accelerator-simulation experiments in this workspace were opaque
+//! while running: a binary printed a banner, went quiet for the whole sweep,
+//! then dumped a table. This crate adds the three observability primitives
+//! the stack needs, with no external dependencies (the build environment has
+//! no crates.io access):
+//!
+//! * **Spans and events** ([`span`], [`event`]) — hierarchical timed
+//!   regions written as JSONL records to an env-gated sink. Enable with
+//!   `ANT_TRACE=1`; choose the destination with `ANT_TRACE_FILE` (default
+//!   `target/experiments/trace.jsonl`); add hot per-channel-pair detail with
+//!   `ANT_TRACE_PAIRS=1`. Disabled cost is one atomic load per check.
+//! * **Metrics** ([`metrics::Registry`], [`metrics::registry`]) — named
+//!   counters, gauges, and nearest-rank-percentile histograms, snapshotted
+//!   into manifests or the trace.
+//! * **Run manifests** ([`RunManifest`]) — a JSON sidecar per experiment
+//!   recording config, git revision, platform, wall time, outputs, and final
+//!   stats, written next to the CSV it describes.
+//!
+//! See `docs/OBSERVABILITY.md` for the full event schema and workflows.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod json;
+pub mod manifest;
+pub mod metrics;
+pub mod progress;
+pub mod span;
+pub mod trace;
+
+pub use json::{parse as parse_json, Json, Value};
+pub use manifest::{git_revision, RunManifest};
+pub use metrics::{registry, Counter, Gauge, Histogram, Registry};
+pub use progress::{banner, note, Progress};
+pub use span::{current_span_id, event, span, Span};
+pub use trace::{detail_enabled, enabled, trace_file, MemorySink, Sink};

@@ -1,0 +1,179 @@
+//! Run manifests: a JSON sidecar describing one experiment run.
+//!
+//! A manifest records what produced a result file — the experiment name,
+//! configuration, git revision, host platform, wall time, output paths, and
+//! final stats — so a CSV in `target/experiments/` is never orphaned from
+//! the run that made it. Schema:
+//!
+//! ```json
+//! {"schema":"ant-manifest/1","name":"fig09_speedup_energy",
+//!  "started_at_unix_ms":1700000000000,"duration_us":1234567,
+//!  "git_revision":"abc123...","os":"linux","arch":"x86_64",
+//!  "trace_file":null,
+//!  "config":{"sparsity":0.9,"num_pes":64},
+//!  "stats":{"networks":6},
+//!  "outputs":["target/experiments/fig09_speedup_energy.csv"]}
+//! ```
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use crate::json::{write_json_string, Value};
+use crate::trace;
+
+/// Best-effort current git revision: `git rev-parse HEAD`, falling back to
+/// reading `.git/HEAD` (and the ref it points at) from an ancestor
+/// directory. `None` outside a repository.
+pub fn git_revision() -> Option<String> {
+    if let Ok(output) = Command::new("git").args(["rev-parse", "HEAD"]).output() {
+        if output.status.success() {
+            let rev = String::from_utf8_lossy(&output.stdout).trim().to_string();
+            if !rev.is_empty() {
+                return Some(rev);
+            }
+        }
+    }
+    // Fallback without a git binary: walk up to a .git directory.
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let head_path = dir.join(".git").join("HEAD");
+        if let Ok(head) = std::fs::read_to_string(&head_path) {
+            let head = head.trim();
+            if let Some(reference) = head.strip_prefix("ref: ") {
+                let rev = std::fs::read_to_string(dir.join(".git").join(reference.trim())).ok()?;
+                return Some(rev.trim().to_string());
+            }
+            return Some(head.to_string());
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// A manifest under construction. Create at experiment start, attach config
+/// and stats as they become known, then [`RunManifest::write_to_dir`] at the
+/// end (duration is measured from creation to write).
+#[derive(Debug)]
+pub struct RunManifest {
+    name: String,
+    started_at_unix_ms: u128,
+    started: Instant,
+    git_revision: Option<String>,
+    config: Vec<(String, Value)>,
+    stats: Vec<(String, Value)>,
+    outputs: Vec<String>,
+}
+
+impl RunManifest {
+    /// Starts a manifest for the run named `name`, capturing wall-clock
+    /// start and git revision now.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            started_at_unix_ms: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_millis())
+                .unwrap_or(0),
+            started: Instant::now(),
+            git_revision: git_revision(),
+            config: Vec::new(),
+            stats: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// The run name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Records one configuration entry.
+    pub fn config(&mut self, key: impl Into<String>, value: impl Into<Value>) -> &mut Self {
+        self.config.push((key.into(), value.into()));
+        self
+    }
+
+    /// Records one final-stats entry.
+    pub fn stat(&mut self, key: impl Into<String>, value: impl Into<Value>) -> &mut Self {
+        self.stats.push((key.into(), value.into()));
+        self
+    }
+
+    /// Records an output file produced by the run.
+    pub fn output(&mut self, path: impl Into<String>) -> &mut Self {
+        self.outputs.push(path.into());
+        self
+    }
+
+    /// Copies a registry snapshot into the stats section.
+    pub fn record_registry(&mut self, registry: &crate::metrics::Registry) -> &mut Self {
+        for (key, value) in registry.snapshot() {
+            self.stats.push((key, value));
+        }
+        self
+    }
+
+    /// Serializes the manifest (duration measured to this call).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str("{\"schema\":\"ant-manifest/1\",\"name\":");
+        write_json_string(&self.name, &mut out);
+        out.push_str(",\"started_at_unix_ms\":");
+        out.push_str(&self.started_at_unix_ms.to_string());
+        out.push_str(",\"duration_us\":");
+        out.push_str(&(self.started.elapsed().as_micros() as u64).to_string());
+        out.push_str(",\"git_revision\":");
+        match &self.git_revision {
+            Some(rev) => write_json_string(rev, &mut out),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"os\":");
+        write_json_string(std::env::consts::OS, &mut out);
+        out.push_str(",\"arch\":");
+        write_json_string(std::env::consts::ARCH, &mut out);
+        out.push_str(",\"trace_file\":");
+        match trace::trace_file() {
+            Some(path) => write_json_string(&path.display().to_string(), &mut out),
+            None => out.push_str("null"),
+        }
+        for (section, entries) in [("config", &self.config), ("stats", &self.stats)] {
+            out.push(',');
+            write_json_string(section, &mut out);
+            out.push_str(":{");
+            for (i, (key, value)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json_string(key, &mut out);
+                out.push(':');
+                value.write_json(&mut out);
+            }
+            out.push('}');
+        }
+        out.push_str(",\"outputs\":[");
+        for (i, output) in self.outputs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(output, &mut out);
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Writes `<dir>/<name>.manifest.json` (creating `dir`) and returns the
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation and write failures.
+    pub fn write_to_dir(&self, dir: &Path) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.manifest.json", self.name));
+        std::fs::write(&path, self.to_json() + "\n")?;
+        Ok(path)
+    }
+}

@@ -1,0 +1,237 @@
+//! Typed metrics: counters, gauges, histograms, and a named registry.
+//!
+//! Instruments are cheap, lock-free where possible, and safe to share across
+//! threads. A [`Registry`] names instruments and can snapshot them all into
+//! typed [`Value`]s — the run-manifest writer uses that to persist final
+//! stats, and [`publish`] emits a `"metrics"` trace record.
+//!
+//! A process-wide registry is available via [`registry`]; code that wants
+//! isolation (tests, parallel experiments) can build its own.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::json::Value;
+use crate::trace::{self, Event};
+
+/// A monotonically increasing `u64`.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta`.
+    pub fn add(&self, delta: u64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins `f64`.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A sample collection supporting nearest-rank percentiles.
+///
+/// Samples are kept exactly (the workloads here record at most a few
+/// thousand observations per run); recording takes a short mutex.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    samples: Mutex<Vec<f64>>,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation. Non-finite samples are discarded.
+    pub fn record(&self, sample: f64) {
+        if sample.is_finite() {
+            self.samples.lock().unwrap().push(sample);
+        }
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> usize {
+        self.samples.lock().unwrap().len()
+    }
+
+    /// The nearest-rank percentile `p` (0..=100) of the recorded samples,
+    /// or `None` when empty. `p = 0` is the minimum, `p = 100` the maximum.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        let mut sorted = self.samples.lock().unwrap().clone();
+        if sorted.is_empty() {
+            return None;
+        }
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite sample"));
+        let n = sorted.len();
+        let p = p.clamp(0.0, 100.0);
+        // Nearest-rank: the smallest sample with at least p% of the mass at
+        // or below it.
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        Some(sorted[rank.clamp(1, n) - 1])
+    }
+
+    /// The smallest recorded sample.
+    pub fn min(&self) -> Option<f64> {
+        self.percentile(0.0)
+    }
+
+    /// The largest recorded sample.
+    pub fn max(&self) -> Option<f64> {
+        self.percentile(100.0)
+    }
+
+    /// The arithmetic mean of recorded samples.
+    pub fn mean(&self) -> Option<f64> {
+        let samples = self.samples.lock().unwrap();
+        if samples.is_empty() {
+            return None;
+        }
+        Some(samples.iter().sum::<f64>() / samples.len() as f64)
+    }
+}
+
+/// A named collection of instruments.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        Arc::clone(
+            self.counters
+                .lock()
+                .unwrap()
+                .entry(name.to_string())
+                .or_default(),
+        )
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        Arc::clone(
+            self.gauges
+                .lock()
+                .unwrap()
+                .entry(name.to_string())
+                .or_default(),
+        )
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        Arc::clone(
+            self.histograms
+                .lock()
+                .unwrap()
+                .entry(name.to_string())
+                .or_default(),
+        )
+    }
+
+    /// A flat, sorted snapshot of every instrument. Histograms expand to
+    /// `<name>.count` / `.p50` / `.p95` / `.max` entries.
+    pub fn snapshot(&self) -> Vec<(String, Value)> {
+        let mut out = Vec::new();
+        for (name, counter) in self.counters.lock().unwrap().iter() {
+            out.push((name.clone(), Value::U64(counter.get())));
+        }
+        for (name, gauge) in self.gauges.lock().unwrap().iter() {
+            out.push((name.clone(), Value::F64(gauge.get())));
+        }
+        for (name, hist) in self.histograms.lock().unwrap().iter() {
+            out.push((format!("{name}.count"), Value::U64(hist.count() as u64)));
+            if let (Some(p50), Some(p95), Some(max)) =
+                (hist.percentile(50.0), hist.percentile(95.0), hist.max())
+            {
+                out.push((format!("{name}.p50"), Value::F64(p50)));
+                out.push((format!("{name}.p95"), Value::F64(p95)));
+                out.push((format!("{name}.max"), Value::F64(max)));
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Drops every instrument (tests use this between cases).
+    pub fn clear(&self) {
+        self.counters.lock().unwrap().clear();
+        self.gauges.lock().unwrap().clear();
+        self.histograms.lock().unwrap().clear();
+    }
+}
+
+/// The process-wide registry.
+pub fn registry() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Emits a `"metrics"` trace record with `registry`'s full snapshot.
+/// No-op when tracing is disabled.
+pub fn publish(name: &str, registry: &Registry) {
+    if !trace::enabled() {
+        return;
+    }
+    let snapshot = registry.snapshot();
+    let fields: Vec<(&str, Value)> = snapshot
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.clone()))
+        .collect();
+    trace::emit(&Event {
+        kind: "metrics",
+        name,
+        span: None,
+        parent: None,
+        path: None,
+        dur_us: None,
+        fields: &fields,
+    });
+}

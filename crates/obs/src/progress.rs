@@ -1,0 +1,81 @@
+//! Console progress reporting shared by the experiment binaries.
+//!
+//! Status lines go to **stderr** so they never contaminate table/CSV output
+//! on stdout; each step also emits a `"progress"` trace record when tracing
+//! is on, so a run's pacing is visible in the trace too.
+
+use std::time::Instant;
+
+use crate::json::Value;
+use crate::span;
+
+/// Prints the experiment banner (title plus underline) to stdout, matching
+/// the look the experiment binaries had before they shared a helper.
+pub fn banner(title: &str) {
+    println!("{title}");
+    println!("{}", "=".repeat(title.chars().count().min(100)));
+}
+
+/// Prints a one-line note to stderr and mirrors it into the trace.
+pub fn note(text: &str) {
+    eprintln!("{text}");
+    span::event("note", &[("text", Value::Str(text.to_string()))]);
+}
+
+/// A step counter over a known amount of work.
+#[derive(Debug)]
+pub struct Progress {
+    label: String,
+    total: usize,
+    done: usize,
+    started: Instant,
+}
+
+impl Progress {
+    /// Starts tracking `total` steps under `label`.
+    pub fn new(label: impl Into<String>, total: usize) -> Self {
+        Self {
+            label: label.into(),
+            total,
+            done: 0,
+            started: Instant::now(),
+        }
+    }
+
+    /// Marks one step (named `item`) done and prints the running count.
+    pub fn step(&mut self, item: &str) {
+        self.done += 1;
+        eprintln!(
+            "[{}] {}/{} {}",
+            self.label, self.done, self.total, item
+        );
+        span::event(
+            "progress",
+            &[
+                ("label", Value::Str(self.label.clone())),
+                ("done", Value::U64(self.done as u64)),
+                ("total", Value::U64(self.total as u64)),
+                ("item", Value::Str(item.to_string())),
+            ],
+        );
+    }
+
+    /// Prints the closing line with elapsed wall time.
+    pub fn finish(self) {
+        let secs = self.started.elapsed().as_secs_f64();
+        eprintln!(
+            "[{}] finished {}/{} in {:.2}s",
+            self.label, self.done, self.total, secs
+        );
+        span::event(
+            "progress",
+            &[
+                ("label", Value::Str(self.label.clone())),
+                ("done", Value::U64(self.done as u64)),
+                ("total", Value::U64(self.total as u64)),
+                ("finished", Value::Bool(true)),
+                ("elapsed_s", Value::F64(secs)),
+            ],
+        );
+    }
+}

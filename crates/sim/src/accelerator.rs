@@ -11,6 +11,30 @@ use crate::stats::SimStats;
 /// new image and kernel matrices").
 pub const STARTUP_CYCLES: u64 = 5;
 
+/// Emits a detail-gated trace event for one simulated pair. Free when
+/// `ANT_TRACE_PAIRS` is off (one atomic load); on the hot simulation path,
+/// so every machine routes through this single helper.
+pub(crate) fn trace_pair(
+    machine: &'static str,
+    op: &'static str,
+    kernel: &CsrMatrix,
+    image: &CsrMatrix,
+    stats: &SimStats,
+) {
+    if !ant_obs::detail_enabled() {
+        return;
+    }
+    let mut fields: Vec<(&str, ant_obs::Value)> = Vec::with_capacity(18);
+    fields.push(("machine", machine.into()));
+    fields.push(("op", op.into()));
+    fields.push(("kernel_nnz", (kernel.nnz() as u64).into()));
+    fields.push(("image_nnz", (image.nnz() as u64).into()));
+    for (name, value) in stats.fields() {
+        fields.push((name, value.into()));
+    }
+    ant_obs::event("pair", &fields);
+}
+
 /// A machine that can simulate one kernel/image convolution pair.
 ///
 /// A "pair" is one 2-D kernel against one 2-D image plane — the granularity

@@ -83,7 +83,9 @@ impl ConvSim for AntAccelerator {
             .anticipator
             .run_conv(kernel, image, shape)
             .expect("operands validated by caller");
-        self.map_counters(&run.counters)
+        let stats = self.map_counters(&run.counters);
+        crate::accelerator::trace_pair(self.name(), "conv", kernel, image, &stats);
+        stats
     }
 }
 
@@ -101,7 +103,9 @@ impl MatmulSim for AntAccelerator {
             .anticipator
             .run_matmul(image, kernel, shape)
             .expect("operands validated by caller");
-        self.map_counters(&run.counters)
+        let stats = self.map_counters(&run.counters);
+        crate::accelerator::trace_pair(ConvSim::name(self), "matmul", kernel, image, &stats);
+        stats
     }
 }
 

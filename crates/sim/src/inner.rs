@@ -78,28 +78,32 @@ impl ConvSim for DenseInnerProduct {
 
     fn simulate_conv_pair(
         &self,
-        _kernel: &CsrMatrix,
-        _image: &CsrMatrix,
+        kernel: &CsrMatrix,
+        image: &CsrMatrix,
         shape: &ConvShape,
     ) -> SimStats {
-        self.simulate_macs(
+        let stats = self.simulate_macs(
             shape.direct_products(),
             shape.out_h() as u64 * shape.out_w() as u64,
-        )
+        );
+        crate::accelerator::trace_pair(self.name(), "conv", kernel, image, &stats);
+        stats
     }
 }
 
 impl MatmulSim for DenseInnerProduct {
     fn simulate_matmul_pair(
         &self,
-        _image: &CsrMatrix,
-        _kernel: &CsrMatrix,
+        image: &CsrMatrix,
+        kernel: &CsrMatrix,
         shape: &MatmulShape,
     ) -> SimStats {
-        self.simulate_macs(
+        let stats = self.simulate_macs(
             shape.direct_products(),
             shape.image_h() as u64 * shape.kernel_s() as u64,
-        )
+        );
+        crate::accelerator::trace_pair(ConvSim::name(self), "matmul", kernel, image, &stats);
+        stats
     }
 }
 
@@ -189,31 +193,35 @@ impl ConvSim for TensorDash {
     fn simulate_conv_pair(
         &self,
         kernel: &CsrMatrix,
-        _image: &CsrMatrix,
+        image: &CsrMatrix,
         shape: &ConvShape,
     ) -> SimStats {
         let rho = kernel.nnz() as f64 / (kernel.rows() * kernel.cols()) as f64;
-        self.simulate_macs(
+        let stats = self.simulate_macs(
             shape.direct_products(),
             rho,
             shape.out_h() as u64 * shape.out_w() as u64,
-        )
+        );
+        crate::accelerator::trace_pair(self.name(), "conv", kernel, image, &stats);
+        stats
     }
 }
 
 impl MatmulSim for TensorDash {
     fn simulate_matmul_pair(
         &self,
-        _image: &CsrMatrix,
+        image: &CsrMatrix,
         kernel: &CsrMatrix,
         shape: &MatmulShape,
     ) -> SimStats {
         let rho = kernel.nnz() as f64 / (kernel.rows() * kernel.cols()) as f64;
-        self.simulate_macs(
+        let stats = self.simulate_macs(
             shape.direct_products(),
             rho,
             shape.image_h() as u64 * shape.kernel_s() as u64,
-        )
+        );
+        crate::accelerator::trace_pair(ConvSim::name(self), "matmul", kernel, image, &stats);
+        stats
     }
 }
 

@@ -96,7 +96,9 @@ impl ConvSim for ScnnPlus {
         debug_assert_eq!(kernel.shape(), (shape.kernel_h(), shape.kernel_w()));
         debug_assert_eq!(image.shape(), (shape.image_h(), shape.image_w()));
         let useful = count_useful_products(kernel, image, shape);
-        self.simulate_products(kernel.nnz(), image.nnz(), kernel.rows(), useful)
+        let stats = self.simulate_products(kernel.nnz(), image.nnz(), kernel.rows(), useful);
+        crate::accelerator::trace_pair(self.name(), "conv", kernel, image, &stats);
+        stats
     }
 }
 
@@ -117,7 +119,9 @@ impl MatmulSim for ScnnPlus {
         let useful: u64 = (0..shape.kernel_r())
             .map(|r| kernel.row_range(r).len() as u64 * image_col_nnz[r])
             .sum();
-        self.simulate_products(kernel.nnz(), image.nnz(), kernel.rows(), useful)
+        let stats = self.simulate_products(kernel.nnz(), image.nnz(), kernel.rows(), useful);
+        crate::accelerator::trace_pair(ConvSim::name(self), "matmul", kernel, image, &stats);
+        stats
     }
 }
 

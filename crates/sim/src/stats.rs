@@ -18,13 +18,32 @@ pub struct EnergyBreakdown {
 }
 
 impl EnergyBreakdown {
+    /// Component-wise sum of two breakdowns.
+    pub fn merge(&self, other: &EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            multiply_pj: self.multiply_pj + other.multiply_pj,
+            accumulate_pj: self.accumulate_pj + other.accumulate_pj,
+            index_pj: self.index_pj + other.index_pj,
+            sram_read_pj: self.sram_read_pj + other.sram_read_pj,
+            sram_write_pj: self.sram_write_pj + other.sram_write_pj,
+        }
+    }
+
+    /// Named components, in declaration order — the one place that
+    /// enumerates categories for reports and traces.
+    pub fn fields(&self) -> [(&'static str, f64); 5] {
+        [
+            ("multiply_pj", self.multiply_pj),
+            ("accumulate_pj", self.accumulate_pj),
+            ("index_pj", self.index_pj),
+            ("sram_read_pj", self.sram_read_pj),
+            ("sram_write_pj", self.sram_write_pj),
+        ]
+    }
+
     /// Total energy in picojoules.
     pub fn total(&self) -> f64 {
-        self.multiply_pj
-            + self.accumulate_pj
-            + self.index_pj
-            + self.sram_read_pj
-            + self.sram_write_pj
+        self.fields().iter().map(|(_, v)| v).sum()
     }
 }
 
@@ -107,6 +126,65 @@ impl SimStats {
             index_pj: model.int_add32 * self.index_ops as f64,
             sram_read_pj: model.sram_word_read() * self.sram_reads() as f64,
             sram_write_pj: model.sram_word_write() * self.accumulator_writes as f64,
+        }
+    }
+
+    /// Named counter values, in declaration order — the one place that
+    /// enumerates fields for tracing, manifests, and merge checks.
+    pub fn fields(&self) -> [(&'static str, u64); 14] {
+        [
+            ("pe_cycles", self.pe_cycles),
+            ("startup_cycles", self.startup_cycles),
+            ("mults", self.mults),
+            ("useful_mults", self.useful_mults),
+            ("rcps_executed", self.rcps_executed),
+            ("rcps_skipped", self.rcps_skipped),
+            ("pairs_total", self.pairs_total),
+            ("kernel_value_reads", self.kernel_value_reads),
+            ("kernel_index_reads", self.kernel_index_reads),
+            ("rowptr_reads", self.rowptr_reads),
+            ("image_reads", self.image_reads),
+            ("index_ops", self.index_ops),
+            ("accumulator_writes", self.accumulator_writes),
+            ("accumulator_adds", self.accumulator_adds),
+        ]
+    }
+
+    /// Component-wise sum of two stats — the pure counterpart of
+    /// [`SimStats::accumulate`].
+    pub fn merge(&self, other: &SimStats) -> SimStats {
+        let mut out = *self;
+        out.accumulate(other);
+        out
+    }
+
+    /// Component-wise difference (`self - baseline`), saturating at zero.
+    /// Used to report what one phase or layer added to a running total.
+    pub fn delta_from(&self, baseline: &SimStats) -> SimStats {
+        let mut out = SimStats::default();
+        for ((name, after), (_, before)) in self.fields().iter().zip(baseline.fields().iter()) {
+            *out.field_mut(name) = after.saturating_sub(*before);
+        }
+        out
+    }
+
+    fn field_mut(&mut self, name: &str) -> &mut u64 {
+        match name {
+            "pe_cycles" => &mut self.pe_cycles,
+            "startup_cycles" => &mut self.startup_cycles,
+            "mults" => &mut self.mults,
+            "useful_mults" => &mut self.useful_mults,
+            "rcps_executed" => &mut self.rcps_executed,
+            "rcps_skipped" => &mut self.rcps_skipped,
+            "pairs_total" => &mut self.pairs_total,
+            "kernel_value_reads" => &mut self.kernel_value_reads,
+            "kernel_index_reads" => &mut self.kernel_index_reads,
+            "rowptr_reads" => &mut self.rowptr_reads,
+            "image_reads" => &mut self.image_reads,
+            "index_ops" => &mut self.index_ops,
+            "accumulator_writes" => &mut self.accumulator_writes,
+            "accumulator_adds" => &mut self.accumulator_adds,
+            _ => unreachable!("unknown SimStats field {name}"),
         }
     }
 
@@ -237,6 +315,60 @@ mod tests {
         let b = s.energy_breakdown(&model);
         assert!((b.total() - s.energy_pj(&model)).abs() < 1e-9);
         assert!(b.multiply_pj > 0.0 && b.sram_read_pj > 0.0);
+    }
+
+    #[test]
+    fn merge_matches_accumulate_and_is_commutative() {
+        let a = sample();
+        let b = sample().scaled(2);
+        let merged = a.merge(&b);
+        let mut acc = a;
+        acc.accumulate(&b);
+        assert_eq!(merged, acc);
+        assert_eq!(a.merge(&b), b.merge(&a));
+        assert_eq!(a.merge(&SimStats::default()), a);
+    }
+
+    #[test]
+    fn delta_from_inverts_merge() {
+        let a = sample();
+        let b = sample().scaled(3);
+        assert_eq!(a.merge(&b).delta_from(&a), b);
+        assert_eq!(a.delta_from(&a), SimStats::default());
+    }
+
+    #[test]
+    fn fields_cover_every_counter() {
+        // fields() must enumerate all 14 counters: summing a stats whose
+        // every field is 1 through fields() gives 14.
+        let ones = SimStats::default().merge(&SimStats {
+            pe_cycles: 1,
+            startup_cycles: 1,
+            mults: 1,
+            useful_mults: 1,
+            rcps_executed: 1,
+            rcps_skipped: 1,
+            pairs_total: 1,
+            kernel_value_reads: 1,
+            kernel_index_reads: 1,
+            rowptr_reads: 1,
+            image_reads: 1,
+            index_ops: 1,
+            accumulator_writes: 1,
+            accumulator_adds: 1,
+        });
+        assert_eq!(ones.fields().iter().map(|(_, v)| v).sum::<u64>(), 14);
+    }
+
+    #[test]
+    fn energy_breakdown_merge_sums_componentwise() {
+        let model = EnergyModel::paper_7nm();
+        let a = sample().energy_breakdown(&model);
+        let b = sample().scaled(2).energy_breakdown(&model);
+        let merged = a.merge(&b);
+        assert!((merged.total() - (a.total() + b.total())).abs() < 1e-9);
+        assert_eq!(merged.multiply_pj, a.multiply_pj + b.multiply_pj);
+        assert_eq!(merged.sram_write_pj, a.sram_write_pj + b.sram_write_pj);
     }
 
     #[test]

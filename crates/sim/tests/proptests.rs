@@ -7,7 +7,7 @@ use ant_sim::inner::{DenseInnerProduct, TensorDash};
 use ant_sim::intersection::IntersectionAccelerator;
 use ant_sim::scnn::ScnnPlus;
 use ant_sim::tiling::{load_balance, Tiling};
-use ant_sim::{ConvSim, EnergyModel};
+use ant_sim::{ConvSim, EnergyModel, SimStats};
 use ant_sparse::{CsrMatrix, DenseMatrix};
 use proptest::prelude::*;
 
@@ -147,4 +147,66 @@ proptest! {
         twice.accumulate(&s);
         prop_assert_eq!(twice, s.scaled(2));
     }
+
+    /// merge is commutative, has the zero stats as identity, and agrees
+    /// with in-place accumulate, field by field.
+    #[test]
+    fn merge_laws_hold(a in arb_stats(), b in arb_stats()) {
+        prop_assert_eq!(a.merge(&b), b.merge(&a));
+        prop_assert_eq!(a.merge(&SimStats::default()), a);
+        let mut acc = a;
+        acc.accumulate(&b);
+        prop_assert_eq!(a.merge(&b), acc);
+        for (((name, m), (_, x)), (_, y)) in a
+            .merge(&b)
+            .fields()
+            .iter()
+            .zip(a.fields().iter())
+            .zip(b.fields().iter())
+        {
+            prop_assert_eq!(*m, x + y, "field {}", name);
+        }
+        // Derived totals distribute over merge.
+        prop_assert_eq!(a.merge(&b).sram_reads(), a.sram_reads() + b.sram_reads());
+        prop_assert_eq!(a.merge(&b).total_cycles(), a.total_cycles() + b.total_cycles());
+        // delta_from inverts merge.
+        prop_assert_eq!(a.merge(&b).delta_from(&a), b);
+    }
+
+    /// An energy breakdown's total always equals the sum of its parts, and
+    /// breakdowns distribute over stats merging.
+    #[test]
+    fn energy_total_equals_sum_of_parts(a in arb_stats(), b in arb_stats()) {
+        let model = EnergyModel::paper_7nm();
+        let ba = a.energy_breakdown(&model);
+        let bb = b.energy_breakdown(&model);
+        let parts: f64 = ba.fields().iter().map(|(_, v)| v).sum();
+        prop_assert!((ba.total() - parts).abs() <= 1e-9 * parts.abs().max(1.0));
+        let merged = ba.merge(&bb);
+        let scale = merged.total().abs().max(1.0);
+        prop_assert!((merged.total() - (ba.total() + bb.total())).abs() <= 1e-9 * scale);
+        // Merging stats first, then pricing, matches pricing then merging.
+        let priced_after = a.merge(&b).energy_breakdown(&model);
+        prop_assert!((priced_after.total() - merged.total()).abs() <= 1e-6 * scale);
+    }
+}
+
+/// An arbitrary SimStats with every counter drawn independently.
+fn arb_stats() -> impl Strategy<Value = SimStats> {
+    proptest::collection::vec(0u64..1_000_000, 14).prop_map(|v| SimStats {
+        pe_cycles: v[0],
+        startup_cycles: v[1],
+        mults: v[2],
+        useful_mults: v[3],
+        rcps_executed: v[4],
+        rcps_skipped: v[5],
+        pairs_total: v[6],
+        kernel_value_reads: v[7],
+        kernel_index_reads: v[8],
+        rowptr_reads: v[9],
+        image_reads: v[10],
+        index_ops: v[11],
+        accumulator_writes: v[12],
+        accumulator_adds: v[13],
+    })
 }

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# The tier-1 gate: build, test, lint. Run before every push.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test -q"
+cargo test -q
+
+echo "== cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "ci: all green"

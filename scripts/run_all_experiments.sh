@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Regenerates every table/figure of the paper plus the extra ablations.
-# CSV output lands in target/experiments/.
+# CSV/JSONL output and run manifests land in target/experiments/; at the
+# end, manifests (and the trace, if ANT_TRACE was set) are collected into
+# results/ as the sweep's durable record.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,10 +35,29 @@ BINARIES=(
   extra_resnet_traces
 )
 
+EXPDIR="${CARGO_TARGET_DIR:-target}/experiments"
+USER_TRACE_FILE="${ANT_TRACE_FILE:-}"
+
 for bin in "${BINARIES[@]}"; do
   echo
   echo "================================================================"
   echo "== $bin"
   echo "================================================================"
+  # Each process truncates its trace file on open, so give every binary
+  # its own (unless the caller pinned one); the whole sweep's traces
+  # then survive side by side.
+  if [[ -n "${ANT_TRACE:-}" && -z "$USER_TRACE_FILE" ]]; then
+    export ANT_TRACE_FILE="$EXPDIR/trace-$bin.jsonl"
+  fi
   ./target/release/"$bin"
 done
+
+# Collect the durable record of this sweep.
+mkdir -p results
+cp -f "$EXPDIR"/*.manifest.json results/ 2>/dev/null || true
+if [[ -n "${ANT_TRACE:-}" ]]; then
+  cp -f "$EXPDIR"/trace-*.jsonl results/ 2>/dev/null || true
+  [[ -n "$USER_TRACE_FILE" && -f "$USER_TRACE_FILE" ]] && cp -f "$USER_TRACE_FILE" results/
+fi
+echo
+echo "manifests collected into results/ ($(ls results/*.manifest.json 2>/dev/null | wc -l) files)"

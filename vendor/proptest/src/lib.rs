@@ -1,0 +1,135 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Substituted via `[patch.crates-io]` because the build environment has no
+//! crates.io access. Implements the subset the workspace's property tests
+//! use: the [`Strategy`] trait with `prop_map` / `prop_flat_map`, range and
+//! tuple strategies, [`collection::vec`], `Just`, weighted `prop_oneof!`,
+//! `any::<bool>()`, `ProptestConfig::with_cases`, and the `proptest!` /
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from upstream: no shrinking (failures report the raw case),
+//! and the case RNG is a fixed-seed xoshiro256** stream (deterministic per
+//! test name and case index). Case count defaults to 64, overridable via
+//! `PROPTEST_CASES` or `ProptestConfig::with_cases`.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies ([`collection::vec`]).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Anything usable as a `vec` length: a fixed size or a range of sizes.
+    pub trait SizeRange {
+        /// Draws a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.usize_in(self.start, self.end)
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    /// Creates a strategy producing vectors of `element` values with a
+    /// length drawn from `len`.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The usual glob-import surface.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+    /// Alias mirroring upstream's `prelude::prop` module.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_tuples_and_maps_generate_in_bounds() {
+        let strat = (1usize..8, -2.0f32..2.0).prop_map(|(n, x)| (n * 2, x));
+        let mut rng = TestRng::for_test("ranges", 0);
+        for _ in 0..200 {
+            let (n, x) = strat.generate(&mut rng);
+            assert!((2..16).contains(&n) && n % 2 == 0);
+            assert!((-2.0..2.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn flat_map_sees_outer_value() {
+        let strat = (2usize..5).prop_flat_map(|n| (Just(n), 0usize..n));
+        let mut rng = TestRng::for_test("flat_map", 0);
+        for _ in 0..200 {
+            let (n, k) = strat.generate(&mut rng);
+            assert!(k < n);
+        }
+    }
+
+    #[test]
+    fn oneof_respects_weights() {
+        let strat = prop_oneof![3 => Just(0u8), 1 => Just(1u8)];
+        let mut rng = TestRng::for_test("oneof", 0);
+        let ones = (0..4000).filter(|_| strat.generate(&mut rng) == 1).count();
+        assert!((700..1300).contains(&ones), "ones {ones}");
+    }
+
+    #[test]
+    fn vec_sizes_follow_range() {
+        let strat = crate::collection::vec(0usize..10, 2..5);
+        let mut rng = TestRng::for_test("vec", 0);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_binds_patterns(v in crate::collection::vec(0u64..100, 1..6), flag in any::<bool>()) {
+            prop_assert!(v.len() < 6);
+            prop_assume!(!v.is_empty());
+            let _ = flag;
+            prop_assert_eq!(v.iter().copied().max().unwrap() < 100, true);
+        }
+    }
+}
