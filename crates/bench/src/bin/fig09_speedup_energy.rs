@@ -32,6 +32,8 @@ fn main() {
         "network",
         "SCNN+ cycles",
         "ANT cycles",
+        "SCNN+ energy (uJ)",
+        "ANT energy (uJ)",
         "speedup",
         "energy ratio",
         "RCPs avoided",
@@ -51,6 +53,8 @@ fn main() {
             net.name.to_string(),
             s.wall_cycles.to_string(),
             a.wall_cycles.to_string(),
+            format!("{:.3}", s.total.energy_pj(&energy) / 1e6),
+            format!("{:.3}", a.total.energy_pj(&energy) / 1e6),
             ratio(sp),
             ratio(er),
             percent(a.total.rcps_avoided_fraction()),

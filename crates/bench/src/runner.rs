@@ -53,8 +53,21 @@ pub struct NetworkResult {
     pub total: SimStats,
     /// Per-phase accumulated counters.
     pub per_phase: [(TrainingPhase, SimStats); 3],
+    /// Per-layer accumulated (scaled) counters, in layer order.
+    pub per_layer: Vec<LayerStats>,
     /// Wall-clock cycles after perfect load balancing over `num_pes`.
     pub wall_cycles: u64,
+}
+
+/// One layer's accumulated (scaled) counters across all three phases.
+#[derive(Debug, Clone)]
+pub struct LayerStats {
+    /// Index of the layer in the network spec.
+    pub index: usize,
+    /// Layer name from the spec.
+    pub name: String,
+    /// Scaled counters summed over the layer's three training phases.
+    pub stats: SimStats,
 }
 
 /// Simulates a full network (all layers, all three training phases) on one
@@ -80,6 +93,7 @@ pub fn simulate_network<S: ConvSim + ?Sized>(
             (TrainingPhase::Backward, SimStats::default()),
             (TrainingPhase::Update, SimStats::default()),
         ],
+        per_layer: Vec::with_capacity(net.layers.len()),
         wall_cycles: 0,
     };
     for (li, layer) in net.layers.iter().enumerate() {
@@ -142,6 +156,7 @@ pub fn simulate_network_parallel<S: ConvSim + Sync + ?Sized>(
                         (TrainingPhase::Backward, SimStats::default()),
                         (TrainingPhase::Update, SimStats::default()),
                     ],
+                    per_layer: Vec::new(),
                     wall_cycles: 0,
                 };
                 for (li, layer) in layers {
@@ -164,6 +179,7 @@ pub fn simulate_network_parallel<S: ConvSim + Sync + ?Sized>(
             (TrainingPhase::Backward, SimStats::default()),
             (TrainingPhase::Update, SimStats::default()),
         ],
+        per_layer: Vec::with_capacity(net.layers.len()),
         wall_cycles: 0,
     };
     for partial in results {
@@ -171,7 +187,9 @@ pub fn simulate_network_parallel<S: ConvSim + Sync + ?Sized>(
         for ((_, dst), (_, src)) in merged.per_phase.iter_mut().zip(partial.per_phase.iter()) {
             dst.accumulate(src);
         }
+        merged.per_layer.extend(partial.per_layer);
     }
+    merged.per_layer.sort_by_key(|l| l.index);
     merged.wall_cycles = merged
         .total
         .total_cycles()
@@ -217,6 +235,7 @@ fn accumulate_layer<S: ConvSim + ?Sized>(
             synth.trace.update_pairs().expect("valid layer spec"),
         ),
     ];
+    let mut layer_total = SimStats::default();
     for (phase, pairs) in phases {
         let mut phase_span = ant_obs::span("phase");
         phase_span
@@ -243,7 +262,12 @@ fn accumulate_layer<S: ConvSim + ?Sized>(
         phase_stats.startup_cycles = phase_stats
             .startup_cycles
             .min(ant_sim::accelerator::STARTUP_CYCLES * distinct_images);
+        // Mirror the clamp into the attribution: `cycles.startup` tracked
+        // the unclamped per-pair start-up, so snapping it to the clamped
+        // value keeps `cycles.total() == total_cycles()` exactly.
+        phase_stats.cycles.startup = phase_stats.startup_cycles;
         let scaled = phase_stats.scaled_f64(scale);
+        scaled.debug_assert_cycles_attributed("runner phase");
         // The scaled stats are exactly this phase's contribution (delta)
         // to the network totals; attach them to the phase span.
         phase_span.record_all(stats_fields(&scaled));
@@ -254,7 +278,73 @@ fn accumulate_layer<S: ConvSim + ?Sized>(
             .expect("phase present")
             .1
             .accumulate(&scaled);
+        layer_total.accumulate(&scaled);
     }
+    out.per_layer.push(LayerStats {
+        index: layer_index,
+        name: layer.name.clone(),
+        stats: layer_total,
+    });
+}
+
+/// One schedulable unit of work for profiling: the unscaled stats of a
+/// single (kernel, image) pair, tagged with its provenance. Jobs come out
+/// in the exact order [`simulate_network`] simulates them (same per-layer
+/// seed derivation), so per-PE schedules built from them reflect the
+/// sampled simulation.
+#[derive(Debug, Clone)]
+pub struct PairJob {
+    /// Index of the source layer in the network spec.
+    pub layer_index: usize,
+    /// Source layer name.
+    pub layer: String,
+    /// Which training-phase convolution the pair belongs to.
+    pub phase: TrainingPhase,
+    /// Unscaled per-pair counters (attribution invariant holds).
+    pub stats: SimStats,
+}
+
+/// Simulates every sampled (kernel, image) pair of `net` individually and
+/// returns the per-pair stats, for schedulers and timeline builders that
+/// need job granularity rather than network totals.
+pub fn pair_jobs<S: ConvSim + ?Sized>(
+    pe: &S,
+    net: &NetworkModel,
+    cfg: &ExperimentConfig,
+) -> Vec<PairJob> {
+    let mut jobs = Vec::new();
+    for (li, layer) in net.layers.iter().enumerate() {
+        let mut rng =
+            StdRng::seed_from_u64(cfg.seed ^ (li as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let synth = synthesize_layer(layer, &cfg.sparsity, cfg.max_channels, &mut rng);
+        let phases: [(TrainingPhase, Vec<ConvPair>); 3] = [
+            (
+                TrainingPhase::Forward,
+                synth.trace.forward_pairs().expect("valid layer spec"),
+            ),
+            (
+                TrainingPhase::Backward,
+                synth.trace.backward_pairs().expect("valid layer spec"),
+            ),
+            (
+                TrainingPhase::Update,
+                synth.trace.update_pairs().expect("valid layer spec"),
+            ),
+        ];
+        for (phase, pairs) in phases {
+            for pair in &pairs {
+                let stats = pe.simulate_conv_pair(&pair.kernel, &pair.image, &pair.shape);
+                stats.debug_assert_cycles_attributed("pair job");
+                jobs.push(PairJob {
+                    layer_index: li,
+                    layer: layer.name.clone(),
+                    phase,
+                    stats,
+                });
+            }
+        }
+    }
+    jobs
 }
 
 /// Simulates a set of matmul layers (transformer/RNN training phases,
@@ -420,6 +510,51 @@ mod tests {
                 assert_eq!(a, b);
             }
         }
+    }
+
+    #[test]
+    fn attribution_survives_clamping_and_scaling() {
+        // The startup clamp and f64 channel scaling must leave every level
+        // of aggregation fully attributed: totals, phases, and layers.
+        let cfg = ExperimentConfig::paper_default();
+        let net = tiny_net();
+        for machine in [
+            Box::new(ScnnPlus::paper_default()) as Box<dyn ConvSim>,
+            Box::new(AntAccelerator::paper_default()),
+        ] {
+            let result = simulate_network(machine.as_ref(), &net, &cfg);
+            assert!(result.total.cycles_attributed(), "total");
+            for (phase, stats) in &result.per_phase {
+                assert!(stats.cycles_attributed(), "phase {phase}");
+            }
+            assert_eq!(result.per_layer.len(), net.layers.len());
+            let mut layer_sum = SimStats::default();
+            for layer in &result.per_layer {
+                assert!(layer.stats.cycles_attributed(), "layer {}", layer.name);
+                layer_sum.accumulate(&layer.stats);
+            }
+            assert_eq!(layer_sum, result.total);
+        }
+    }
+
+    #[test]
+    fn pair_jobs_cover_the_sampled_network() {
+        let cfg = ExperimentConfig::paper_default();
+        let net = tiny_net();
+        let jobs = super::pair_jobs(&ScnnPlus::paper_default(), &net, &cfg);
+        assert!(!jobs.is_empty());
+        // l1: 2 in x 4 out = 8 forward + 8 backward + 8 update pairs;
+        // l2: 4 x 4 = 16 per phase.
+        assert_eq!(jobs.len(), 3 * 8 + 3 * 16);
+        for job in &jobs {
+            assert!(job.stats.cycles_attributed(), "job in {}", job.layer);
+            assert!(job.layer_index < net.layers.len());
+        }
+        // Jobs arrive in layer order.
+        let indices: Vec<usize> = jobs.iter().map(|j| j.layer_index).collect();
+        let mut sorted = indices.clone();
+        sorted.sort_unstable();
+        assert_eq!(indices, sorted);
     }
 
     #[test]

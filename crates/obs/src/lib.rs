@@ -17,6 +17,10 @@
 //! * **Run manifests** ([`RunManifest`]) — a JSON sidecar per experiment
 //!   recording config, git revision, platform, wall time, outputs, and final
 //!   stats, written next to the CSV it describes.
+//! * **Timelines** ([`timeline::Timeline`]) — Chrome Trace Event / Perfetto
+//!   JSON export of per-PE phase slices in *simulated* time (1 cycle =
+//!   1 µs), gated by `ANT_PROFILE` / `ANT_PROFILE_FILE` and written by the
+//!   `profile` bench binary.
 //!
 //! See `docs/OBSERVABILITY.md` for the full event schema and workflows.
 
@@ -28,6 +32,7 @@ pub mod manifest;
 pub mod metrics;
 pub mod progress;
 pub mod span;
+pub mod timeline;
 pub mod trace;
 
 pub use json::{parse as parse_json, Json, Value};
@@ -35,4 +40,5 @@ pub use manifest::{git_revision, RunManifest};
 pub use metrics::{registry, Counter, Gauge, Histogram, Registry};
 pub use progress::{banner, note, Progress};
 pub use span::{current_span_id, event, span, Span};
+pub use timeline::Timeline;
 pub use trace::{detail_enabled, enabled, trace_file, MemorySink, Sink};

@@ -1,0 +1,248 @@
+//! Schema validation for every record the stack emits.
+//!
+//! Two surfaces are covered:
+//!
+//! * the JSONL trace (`ANT_TRACE`): every record kind — `span`, `event`
+//!   (including the `progress` and `note` shapes layered on it), and
+//!   `metrics` — must round-trip through `ant_obs::parse_json` with the
+//!   envelope keys consumers rely on;
+//! * the Perfetto timeline (`ANT_PROFILE`): every Chrome Trace Event must
+//!   carry the keys ui.perfetto.dev requires per phase.
+//!
+//! The trace sink is process-global, so sink-installing tests serialize
+//! through a guard mutex (integration tests share one process).
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+use ant_obs::json::Json;
+use ant_obs::{metrics, trace, Timeline, Value};
+
+fn sink_guard() -> &'static Mutex<()> {
+    static SINK_GUARD: OnceLock<Mutex<()>> = OnceLock::new();
+    SINK_GUARD.get_or_init(|| Mutex::new(()))
+}
+
+fn with_sink<F: FnOnce()>(detail: bool, f: F) -> Vec<Json> {
+    let _guard = sink_guard().lock().unwrap_or_else(|e| e.into_inner());
+    let (sink, memory) = ant_obs::Sink::in_memory();
+    trace::install(Arc::new(sink), detail);
+    f();
+    trace::uninstall();
+    memory.parsed()
+}
+
+/// Asserts the envelope keys shared by every trace record, then the
+/// per-kind requirements. Returns the kind for callers that count them.
+fn validate_record(record: &Json) -> String {
+    let kind = record
+        .get("kind")
+        .and_then(Json::as_str)
+        .expect("every record has a string `kind`")
+        .to_string();
+    let name = record
+        .get("name")
+        .and_then(Json::as_str)
+        .expect("every record has a string `name`");
+    assert!(
+        record.get("ts_us").and_then(Json::as_u64).is_some(),
+        "record {name} has no u64 `ts_us`"
+    );
+    match kind.as_str() {
+        "span" => {
+            assert!(
+                record.get("span").and_then(Json::as_u64).is_some(),
+                "span {name} has no id"
+            );
+            assert!(
+                record.get("dur_us").and_then(Json::as_u64).is_some(),
+                "span {name} has no duration"
+            );
+            assert!(
+                record.get("path").and_then(Json::as_str).is_some(),
+                "span {name} has no path"
+            );
+        }
+        "event" => match name {
+            // The progress shape: step records carry label/done/total/item,
+            // the closing record swaps item for finished + elapsed_s.
+            "progress" => {
+                let fields = record.get("fields").expect("progress has fields");
+                for key in ["label", "done", "total"] {
+                    assert!(fields.get(key).is_some(), "progress missing `{key}`");
+                }
+                let finished = fields
+                    .get("finished")
+                    .and_then(Json::as_bool)
+                    .unwrap_or(false);
+                if finished {
+                    assert!(
+                        fields.get("elapsed_s").and_then(Json::as_f64).is_some(),
+                        "finished progress has no elapsed_s"
+                    );
+                } else {
+                    assert!(
+                        fields.get("item").and_then(Json::as_str).is_some(),
+                        "progress step has no item"
+                    );
+                }
+            }
+            "note" => {
+                assert!(
+                    record
+                        .get("fields")
+                        .and_then(|f| f.get("text"))
+                        .and_then(Json::as_str)
+                        .is_some(),
+                    "note has no text"
+                );
+            }
+            _ => {}
+        },
+        "metrics" => {
+            assert!(
+                record.get("fields").is_some(),
+                "metrics record {name} has no snapshot fields"
+            );
+        }
+        other => panic!("unknown record kind {other:?}"),
+    }
+    kind
+}
+
+#[test]
+fn every_trace_record_kind_round_trips_with_required_keys() {
+    let records = with_sink(true, || {
+        // kind "span", with recorded fields and nesting.
+        let mut outer = ant_obs::span("phase");
+        outer.record("machine", "ANT");
+        {
+            let _inner = ant_obs::span("layer");
+        }
+        drop(outer);
+
+        // kind "event": bare, note-shaped, and progress-shaped.
+        ant_obs::event("pair", &[("mults", Value::U64(64))]);
+        ant_obs::note("checking schema");
+        let mut progress = ant_obs::Progress::new("layers", 2);
+        progress.step("conv1");
+        progress.step("conv2");
+        progress.finish();
+
+        // kind "metrics", from a local registry (the global one may carry
+        // state from other tests in this process).
+        let registry = metrics::Registry::new();
+        registry.counter("mults").add(7);
+        registry.gauge("speedup").set(3.5);
+        registry.histogram("cycles").record(12.0);
+        metrics::publish("end_of_run", &registry);
+    });
+
+    let mut kinds_seen = std::collections::BTreeSet::new();
+    for record in &records {
+        kinds_seen.insert(validate_record(record));
+    }
+    assert_eq!(
+        kinds_seen.into_iter().collect::<Vec<_>>(),
+        ["event", "metrics", "span"],
+        "expected every record kind to appear"
+    );
+
+    // The progress shapes specifically: two steps and one finish.
+    let progress: Vec<&Json> = records
+        .iter()
+        .filter(|r| r.get("name").and_then(Json::as_str) == Some("progress"))
+        .collect();
+    assert_eq!(progress.len(), 3);
+    let finished = progress
+        .iter()
+        .filter(|r| {
+            r.get("fields")
+                .and_then(|f| f.get("finished"))
+                .and_then(Json::as_bool)
+                == Some(true)
+        })
+        .count();
+    assert_eq!(finished, 1);
+}
+
+#[test]
+fn detail_gated_records_validate_too() {
+    // `ANT_TRACE_PAIRS`-style detail events share the `event` envelope; a
+    // sink installed with detail off must still yield schema-valid output
+    // for everything that does get through.
+    let records = with_sink(false, || {
+        ant_obs::event("pair", &[("machine", Value::Str("SCNN".into()))]);
+        let _span = ant_obs::span("quiet");
+    });
+    assert!(!records.is_empty());
+    for record in &records {
+        validate_record(record);
+    }
+}
+
+#[test]
+fn perfetto_timeline_events_carry_chrome_trace_keys() {
+    // Mirror what the profile binary emits under ANT_PROFILE: per-machine
+    // process metadata, per-PE thread metadata, and one slice per cause.
+    let causes = [
+        "startup",
+        "sram_fetch",
+        "fnir_scan",
+        "compute",
+        "accum_conflict",
+        "drain",
+        "idle_imbalance",
+    ];
+    let mut timeline = Timeline::new();
+    timeline.process_name(0, "ANT");
+    for pe in 0..2u64 {
+        timeline.thread_name(0, pe, &format!("PE {pe}"));
+        let mut cursor = 0;
+        for (i, cause) in causes.iter().enumerate() {
+            timeline.slice(0, pe, cause, "cycles", cursor, (i as u64 + 1) * 3);
+            cursor += (i as u64 + 1) * 3;
+        }
+    }
+
+    let json = ant_obs::parse_json(&timeline.to_json()).expect("timeline is valid JSON");
+    let events = json
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents array");
+    // 1 process + 2 threads of metadata, 7 slices per PE.
+    assert_eq!(events.len(), 3 + 2 * causes.len());
+
+    let mut slice_names = std::collections::BTreeSet::new();
+    for event in events {
+        assert!(event.get("name").and_then(Json::as_str).is_some());
+        assert!(event.get("pid").and_then(Json::as_u64).is_some());
+        assert!(event.get("tid").and_then(Json::as_u64).is_some());
+        match event.get("ph").and_then(Json::as_str) {
+            Some("M") => {
+                assert!(
+                    event
+                        .get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(Json::as_str)
+                        .is_some(),
+                    "metadata event has no args.name"
+                );
+            }
+            Some("X") => {
+                assert!(event.get("ts").and_then(Json::as_u64).is_some());
+                assert!(event.get("dur").and_then(Json::as_u64).is_some());
+                slice_names.insert(
+                    event
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .unwrap()
+                        .to_string(),
+                );
+            }
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    for cause in causes {
+        assert!(slice_names.contains(cause), "no slice for cause {cause}");
+    }
+}

@@ -24,7 +24,7 @@ pub(crate) fn trace_pair(
     if !ant_obs::detail_enabled() {
         return;
     }
-    let mut fields: Vec<(&str, ant_obs::Value)> = Vec::with_capacity(18);
+    let mut fields: Vec<(&str, ant_obs::Value)> = Vec::with_capacity(25);
     fields.push(("machine", machine.into()));
     fields.push(("op", op.into()));
     fields.push(("kernel_nnz", (kernel.nnz() as u64).into()));

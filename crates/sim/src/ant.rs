@@ -13,12 +13,17 @@ use ant_core::anticipator::{AntConfig, AntCounters, Anticipator};
 use ant_sparse::CsrMatrix;
 
 use crate::accelerator::{ConvSim, MatmulSim, STARTUP_CYCLES};
+use crate::accum::AccumulatorBanks;
+use crate::breakdown::CycleBreakdown;
 use crate::stats::SimStats;
 
 /// The ANT PE model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AntAccelerator {
     anticipator: Anticipator,
+    /// Optional banked-accumulator model. `None` keeps the paper's
+    /// assumption of a stall-free output accumulator (Section 6.1).
+    accum_banks: Option<AccumulatorBanks>,
 }
 
 impl AntAccelerator {
@@ -30,6 +35,7 @@ impl AntAccelerator {
     pub fn new(config: AntConfig) -> Self {
         Self {
             anticipator: Anticipator::new(config),
+            accum_banks: None,
         }
     }
 
@@ -38,17 +44,39 @@ impl AntAccelerator {
         Self::new(AntConfig::paper_default())
     }
 
+    /// Enables banked-accumulator conflict modelling: each multiplier-array
+    /// cycle whose valid products collide on an accumulator bank stalls the
+    /// pipeline, the extra cycles landing in `pe_cycles` and attributed to
+    /// `CycleCause::AccumConflict`. Conv only — the matmul path has no
+    /// per-cycle output-index stream, so it keeps the stall-free assumption.
+    pub fn with_accumulator_banks(mut self, banks: AccumulatorBanks) -> Self {
+        self.accum_banks = Some(banks);
+        self
+    }
+
+    /// The banked-accumulator model in use, if conflict modelling is on.
+    pub fn accumulator_banks(&self) -> Option<AccumulatorBanks> {
+        self.accum_banks
+    }
+
     /// The configuration in use.
     pub fn config(&self) -> AntConfig {
         self.anticipator.config()
     }
 
-    fn map_counters(&self, c: &AntCounters) -> SimStats {
-        SimStats {
-            // Each FNIR window is one pipeline cycle; a group whose scan
-            // touches nothing still costs its image-fetch cycle.
-            pe_cycles: c.scan_cycles.max(c.groups),
-            startup_cycles: if c.pairs_total > 0 { STARTUP_CYCLES } else { 0 },
+    fn map_counters(&self, c: &AntCounters, accum_conflicts: u64) -> SimStats {
+        // Each FNIR window is one pipeline cycle; a group whose scan
+        // touches nothing still costs its image-fetch cycle.
+        let scan_floor = c.scan_cycles.max(c.groups);
+        let pe_cycles = scan_floor + accum_conflicts;
+        let startup_cycles = if c.pairs_total > 0 { STARTUP_CYCLES } else { 0 };
+        // Scan cycles that issued multiplications are compute; the rest of
+        // the scan is FNIR window-walk stall; the group-fetch floor beyond
+        // the scan is SRAM fetch pressure.
+        let compute = c.mult_cycles.min(c.scan_cycles);
+        let stats = SimStats {
+            pe_cycles,
+            startup_cycles,
             mults: c.multiplications,
             useful_mults: c.useful,
             rcps_executed: c.rcps_executed,
@@ -61,7 +89,17 @@ impl AntAccelerator {
             index_ops: c.output_index_ops + c.fnir_comparator_ops + c.range_ops,
             accumulator_writes: c.accumulator_writes,
             accumulator_adds: c.useful,
-        }
+            cycles: CycleBreakdown {
+                compute,
+                fnir_scan: c.scan_cycles - compute,
+                accum_conflict: accum_conflicts,
+                sram_fetch: scan_floor - c.scan_cycles,
+                startup: startup_cycles,
+                ..CycleBreakdown::default()
+            },
+        };
+        stats.debug_assert_cycles_attributed("ANT");
+        stats
     }
 }
 
@@ -79,11 +117,20 @@ impl ConvSim for AntAccelerator {
         if kernel.nnz() == 0 || image.nnz() == 0 {
             return SimStats::default();
         }
-        let run = self
-            .anticipator
-            .run_conv(kernel, image, shape)
-            .expect("operands validated by caller");
-        let stats = self.map_counters(&run.counters);
+        let mut accum_conflicts = 0u64;
+        let run = match self.accum_banks {
+            Some(banks) => self
+                .anticipator
+                .run_conv_observed(kernel, image, shape, |cycle_outputs| {
+                    accum_conflicts += banks.conflict_cycles(cycle_outputs);
+                })
+                .expect("operands validated by caller"),
+            None => self
+                .anticipator
+                .run_conv(kernel, image, shape)
+                .expect("operands validated by caller"),
+        };
+        let stats = self.map_counters(&run.counters, accum_conflicts);
         crate::accelerator::trace_pair(self.name(), "conv", kernel, image, &stats);
         stats
     }
@@ -103,7 +150,7 @@ impl MatmulSim for AntAccelerator {
             .anticipator
             .run_matmul(image, kernel, shape)
             .expect("operands validated by caller");
-        let stats = self.map_counters(&run.counters);
+        let stats = self.map_counters(&run.counters, 0);
         crate::accelerator::trace_pair(ConvSim::name(self), "matmul", kernel, image, &stats);
         stats
     }
@@ -201,6 +248,95 @@ mod tests {
         let stats = AntAccelerator::paper_default().simulate_conv_pair(&kernel, &image, &shape);
         let groups = (image.nnz() as u64).div_ceil(4);
         assert!(stats.pe_cycles >= groups);
+    }
+
+    #[test]
+    fn attribution_covers_total_cycles_and_splits_scan() {
+        let shape = ConvShape::new(8, 8, 12, 12, 1).unwrap();
+        let (kernel, image) = random_pair(&shape, 0.8, 1);
+        let stats = AntAccelerator::paper_default().simulate_conv_pair(&kernel, &image, &shape);
+        assert!(stats.cycles_attributed());
+        assert_eq!(stats.cycles.startup, stats.startup_cycles);
+        // ANT does real work here, so some scan cycles issue multiplies.
+        assert!(stats.cycles.compute > 0);
+        // Compute + scan stall together reconstruct the FNIR scan cycles.
+        assert_eq!(
+            stats.cycles.compute + stats.cycles.fnir_scan + stats.cycles.sram_fetch,
+            stats.pe_cycles
+        );
+        assert_eq!(stats.cycles.accum_conflict, 0);
+        assert_eq!(stats.cycles.idle_imbalance, 0);
+    }
+
+    #[test]
+    fn ant_attributes_fewer_scan_and_compute_cycles_than_scnn() {
+        // Golden attribution check on the RCP-dominated G_A * A fixture
+        // (same geometry/seed as ant_beats_scnn_on_update_phase_geometry):
+        // anticipation must shrink the scan+compute cycle bill, not merely
+        // relabel it.
+        let shape = ConvShape::new(14, 14, 16, 16, 1).unwrap();
+        let (kernel, image) = random_pair(&shape, 0.9, 2);
+        let scnn = ScnnPlus::paper_default().simulate_conv_pair(&kernel, &image, &shape);
+        let ant = AntAccelerator::paper_default().simulate_conv_pair(&kernel, &image, &shape);
+        assert!(scnn.cycles_attributed());
+        assert!(ant.cycles_attributed());
+        assert!(
+            ant.cycles.fnir_scan + ant.cycles.compute < scnn.cycles.fnir_scan + scnn.cycles.compute,
+            "ANT {}+{} vs SCNN {}+{}",
+            ant.cycles.fnir_scan,
+            ant.cycles.compute,
+            scnn.cycles.fnir_scan,
+            scnn.cycles.compute
+        );
+    }
+
+    #[test]
+    fn scnn_provisioned_banks_report_conflicts_on_same_bank_outputs() {
+        // Adversarial pattern: a single-entry kernel at (0, 0) against an
+        // image whose only non-zeros fill column 0, on a 32-wide output.
+        // Every valid product in a multiplier cycle lands at flat output
+        // index out_y * 32 ≡ 0 (mod 32 banks), so SCNN-provisioned banking
+        // (2 * 4^2 = 32) serializes each cycle's products on bank 0.
+        let shape = ConvShape::new(2, 2, 33, 33, 1).unwrap();
+        let kernel = CsrMatrix::from_dense(&DenseMatrix::from_fn(2, 2, |r, c| {
+            if r == 0 && c == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        }));
+        let image = CsrMatrix::from_dense(&DenseMatrix::from_fn(33, 33, |_, c| {
+            if c == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        }));
+        let plain = AntAccelerator::paper_default();
+        let banked = plain.with_accumulator_banks(crate::accum::AccumulatorBanks::scnn_provisioned(4));
+        let base = plain.simulate_conv_pair(&kernel, &image, &shape);
+        let stats = banked.simulate_conv_pair(&kernel, &image, &shape);
+        assert!(
+            stats.accum_conflict_cycles() > 0,
+            "same-bank outputs must serialize"
+        );
+        assert_eq!(
+            stats.pe_cycles,
+            base.pe_cycles + stats.accum_conflict_cycles(),
+            "conflicts extend the pipeline, cycle for cycle"
+        );
+        assert!(stats.cycles_attributed());
+        // Conflict-free outputs (distinct banks) report zero: same kernel
+        // against one dense image row spreads outputs across banks.
+        let spread = CsrMatrix::from_dense(&DenseMatrix::from_fn(33, 33, |r, _| {
+            if r == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        }));
+        let ok = banked.simulate_conv_pair(&kernel, &spread, &shape);
+        assert_eq!(ok.accum_conflict_cycles(), 0);
     }
 
     #[test]

@@ -1,0 +1,360 @@
+//! Cycle attribution: every simulated PE-cycle charged to exactly one cause.
+//!
+//! The paper's evaluation hinges on *where* cycles go, not just how many
+//! there are: FNIR scan windows that outlast the multiplications they feed
+//! (Section 5.2), SCNN's banked-accumulator serialization (Section 2.2 /
+//! SCNN Section 5), start-up bubbles per matrix pair (Section 6.1), and
+//! load imbalance across PEs (Section 6.2's perfect-balance assumption,
+//! made checkable here). [`CycleBreakdown`] splits a machine's
+//! `total_cycles` into exactly one of seven causes so that
+//!
+//! ```text
+//! sum(causes) == pe_cycles + startup_cycles == SimStats::total_cycles()
+//! ```
+//!
+//! holds for every machine output. The invariant is enforced by debug
+//! assertions at each machine's stat-construction site
+//! ([`crate::SimStats::debug_assert_cycles_attributed`]) and by property
+//! tests over `merge`/`delta_from`/`scaled`.
+
+/// One reason a simulated PE-cycle elapsed. Each cycle has exactly one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CycleCause {
+    /// A multiplier-array cycle doing bf16 multiplies. For machines without
+    /// anticipation this includes RCP work — wasted products are still
+    /// compute cycles; the waste shows up as ANT needing fewer of them.
+    Compute,
+    /// Index-scan cycles not covered by useful multiplication: FNIR window
+    /// walks on ANT, index-intersection probes on intersection machines.
+    FnirScan,
+    /// Serialization because two products in the same cycle target the same
+    /// accumulator bank (SCNN-style banked accumulators).
+    AccumConflict,
+    /// Stalls waiting on SRAM traffic: group-fetch floors, serial IM2COL
+    /// conversion, filter rebuilds.
+    SramFetch,
+    /// Pipeline drain / packing underutilization: lanes that finish early
+    /// and cannot be refilled within the window (e.g. lookahead packing).
+    Drain,
+    /// A PE sitting idle because another PE's assignment runs longer
+    /// (schedule makespan minus this PE's load). Only appears after
+    /// multi-PE scheduling; per-pair machine stats never carry it.
+    IdleImbalance,
+    /// Pipeline start-up bubbles (5 cycles per matrix pair).
+    Startup,
+}
+
+impl CycleCause {
+    /// Every cause, in the canonical order used by `fields()`, reports,
+    /// and timeline slices.
+    pub const ALL: [CycleCause; 7] = [
+        CycleCause::Compute,
+        CycleCause::FnirScan,
+        CycleCause::AccumConflict,
+        CycleCause::SramFetch,
+        CycleCause::Drain,
+        CycleCause::IdleImbalance,
+        CycleCause::Startup,
+    ];
+
+    /// Stable snake_case name (used in CSV columns, trace fields, and
+    /// Perfetto slice names).
+    pub fn name(self) -> &'static str {
+        match self {
+            CycleCause::Compute => "compute",
+            CycleCause::FnirScan => "fnir_scan",
+            CycleCause::AccumConflict => "accum_conflict",
+            CycleCause::SramFetch => "sram_fetch",
+            CycleCause::Drain => "drain",
+            CycleCause::IdleImbalance => "idle_imbalance",
+            CycleCause::Startup => "startup",
+        }
+    }
+}
+
+impl std::fmt::Display for CycleCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-cause cycle totals. Mirrors [`crate::EnergyBreakdown`]'s
+/// merge/fields/total shape, in `u64` cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct CycleBreakdown {
+    /// Multiplier-array cycles spent on multiplications.
+    pub compute: u64,
+    /// FNIR window-scan (or index-intersection) cycles beyond compute.
+    pub fnir_scan: u64,
+    /// Accumulator bank-conflict serialization cycles.
+    pub accum_conflict: u64,
+    /// SRAM fetch-pressure stall cycles.
+    pub sram_fetch: u64,
+    /// Pipeline drain / packing underutilization cycles.
+    pub drain: u64,
+    /// Idle cycles from cross-PE load imbalance (post-scheduling only).
+    pub idle_imbalance: u64,
+    /// Pipeline start-up cycles.
+    pub startup: u64,
+}
+
+impl CycleBreakdown {
+    /// Cycles attributed to `cause`.
+    pub fn get(&self, cause: CycleCause) -> u64 {
+        match cause {
+            CycleCause::Compute => self.compute,
+            CycleCause::FnirScan => self.fnir_scan,
+            CycleCause::AccumConflict => self.accum_conflict,
+            CycleCause::SramFetch => self.sram_fetch,
+            CycleCause::Drain => self.drain,
+            CycleCause::IdleImbalance => self.idle_imbalance,
+            CycleCause::Startup => self.startup,
+        }
+    }
+
+    /// Mutable access by cause (attribution sites add here).
+    pub fn get_mut(&mut self, cause: CycleCause) -> &mut u64 {
+        match cause {
+            CycleCause::Compute => &mut self.compute,
+            CycleCause::FnirScan => &mut self.fnir_scan,
+            CycleCause::AccumConflict => &mut self.accum_conflict,
+            CycleCause::SramFetch => &mut self.sram_fetch,
+            CycleCause::Drain => &mut self.drain,
+            CycleCause::IdleImbalance => &mut self.idle_imbalance,
+            CycleCause::Startup => &mut self.startup,
+        }
+    }
+
+    /// Charges `cycles` to `cause`.
+    pub fn add(&mut self, cause: CycleCause, cycles: u64) {
+        *self.get_mut(cause) += cycles;
+    }
+
+    /// Named per-cause totals in [`CycleCause::ALL`] order — the one place
+    /// that enumerates causes for reports and traces.
+    pub fn fields(&self) -> [(&'static str, u64); 7] {
+        [
+            (CycleCause::Compute.name(), self.compute),
+            (CycleCause::FnirScan.name(), self.fnir_scan),
+            (CycleCause::AccumConflict.name(), self.accum_conflict),
+            (CycleCause::SramFetch.name(), self.sram_fetch),
+            (CycleCause::Drain.name(), self.drain),
+            (CycleCause::IdleImbalance.name(), self.idle_imbalance),
+            (CycleCause::Startup.name(), self.startup),
+        ]
+    }
+
+    /// Sum over all causes. Equals `SimStats::total_cycles()` whenever the
+    /// attribution invariant holds.
+    pub fn total(&self) -> u64 {
+        CycleCause::ALL.iter().map(|&c| self.get(c)).sum()
+    }
+
+    /// Component-wise sum of two breakdowns.
+    pub fn merge(&self, other: &CycleBreakdown) -> CycleBreakdown {
+        let mut out = *self;
+        out.accumulate(other);
+        out
+    }
+
+    /// Merges another breakdown into this one.
+    pub fn accumulate(&mut self, other: &CycleBreakdown) {
+        for cause in CycleCause::ALL {
+            self.add(cause, other.get(cause));
+        }
+    }
+
+    /// Component-wise difference (`self - baseline`), saturating at zero.
+    pub fn delta_from(&self, baseline: &CycleBreakdown) -> CycleBreakdown {
+        let mut out = CycleBreakdown::default();
+        for cause in CycleCause::ALL {
+            *out.get_mut(cause) = self.get(cause).saturating_sub(baseline.get(cause));
+        }
+        out
+    }
+
+    /// Scales every cause by an integer factor.
+    pub fn scaled(&self, factor: u64) -> CycleBreakdown {
+        let mut out = CycleBreakdown::default();
+        for cause in CycleCause::ALL {
+            *out.get_mut(cause) = self.get(cause) * factor;
+        }
+        out
+    }
+
+    /// Scales every cause by a real factor, rounding, then redistributes
+    /// the rounding residue so the result sums exactly to `target_total`.
+    ///
+    /// Per-cause rounding can otherwise drift off the (independently
+    /// rounded) `pe_cycles + startup_cycles` by a few cycles, silently
+    /// breaking the attribution invariant. Positive residue lands on the
+    /// largest cause; negative residue is shaved from the largest causes
+    /// first. An all-zero breakdown stays all-zero — no attribution is
+    /// invented for stats that never carried one.
+    pub fn scaled_f64_to(&self, factor: f64, target_total: u64) -> CycleBreakdown {
+        assert!(factor >= 0.0 && factor.is_finite(), "factor must be finite");
+        if self.total() == 0 {
+            return CycleBreakdown::default();
+        }
+        let mut out = CycleBreakdown::default();
+        for cause in CycleCause::ALL {
+            *out.get_mut(cause) = (self.get(cause) as f64 * factor).round() as u64;
+        }
+        let mut sum = out.total();
+        while sum != target_total {
+            // Pick the largest cause to absorb/shed the residue; ties break
+            // toward the earliest cause in canonical order (deterministic).
+            let largest = Self::largest_cause(&out);
+            if sum < target_total {
+                out.add(largest, target_total - sum);
+            } else {
+                let shave = (sum - target_total).min(out.get(largest));
+                *out.get_mut(largest) -= shave;
+                if shave == 0 {
+                    break; // everything is zero; cannot shave further
+                }
+            }
+            sum = out.total();
+        }
+        out
+    }
+
+    /// The strictly-largest cause; ties break toward the earliest cause in
+    /// canonical order (`max_by_key` would keep the last).
+    fn largest_cause(b: &CycleBreakdown) -> CycleCause {
+        let mut best = CycleCause::ALL[0];
+        for cause in CycleCause::ALL {
+            if b.get(cause) > b.get(best) {
+                best = cause;
+            }
+        }
+        best
+    }
+
+    /// The cause with the most cycles, if any cycles are attributed.
+    /// Ties break toward the earliest cause in canonical order.
+    pub fn dominant(&self) -> Option<(CycleCause, u64)> {
+        let best = Self::largest_cause(self);
+        if self.get(best) == 0 {
+            None
+        } else {
+            Some((best, self.get(best)))
+        }
+    }
+
+    /// Causes with nonzero cycles, largest first (ties in canonical order).
+    /// The profiler's "top stall causes" report is this minus `Compute`.
+    pub fn ranked(&self) -> Vec<(CycleCause, u64)> {
+        let mut causes: Vec<(CycleCause, u64)> = CycleCause::ALL
+            .into_iter()
+            .map(|c| (c, self.get(c)))
+            .filter(|&(_, v)| v > 0)
+            .collect();
+        causes.sort_by_key(|&(_, v)| std::cmp::Reverse(v));
+        causes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CycleBreakdown {
+        CycleBreakdown {
+            compute: 60,
+            fnir_scan: 20,
+            accum_conflict: 5,
+            sram_fetch: 10,
+            drain: 3,
+            idle_imbalance: 2,
+            startup: 5,
+        }
+    }
+
+    #[test]
+    fn total_sums_all_causes() {
+        assert_eq!(sample().total(), 105);
+        assert_eq!(CycleBreakdown::default().total(), 0);
+    }
+
+    #[test]
+    fn fields_cover_every_cause() {
+        let mut ones = CycleBreakdown::default();
+        for cause in CycleCause::ALL {
+            ones.add(cause, 1);
+        }
+        assert_eq!(ones.fields().iter().map(|(_, v)| v).sum::<u64>(), 7);
+    }
+
+    #[test]
+    fn merge_matches_accumulate_and_is_commutative() {
+        let a = sample();
+        let b = sample().scaled(2);
+        let mut acc = a;
+        acc.accumulate(&b);
+        assert_eq!(a.merge(&b), acc);
+        assert_eq!(a.merge(&b), b.merge(&a));
+        assert_eq!(a.merge(&CycleBreakdown::default()), a);
+    }
+
+    #[test]
+    fn delta_from_inverts_merge() {
+        let a = sample();
+        let b = sample().scaled(3);
+        assert_eq!(a.merge(&b).delta_from(&a), b);
+        assert_eq!(a.delta_from(&a), CycleBreakdown::default());
+    }
+
+    #[test]
+    fn scaled_f64_to_hits_target_exactly() {
+        let b = sample();
+        // A factor chosen so naive per-cause rounding does NOT sum to the
+        // rounded total: causes round to 20+7+2+3+1+1+2 = 36 while the
+        // rounded total is round(105/3) = 35.
+        let factor = 1.0 / 3.0;
+        let target = (b.total() as f64 * factor).round() as u64;
+        let scaled = b.scaled_f64_to(factor, target);
+        assert_eq!(scaled.total(), target);
+    }
+
+    #[test]
+    fn scaled_f64_to_zero_breakdown_stays_zero() {
+        let z = CycleBreakdown::default();
+        assert_eq!(z.scaled_f64_to(2.5, 100), CycleBreakdown::default());
+    }
+
+    #[test]
+    fn scaled_f64_to_target_zero_clears_everything() {
+        assert_eq!(sample().scaled_f64_to(0.0, 0), CycleBreakdown::default());
+    }
+
+    #[test]
+    fn dominant_and_ranked_order_causes() {
+        let b = sample();
+        let (cause, cycles) = b.dominant().unwrap();
+        assert_eq!(cause, CycleCause::Compute);
+        assert_eq!(cycles, 60);
+        let ranked = b.ranked();
+        assert_eq!(ranked[0].0, CycleCause::Compute);
+        assert_eq!(ranked[1].0, CycleCause::FnirScan);
+        assert!(ranked.windows(2).all(|w| w[0].1 >= w[1].1));
+        assert!(CycleBreakdown::default().dominant().is_none());
+    }
+
+    #[test]
+    fn cause_names_are_stable() {
+        let names: Vec<&str> = CycleCause::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "compute",
+                "fnir_scan",
+                "accum_conflict",
+                "sram_fetch",
+                "drain",
+                "idle_imbalance",
+                "startup"
+            ]
+        );
+    }
+}

@@ -19,6 +19,7 @@ use ant_conv::ConvShape;
 use ant_sparse::CsrMatrix;
 
 use crate::accelerator::{ConvSim, MatmulSim, STARTUP_CYCLES};
+use crate::breakdown::CycleBreakdown;
 use crate::stats::SimStats;
 
 /// The DST-like PE model.
@@ -70,7 +71,10 @@ impl DstAccelerator {
         // IM2COL duplicates each image non-zero across the patches it
         // belongs to.
         let image_reads = ((2 * nnz_image) as f64 * duplication).ceil() as u64;
-        SimStats {
+        // Cycles the useful work strictly needs are compute; the utilization
+        // shortfall is the serial IM2COL conversion starving the array.
+        let compute = ideal_cycles.min(cycles);
+        let stats = SimStats {
             pe_cycles: cycles,
             startup_cycles: STARTUP_CYCLES,
             mults: useful,
@@ -87,7 +91,15 @@ impl DstAccelerator {
             index_ops: image_reads / 2,
             accumulator_writes: outputs.min(useful),
             accumulator_adds: useful,
-        }
+            cycles: CycleBreakdown {
+                compute,
+                sram_fetch: cycles - compute,
+                startup: STARTUP_CYCLES,
+                ..CycleBreakdown::default()
+            },
+        };
+        stats.debug_assert_cycles_attributed("DST");
+        stats
     }
 }
 

@@ -20,6 +20,7 @@ use ant_conv::ConvShape;
 use ant_sparse::CsrMatrix;
 
 use crate::accelerator::{ConvSim, MatmulSim, STARTUP_CYCLES};
+use crate::breakdown::CycleBreakdown;
 use crate::stats::SimStats;
 
 /// A DaDianNao-like dense inner-product PE: every MAC of the direct
@@ -49,8 +50,9 @@ impl DenseInnerProduct {
         if macs == 0 {
             return SimStats::default();
         }
-        SimStats {
-            pe_cycles: macs.div_ceil(self.multipliers as u64),
+        let pe_cycles = macs.div_ceil(self.multipliers as u64);
+        let stats = SimStats {
+            pe_cycles,
             startup_cycles: STARTUP_CYCLES,
             mults: macs,
             useful_mults: macs,
@@ -67,7 +69,16 @@ impl DenseInnerProduct {
             index_ops: 0,
             accumulator_writes: outputs,
             accumulator_adds: macs,
-        }
+            // The dense array never stalls: every cycle multiplies, zero
+            // operands included.
+            cycles: CycleBreakdown {
+                compute: pe_cycles,
+                startup: STARTUP_CYCLES,
+                ..CycleBreakdown::default()
+            },
+        };
+        stats.debug_assert_cycles_attributed("DaDianNao");
+        stats
     }
 }
 
@@ -166,7 +177,10 @@ impl TensorDash {
         // whatever the window could not compact.
         let mults = ((dense_macs as f64 / speedup).ceil() as u64)
             .max((dense_macs as f64 * rho).ceil() as u64);
-        SimStats {
+        // Cycles the non-zero work strictly needs are compute; the excess is
+        // lanes the bounded lookahead window failed to refill (drain).
+        let compute = mults.div_ceil(self.multipliers as u64).min(cycles);
+        let stats = SimStats {
             pe_cycles: cycles,
             startup_cycles: STARTUP_CYCLES,
             mults,
@@ -181,7 +195,15 @@ impl TensorDash {
             index_ops: mults,
             accumulator_writes: outputs,
             accumulator_adds: mults,
-        }
+            cycles: CycleBreakdown {
+                compute,
+                drain: cycles - compute,
+                startup: STARTUP_CYCLES,
+                ..CycleBreakdown::default()
+            },
+        };
+        stats.debug_assert_cycles_attributed("TensorDash");
+        stats
     }
 }
 

@@ -24,6 +24,7 @@ use ant_conv::ConvShape;
 use ant_sparse::{Bitmask, CsrMatrix};
 
 use crate::accelerator::{ConvSim, MatmulSim, STARTUP_CYCLES};
+use crate::breakdown::CycleBreakdown;
 use crate::stats::SimStats;
 
 /// The GoSPA-like intersection PE model.
@@ -95,8 +96,9 @@ impl IntersectionAccelerator {
         // non-zero pair of rows ~ nnz_image.
         let intersection_ops = nnz_image as u64 + nnz_kernel as u64;
         let mac_cycles = useful.div_ceil(self.multipliers as u64);
-        SimStats {
-            pe_cycles: filter_cycles + mac_cycles + intersection_ops / 4,
+        let probe_cycles = intersection_ops / 4;
+        let stats = SimStats {
+            pe_cycles: filter_cycles + mac_cycles + probe_cycles,
             startup_cycles: STARTUP_CYCLES,
             mults: useful,
             useful_mults: useful,
@@ -110,7 +112,19 @@ impl IntersectionAccelerator {
             index_ops: intersection_ops,
             accumulator_writes: outputs.min(useful),
             accumulator_adds: useful,
-        }
+            // Filter rebuilds are SRAM traffic (CSR → bitmask unpacking);
+            // intersection probes are index-scan work, the machine's
+            // analogue of ANT's FNIR walk.
+            cycles: CycleBreakdown {
+                compute: mac_cycles,
+                fnir_scan: probe_cycles,
+                sram_fetch: filter_cycles,
+                startup: STARTUP_CYCLES,
+                ..CycleBreakdown::default()
+            },
+        };
+        stats.debug_assert_cycles_attributed("GoSPA");
+        stats
     }
 }
 

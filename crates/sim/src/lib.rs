@@ -56,6 +56,7 @@
 pub mod accelerator;
 pub mod accum;
 pub mod ant;
+pub mod breakdown;
 pub mod dst;
 pub mod energy;
 pub mod inner;
@@ -67,5 +68,6 @@ pub mod stats;
 pub mod tiling;
 
 pub use accelerator::{Accelerator, ConvSim, MatmulSim};
+pub use breakdown::{CycleBreakdown, CycleCause};
 pub use energy::EnergyModel;
 pub use stats::{EnergyBreakdown, SimStats};

@@ -13,6 +13,9 @@
 
 use ant_sparse::CsrMatrix;
 
+use crate::accelerator::STARTUP_CYCLES;
+use crate::breakdown::{CycleBreakdown, CycleCause};
+
 /// SRAM buffer capacity (paper Table 4).
 pub const SRAM_BYTES: usize = 8 * 1024;
 
@@ -69,6 +72,42 @@ pub fn split_rows_by_nnz(matrix: &CsrMatrix, max_nnz: usize) -> Vec<CsrMatrix> {
         bands.push(build_band(matrix, &band_entries));
     }
     bands
+}
+
+/// The result of a capacity split, carrying the cycles the split itself
+/// costs — not just how many bands were made, but *which* cycles the extra
+/// bands add to the machine's bill.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitReport {
+    /// The row bands, in row order (same contract as
+    /// [`split_rows_by_nnz`]).
+    pub bands: Vec<CsrMatrix>,
+    /// Pipeline start-up cycles the split adds beyond the unsplit matrix:
+    /// each extra band is one more matrix pair handed to a PE, costing
+    /// [`STARTUP_CYCLES`].
+    pub extra_startup_cycles: u64,
+}
+
+impl SplitReport {
+    /// The added cycles as an attribution delta: everything a split costs
+    /// is [`CycleCause::Startup`].
+    pub fn added_cycles(&self) -> CycleBreakdown {
+        let mut b = CycleBreakdown::default();
+        b.add(CycleCause::Startup, self.extra_startup_cycles);
+        b
+    }
+}
+
+/// Like [`split_rows_by_nnz`], but reports the cycles the split adds:
+/// `(bands - 1) * STARTUP_CYCLES` of pure start-up, since every band
+/// beyond the first restarts the PE pipeline.
+pub fn split_rows_by_nnz_report(matrix: &CsrMatrix, max_nnz: usize) -> SplitReport {
+    let bands = split_rows_by_nnz(matrix, max_nnz);
+    let extra_startup_cycles = (bands.len() as u64).saturating_sub(1) * STARTUP_CYCLES;
+    SplitReport {
+        bands,
+        extra_startup_cycles,
+    }
 }
 
 fn build_band(matrix: &CsrMatrix, entries: &[(usize, usize, f32)]) -> CsrMatrix {
@@ -170,6 +209,39 @@ mod tests {
             assert_eq!(split_total.useful_mults, whole.useful_mults, "{name}");
             assert_eq!(split_total.startup_cycles, bands.len() as u64 * 5, "{name}");
         }
+    }
+
+    #[test]
+    fn split_report_prices_extra_bands_as_startup() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = CsrMatrix::from_dense(&sparsify::random_with_sparsity(20, 20, 0.5, &mut rng));
+        let report = split_rows_by_nnz_report(&m, 40);
+        assert_eq!(report.bands, split_rows_by_nnz(&m, 40));
+        assert_eq!(
+            report.extra_startup_cycles,
+            (report.bands.len() as u64 - 1) * 5
+        );
+        let added = report.added_cycles();
+        assert_eq!(added.startup, report.extra_startup_cycles);
+        assert_eq!(added.total(), report.extra_startup_cycles);
+        // The attributed delta matches what machine simulation actually
+        // bills: split startup minus unsplit startup.
+        let machine = ScnnPlus::paper_default();
+        let shape = ConvShape::new(20, 20, 24, 24, 1).unwrap();
+        let image = CsrMatrix::from_dense(&sparsify::random_with_sparsity(24, 24, 0.5, &mut rng));
+        let whole = machine.simulate_conv_pair(&m, &image, &shape);
+        let mut split_total = SimStats::default();
+        for band in &report.bands {
+            split_total.accumulate(&machine.simulate_conv_pair(band, &image, &shape));
+        }
+        assert_eq!(
+            split_total.startup_cycles - whole.startup_cycles,
+            report.extra_startup_cycles
+        );
+        // No-split case: one band, nothing added.
+        let small = split_rows_by_nnz_report(&m, m.nnz());
+        assert_eq!(small.bands.len(), 1);
+        assert_eq!(small.extra_startup_cycles, 0);
     }
 
     #[test]

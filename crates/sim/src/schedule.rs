@@ -34,6 +34,38 @@ impl Schedule {
         let ideal = total as f64 / self.pe_load.len() as f64;
         self.makespan() as f64 / ideal
     }
+
+    /// Cycles each PE sits idle waiting for the busiest PE to finish
+    /// (`makespan - pe_load[p]`). These are the cycles the profiler
+    /// attributes to `CycleCause::IdleImbalance` — they exist only after
+    /// placement, never in per-pair machine stats.
+    pub fn idle_cycles(&self) -> Vec<u64> {
+        let makespan = self.makespan();
+        self.pe_load.iter().map(|&load| makespan - load).collect()
+    }
+
+    /// Total idle cycles across all PEs — zero iff the schedule achieves
+    /// the paper's perfect-balance assumption exactly.
+    pub fn total_idle_cycles(&self) -> u64 {
+        self.idle_cycles().iter().sum()
+    }
+
+    /// Per-PE busy fraction (`pe_load / makespan`); all-1.0 under perfect
+    /// balance. Every entry is 1.0 for an empty schedule (no cycles, none
+    /// idle).
+    pub fn utilization(&self) -> Vec<f64> {
+        let makespan = self.makespan();
+        self.pe_load
+            .iter()
+            .map(|&load| {
+                if makespan == 0 {
+                    1.0
+                } else {
+                    load as f64 / makespan as f64
+                }
+            })
+            .collect()
+    }
 }
 
 /// The perfect-balance lower bound on wall-clock cycles (the paper's
@@ -152,6 +184,19 @@ mod tests {
     fn imbalance_is_one_for_uniform_jobs() {
         let s = schedule_lpt(&[10, 10, 10, 10], 4);
         assert!((s.imbalance() - 1.0).abs() < 1e-12);
+        assert_eq!(s.total_idle_cycles(), 0);
+        assert!(s.utilization().iter().all(|&u| (u - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn idle_cycles_measure_the_balance_gap() {
+        let s = schedule_round_robin(&[100, 1, 100, 1], 2);
+        // PE 0 carries 200 cycles, PE 1 carries 2: PE 1 idles 198.
+        assert_eq!(s.idle_cycles(), vec![0, 198]);
+        assert_eq!(s.total_idle_cycles(), 198);
+        let util = s.utilization();
+        assert!((util[0] - 1.0).abs() < 1e-12);
+        assert!((util[1] - 0.01).abs() < 1e-12);
     }
 
     #[test]

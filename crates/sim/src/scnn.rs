@@ -18,6 +18,7 @@ use ant_conv::ConvShape;
 use ant_sparse::CsrMatrix;
 
 use crate::accelerator::{ConvSim, MatmulSim, STARTUP_CYCLES};
+use crate::breakdown::CycleBreakdown;
 use crate::stats::SimStats;
 
 /// The SCNN+ PE model.
@@ -61,8 +62,9 @@ impl ScnnPlus {
         let groups = (nnz_image as u64).div_ceil(n);
         let kernel_batches = (nnz_kernel as u64).div_ceil(n);
         let mults = nnz_kernel as u64 * nnz_image as u64;
-        SimStats {
-            pe_cycles: groups * kernel_batches,
+        let pe_cycles = groups * kernel_batches;
+        let stats = SimStats {
+            pe_cycles,
             startup_cycles: STARTUP_CYCLES,
             mults,
             useful_mults: useful,
@@ -78,7 +80,17 @@ impl ScnnPlus {
             index_ops: mults,
             accumulator_writes: useful,
             accumulator_adds: useful,
-        }
+            // Every array cycle executes the full cartesian product, RCPs
+            // included — the waste *is* compute here; ANT's win shows up as
+            // attributing fewer compute cycles, not as a different cause.
+            cycles: CycleBreakdown {
+                compute: pe_cycles,
+                startup: STARTUP_CYCLES,
+                ..CycleBreakdown::default()
+            },
+        };
+        stats.debug_assert_cycles_attributed("SCNN+");
+        stats
     }
 }
 

@@ -1,5 +1,6 @@
 //! Unified simulation statistics shared by every accelerator model.
 
+use crate::breakdown::CycleBreakdown;
 use crate::energy::EnergyModel;
 
 /// Per-category energy totals in picojoules.
@@ -84,6 +85,11 @@ pub struct SimStats {
     pub accumulator_writes: u64,
     /// Accumulator additions (bf16 adds, one per useful product).
     pub accumulator_adds: u64,
+    /// Per-cause attribution of `total_cycles()`: every cycle counted in
+    /// `pe_cycles + startup_cycles` is charged to exactly one
+    /// [`crate::CycleCause`]. Machines uphold `cycles.total() ==
+    /// total_cycles()` (checked by [`SimStats::debug_assert_cycles_attributed`]).
+    pub cycles: CycleBreakdown,
 }
 
 impl SimStats {
@@ -129,9 +135,38 @@ impl SimStats {
         }
     }
 
-    /// Named counter values, in declaration order — the one place that
-    /// enumerates fields for tracing, manifests, and merge checks.
-    pub fn fields(&self) -> [(&'static str, u64); 14] {
+    /// Whether the per-cause attribution covers `total_cycles()` exactly.
+    /// Holds for every machine output; arbitrary hand-built stats (e.g.
+    /// property-test inputs) may violate it.
+    pub fn cycles_attributed(&self) -> bool {
+        self.cycles.total() == self.total_cycles()
+    }
+
+    /// Debug-asserts the attribution invariant at a machine's
+    /// stat-construction site. `context` names the machine for the panic
+    /// message. Free in release builds.
+    #[track_caller]
+    pub fn debug_assert_cycles_attributed(&self, context: &str) {
+        debug_assert!(
+            self.cycles_attributed(),
+            "{context}: cycle attribution {} != total_cycles {} (breakdown {:?})",
+            self.cycles.total(),
+            self.total_cycles(),
+            self.cycles,
+        );
+    }
+
+    /// Accumulator bank-conflict serialization cycles (first-class view of
+    /// `cycles.accum_conflict`). Zero unless bank modeling is enabled, e.g.
+    /// via `AntAccelerator::with_accumulator_banks`.
+    pub fn accum_conflict_cycles(&self) -> u64 {
+        self.cycles.accum_conflict
+    }
+
+    /// Named counter values, in declaration order (the seven `cycles_*`
+    /// attribution entries last) — the one place that enumerates fields for
+    /// tracing, manifests, and merge checks.
+    pub fn fields(&self) -> [(&'static str, u64); 21] {
         [
             ("pe_cycles", self.pe_cycles),
             ("startup_cycles", self.startup_cycles),
@@ -147,6 +182,13 @@ impl SimStats {
             ("index_ops", self.index_ops),
             ("accumulator_writes", self.accumulator_writes),
             ("accumulator_adds", self.accumulator_adds),
+            ("cycles_compute", self.cycles.compute),
+            ("cycles_fnir_scan", self.cycles.fnir_scan),
+            ("cycles_accum_conflict", self.cycles.accum_conflict),
+            ("cycles_sram_fetch", self.cycles.sram_fetch),
+            ("cycles_drain", self.cycles.drain),
+            ("cycles_idle_imbalance", self.cycles.idle_imbalance),
+            ("cycles_startup", self.cycles.startup),
         ]
     }
 
@@ -184,6 +226,13 @@ impl SimStats {
             "index_ops" => &mut self.index_ops,
             "accumulator_writes" => &mut self.accumulator_writes,
             "accumulator_adds" => &mut self.accumulator_adds,
+            "cycles_compute" => &mut self.cycles.compute,
+            "cycles_fnir_scan" => &mut self.cycles.fnir_scan,
+            "cycles_accum_conflict" => &mut self.cycles.accum_conflict,
+            "cycles_sram_fetch" => &mut self.cycles.sram_fetch,
+            "cycles_drain" => &mut self.cycles.drain,
+            "cycles_idle_imbalance" => &mut self.cycles.idle_imbalance,
+            "cycles_startup" => &mut self.cycles.startup,
             _ => unreachable!("unknown SimStats field {name}"),
         }
     }
@@ -204,6 +253,7 @@ impl SimStats {
         self.index_ops += other.index_ops;
         self.accumulator_writes += other.accumulator_writes;
         self.accumulator_adds += other.accumulator_adds;
+        self.cycles.accumulate(&other.cycles);
     }
 
     /// Scales every counter by a real factor (rounding), for channel-pair
@@ -211,9 +261,11 @@ impl SimStats {
     pub fn scaled_f64(&self, factor: f64) -> SimStats {
         assert!(factor >= 0.0 && factor.is_finite(), "factor must be finite");
         let s = |v: u64| (v as f64 * factor).round() as u64;
+        let pe_cycles = s(self.pe_cycles);
+        let startup_cycles = s(self.startup_cycles);
         SimStats {
-            pe_cycles: s(self.pe_cycles),
-            startup_cycles: s(self.startup_cycles),
+            pe_cycles,
+            startup_cycles,
             mults: s(self.mults),
             useful_mults: s(self.useful_mults),
             rcps_executed: s(self.rcps_executed),
@@ -226,6 +278,12 @@ impl SimStats {
             index_ops: s(self.index_ops),
             accumulator_writes: s(self.accumulator_writes),
             accumulator_adds: s(self.accumulator_adds),
+            // Per-cause rounding drifts off the independently rounded
+            // pe+startup totals; renormalize so attribution survives
+            // non-integer channel-sampling scales.
+            cycles: self
+                .cycles
+                .scaled_f64_to(factor, pe_cycles + startup_cycles),
         }
     }
 
@@ -248,6 +306,7 @@ impl SimStats {
             index_ops: self.index_ops * factor,
             accumulator_writes: self.accumulator_writes * factor,
             accumulator_adds: self.accumulator_adds * factor,
+            cycles: self.cycles.scaled(factor),
         }
     }
 }
@@ -272,6 +331,15 @@ mod tests {
             index_ops: 500,
             accumulator_writes: 300,
             accumulator_adds: 300,
+            cycles: CycleBreakdown {
+                compute: 60,
+                fnir_scan: 20,
+                accum_conflict: 5,
+                sram_fetch: 10,
+                drain: 3,
+                idle_imbalance: 2,
+                startup: 5,
+            },
         }
     }
 
@@ -339,8 +407,8 @@ mod tests {
 
     #[test]
     fn fields_cover_every_counter() {
-        // fields() must enumerate all 14 counters: summing a stats whose
-        // every field is 1 through fields() gives 14.
+        // fields() must enumerate all 14 counters plus the 7 cycle-cause
+        // entries: summing a stats whose every field is 1 gives 21.
         let ones = SimStats::default().merge(&SimStats {
             pe_cycles: 1,
             startup_cycles: 1,
@@ -356,8 +424,50 @@ mod tests {
             index_ops: 1,
             accumulator_writes: 1,
             accumulator_adds: 1,
+            cycles: CycleBreakdown {
+                compute: 1,
+                fnir_scan: 1,
+                accum_conflict: 1,
+                sram_fetch: 1,
+                drain: 1,
+                idle_imbalance: 1,
+                startup: 1,
+            },
         });
-        assert_eq!(ones.fields().iter().map(|(_, v)| v).sum::<u64>(), 14);
+        assert_eq!(ones.fields().iter().map(|(_, v)| v).sum::<u64>(), 21);
+    }
+
+    #[test]
+    fn sample_attribution_is_consistent() {
+        let s = sample();
+        assert!(s.cycles_attributed());
+        assert_eq!(s.cycles.total(), s.total_cycles());
+        assert_eq!(s.accum_conflict_cycles(), 5);
+        s.debug_assert_cycles_attributed("sample");
+    }
+
+    #[test]
+    fn merge_scaled_and_delta_preserve_attribution() {
+        let a = sample();
+        let b = sample().scaled(3);
+        assert!(b.cycles_attributed());
+        assert!(a.merge(&b).cycles_attributed());
+        assert!(b.delta_from(&a).cycles_attributed());
+    }
+
+    #[test]
+    fn scaled_f64_preserves_attribution_exactly() {
+        // 1/3 is the adversarial case: per-cause rounding sums to one more
+        // cycle than the rounded pe+startup totals without renormalization.
+        for factor in [0.0, 1.0 / 3.0, 0.37, 1.0, 2.5, 10.01] {
+            let s = sample().scaled_f64(factor);
+            assert!(
+                s.cycles_attributed(),
+                "factor {factor}: {} != {}",
+                s.cycles.total(),
+                s.total_cycles()
+            );
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@ use ant_sim::inner::{DenseInnerProduct, TensorDash};
 use ant_sim::intersection::IntersectionAccelerator;
 use ant_sim::scnn::ScnnPlus;
 use ant_sim::tiling::{load_balance, Tiling};
-use ant_sim::{ConvSim, EnergyModel, SimStats};
+use ant_sim::{ConvSim, CycleBreakdown, EnergyModel, SimStats};
 use ant_sparse::{CsrMatrix, DenseMatrix};
 use proptest::prelude::*;
 
@@ -64,6 +64,17 @@ proptest! {
             );
             prop_assert!(s.useful_mults <= s.mults, "{}", m.name());
             prop_assert!(s.rcps_avoided_fraction() >= 0.0 && s.rcps_avoided_fraction() <= 1.0);
+            // Every cycle is attributed to exactly one cause.
+            prop_assert!(
+                s.cycles_attributed(),
+                "{}: breakdown {} != total {}",
+                m.name(),
+                s.cycles.total(),
+                s.total_cycles()
+            );
+            prop_assert_eq!(s.cycles.startup, s.startup_cycles, "{}", m.name());
+            // Per-pair stats never carry scheduling idle time.
+            prop_assert_eq!(s.cycles.idle_imbalance, 0, "{}", m.name());
             // Energy is finite and non-negative.
             let e = s.energy_pj(&EnergyModel::paper_7nm());
             prop_assert!(e.is_finite() && e >= 0.0, "{}", m.name());
@@ -189,11 +200,47 @@ proptest! {
         let priced_after = a.merge(&b).energy_breakdown(&model);
         prop_assert!((priced_after.total() - merged.total()).abs() <= 1e-6 * scale);
     }
+    /// merge, delta_from, and integer scaling preserve the attribution
+    /// invariant `cycles.total() == total_cycles()`.
+    #[test]
+    fn breakdown_invariant_survives_merge_delta_scale(
+        a in arb_attributed_stats(),
+        b in arb_attributed_stats(),
+        k in 0u64..100,
+    ) {
+        prop_assert!(a.cycles_attributed());
+        prop_assert!(b.cycles_attributed());
+        prop_assert!(a.merge(&b).cycles_attributed());
+        prop_assert!(a.merge(&b).delta_from(&a).cycles_attributed());
+        prop_assert!(a.scaled(k).cycles_attributed());
+        // Breakdown arithmetic mirrors SimStats arithmetic exactly.
+        prop_assert_eq!(a.merge(&b).cycles, a.cycles.merge(&b.cycles));
+        prop_assert_eq!(a.scaled(k).cycles, a.cycles.scaled(k));
+    }
+
+    /// Real-factor scaling renormalizes the per-cause rounding so the
+    /// invariant holds exactly at any factor.
+    #[test]
+    fn breakdown_invariant_survives_f64_scaling(
+        a in arb_attributed_stats(),
+        factor in 0.0f64..8.0,
+    ) {
+        let s = a.scaled_f64(factor);
+        prop_assert!(
+            s.cycles_attributed(),
+            "factor {}: breakdown {} != total {}",
+            factor,
+            s.cycles.total(),
+            s.total_cycles()
+        );
+    }
 }
 
-/// An arbitrary SimStats with every counter drawn independently.
+/// An arbitrary SimStats with every counter drawn independently (the
+/// attribution invariant is deliberately NOT imposed — merge laws must hold
+/// for any counter values).
 fn arb_stats() -> impl Strategy<Value = SimStats> {
-    proptest::collection::vec(0u64..1_000_000, 14).prop_map(|v| SimStats {
+    proptest::collection::vec(0u64..1_000_000, 21).prop_map(|v| SimStats {
         pe_cycles: v[0],
         startup_cycles: v[1],
         mults: v[2],
@@ -208,5 +255,44 @@ fn arb_stats() -> impl Strategy<Value = SimStats> {
         index_ops: v[11],
         accumulator_writes: v[12],
         accumulator_adds: v[13],
+        cycles: CycleBreakdown {
+            compute: v[14],
+            fnir_scan: v[15],
+            accum_conflict: v[16],
+            sram_fetch: v[17],
+            drain: v[18],
+            idle_imbalance: v[19],
+            startup: v[20],
+        },
+    })
+}
+
+/// A SimStats satisfying the attribution invariant by construction: the
+/// causes are drawn freely and the cycle totals derived from them, the way
+/// every machine builds its stats.
+fn arb_attributed_stats() -> impl Strategy<Value = SimStats> {
+    proptest::collection::vec(0u64..1_000_000, 14).prop_map(|v| {
+        let cycles = CycleBreakdown {
+            compute: v[0],
+            fnir_scan: v[1],
+            accum_conflict: v[2],
+            sram_fetch: v[3],
+            drain: v[4],
+            idle_imbalance: v[5],
+            startup: v[6],
+        };
+        SimStats {
+            pe_cycles: cycles.total() - cycles.startup,
+            startup_cycles: cycles.startup,
+            mults: v[7],
+            useful_mults: v[8],
+            rcps_executed: v[9],
+            rcps_skipped: v[10],
+            pairs_total: v[11],
+            kernel_value_reads: v[12],
+            kernel_index_reads: v[13],
+            cycles,
+            ..SimStats::default()
+        }
     })
 }

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Seeds bench regression tracking: runs the fig09 workload set and distills
+# its JSONL sidecar into BENCH_baseline.json (total cycles + energy per
+# network and machine). Commit the baseline; scripts/bench_check.sh diffs
+# fresh runs against it.
+#
+# Usage: scripts/bench_baseline.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_baseline.json}"
+SIDECAR="target/experiments/fig09_speedup_energy.jsonl"
+
+echo "== cargo run --release -p ant-bench --bin fig09_speedup_energy"
+cargo run --release -p ant-bench --bin fig09_speedup_energy >/dev/null
+
+[[ -f "$SIDECAR" ]] || { echo "bench_baseline: missing $SIDECAR" >&2; exit 1; }
+
+python3 - "$SIDECAR" "$OUT" <<'PY'
+import json, subprocess, sys
+
+sidecar, out = sys.argv[1], sys.argv[2]
+workloads = {}
+with open(sidecar) as fh:
+    for line in fh:
+        row = json.loads(line)
+        workloads[row["network"]] = {
+            "scnn_cycles": int(row["SCNN+ cycles"]),
+            "ant_cycles": int(row["ANT cycles"]),
+            "scnn_energy_uj": float(row["SCNN+ energy (uJ)"]),
+            "ant_energy_uj": float(row["ANT energy (uJ)"]),
+        }
+if not workloads:
+    sys.exit("bench_baseline: sidecar had no rows")
+
+rev = subprocess.run(
+    ["git", "rev-parse", "--short", "HEAD"], capture_output=True, text=True
+).stdout.strip() or None
+baseline = {
+    "source": "fig09_speedup_energy",
+    "git_revision": rev,
+    "workloads": workloads,
+}
+with open(out, "w") as fh:
+    json.dump(baseline, fh, indent=2, sort_keys=True)
+    fh.write("\n")
+print(f"bench_baseline: wrote {out} ({len(workloads)} workloads)")
+PY

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Bench regression gate: re-runs the fig09 workload set and compares cycle
+# counts against BENCH_baseline.json (see scripts/bench_baseline.sh).
+# Fails when any machine's cycles on any workload regress by more than 5%.
+# Energy drifts are reported but not fatal (the energy model moves for
+# legitimate reasons more often than the cycle model).
+#
+# Usage: scripts/bench_check.sh [baseline.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE="${1:-BENCH_baseline.json}"
+SIDECAR="target/experiments/fig09_speedup_energy.jsonl"
+[[ -f "$BASELINE" ]] || {
+  echo "bench_check: no baseline at $BASELINE (run scripts/bench_baseline.sh first)" >&2
+  exit 1
+}
+
+echo "== cargo run --release -p ant-bench --bin fig09_speedup_energy"
+cargo run --release -p ant-bench --bin fig09_speedup_energy >/dev/null
+
+python3 - "$SIDECAR" "$BASELINE" <<'PY'
+import json, sys
+
+sidecar, baseline_path = sys.argv[1], sys.argv[2]
+baseline = json.load(open(baseline_path))["workloads"]
+fresh = {}
+with open(sidecar) as fh:
+    for line in fh:
+        row = json.loads(line)
+        fresh[row["network"]] = {
+            "scnn_cycles": int(row["SCNN+ cycles"]),
+            "ant_cycles": int(row["ANT cycles"]),
+            "scnn_energy_uj": float(row["SCNN+ energy (uJ)"]),
+            "ant_energy_uj": float(row["ANT energy (uJ)"]),
+        }
+
+THRESHOLD = 0.05
+failures = []
+for net, base in sorted(baseline.items()):
+    now = fresh.get(net)
+    if now is None:
+        failures.append(f"{net}: missing from fresh run")
+        continue
+    for key in ("scnn_cycles", "ant_cycles"):
+        was, is_ = base[key], now[key]
+        delta = (is_ - was) / was if was else 0.0
+        flag = "REGRESSION" if delta > THRESHOLD else "ok"
+        print(f"{net:>12} {key:>12}: {was:>12} -> {is_:>12} ({delta:+.2%}) {flag}")
+        if delta > THRESHOLD:
+            failures.append(f"{net} {key}: {was} -> {is_} ({delta:+.2%})")
+    for key in ("scnn_energy_uj", "ant_energy_uj"):
+        was, is_ = base[key], now[key]
+        delta = (is_ - was) / was if was else 0.0
+        if abs(delta) > THRESHOLD:
+            print(f"{net:>12} {key:>12}: {was:.3f} -> {is_:.3f} ({delta:+.2%}) note")
+
+for net in sorted(set(fresh) - set(baseline)):
+    print(f"{net:>12}: new workload (not in baseline)")
+
+if failures:
+    print("\nbench_check: FAIL (>5% cycle regression vs baseline)")
+    for f in failures:
+        print(f"  {f}")
+    sys.exit(1)
+print("\nbench_check: ok (no cycle regressions > 5%)")
+PY

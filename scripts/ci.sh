@@ -12,4 +12,22 @@ cargo test -q
 echo "== cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
+echo "== profile smoke (tiny workload + Perfetto JSON validation)"
+PROFILE_JSON="target/experiments/ci_profile_smoke.perfetto.json"
+ANT_PROFILE_FILE="$PROFILE_JSON" \
+  cargo run --release -p ant-bench --bin profile -- tiny >/dev/null
+python3 - "$PROFILE_JSON" <<'PY'
+import json, sys
+
+events = json.load(open(sys.argv[1]))["traceEvents"]
+assert events, "empty timeline"
+for e in events:
+    assert e["ph"] in ("M", "X"), f"unexpected phase {e['ph']!r}"
+    for key in ("name", "pid", "tid"):
+        assert key in e, f"event missing {key!r}: {e}"
+    if e["ph"] == "X":
+        assert "ts" in e and "dur" in e and e["args"]["cycles"] == e["dur"], e
+print(f"profile smoke: {len(events)} trace events ok")
+PY
+
 echo "ci: all green"
