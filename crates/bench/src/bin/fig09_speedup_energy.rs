@@ -42,9 +42,14 @@ fn main() {
     let mut progress = exp.progress(networks.len());
     let mut speedups = Vec::new();
     let mut energies = Vec::new();
+    let mut sim_total = ant_sim::SimStats::default();
+    let mut sim_wall_us = 0u64;
     for net in networks {
         let s = simulate_network_parallel(&scnn, &net, &cfg);
         let a = simulate_network_parallel(&ant, &net, &cfg);
+        sim_total.accumulate(&s.total);
+        sim_total.accumulate(&a.total);
+        sim_wall_us += s.host_wall_us + a.host_wall_us;
         let sp = speedup(&s, &a);
         let er = energy_ratio(&s, &a, &energy);
         speedups.push(sp);
@@ -74,6 +79,10 @@ fn main() {
     exp.stat("geomean_speedup", geo_speedup)
         .stat("geomean_energy_reduction", geo_energy)
         .stat("networks", speedups.len() as u64);
+    // Host performance of the sweep itself: wall time plus simulated work
+    // per wall second, for the bench-history ledger and regression reports.
+    exp.host_stat("sim_wall_us", sim_wall_us)
+        .host_throughput(&sim_total, sim_wall_us as f64 / 1e6);
 
     // Per-phase detail for one network: where the win comes from.
     let net = ant_workloads::models::resnet18_cifar();

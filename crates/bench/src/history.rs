@@ -1,0 +1,786 @@
+//! Bench-history ledger: an append-only JSONL record of benchmark runs,
+//! plus trend-aware comparison between any two of them.
+//!
+//! Each [`HistoryEntry`] is one line of `BENCH_history.jsonl` (kept at the
+//! repository root, next to `BENCH_baseline.json`), keyed by git revision
+//! and timestamp and carrying a flat metric map:
+//!
+//! ```json
+//! {"schema":"ant-bench-history/1","label":"fig09",
+//!  "git_revision":"abc123...","timestamp_unix_ms":1700000000000,
+//!  "repeats":3,"metrics":{"densenet121/ant_cycles":8123456.0,
+//!  "densenet121/wall_us":901234.0,"densenet121/wall_us_spread":0.031}}
+//! ```
+//!
+//! Metric names are `<network>/<measure>`; the measure's suffix decides how
+//! [`compare`] treats it (see [`classify`]):
+//!
+//! * `*_cycles` — deterministic simulator outputs, gated at the threshold.
+//! * `*wall_us` / `*alloc*` — host-noise metrics, gated at the largest of
+//!   the threshold, the recorded noise floor (`*_spread`, the relative
+//!   min-to-max spread over the entry's min-of-K repeats), and a static
+//!   floor ([`WALL_NOISE_FLOOR`] / [`ALLOC_NOISE_FLOOR`]).
+//! * `*_energy_uj` — reported but never gated (energy moves with cycles;
+//!   gating both double-counts one change).
+//! * `*_spread` / `*_per_sec` — informational only.
+//!
+//! Recording ([`record`]) reruns the fig09 workloads (or a tiny CI set)
+//! in-process with allocation counting on, taking min-of-K wall times so
+//! the ledger carries its own noise estimate.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::Path;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use ant_obs::json::write_json_string;
+use ant_sim::ant::AntAccelerator;
+use ant_sim::scnn::ScnnPlus;
+use ant_sim::EnergyModel;
+use ant_workloads::models::{figure9_networks, NetworkModel};
+
+use crate::runner::{simulate_network_parallel, ExperimentConfig};
+
+/// Schema tag written into (and required of) every ledger line.
+pub const SCHEMA: &str = "ant-bench-history/1";
+
+/// Default ledger file name, resolved relative to the working directory.
+pub const DEFAULT_LEDGER: &str = "BENCH_history.jsonl";
+
+/// Default relative regression threshold for gated metrics.
+pub const DEFAULT_THRESHOLD: f64 = 0.05;
+
+/// Extra allowance for allocator metrics, which have no recorded spread but
+/// wobble with thread scheduling in the parallel runner.
+pub const ALLOC_NOISE_FLOOR: f64 = 0.10;
+
+/// Static allowance for wall-time metrics on top of the recorded spread.
+/// Run-to-run wall time on a shared machine routinely moves 30% even when
+/// within-run repeats agree; the wall gate exists to catch order-of-
+/// magnitude host regressions, not single-digit drift (cycle metrics carry
+/// that burden deterministically).
+pub const WALL_NOISE_FLOOR: f64 = 0.35;
+
+/// One benchmark run in the ledger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryEntry {
+    /// Workload-set label (`"fig09"`, `"tiny"`, or a synthetic label like
+    /// `"median(5)"` for derived baselines).
+    pub label: String,
+    /// Git revision the run was taken at, when known.
+    pub git_revision: Option<String>,
+    /// Unix timestamp of the run in milliseconds.
+    pub timestamp_unix_ms: u64,
+    /// How many repeats the min-of-K wall times were taken over.
+    pub repeats: u32,
+    /// Flat metric map, names per the module docs.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+impl HistoryEntry {
+    /// Serializes the entry as one JSONL line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(128 + self.metrics.len() * 32);
+        out.push_str("{\"schema\":\"");
+        out.push_str(SCHEMA);
+        out.push_str("\",\"label\":");
+        write_json_string(&self.label, &mut out);
+        out.push_str(",\"git_revision\":");
+        match &self.git_revision {
+            Some(rev) => write_json_string(rev, &mut out),
+            None => out.push_str("null"),
+        }
+        let _ = write!(
+            out,
+            ",\"timestamp_unix_ms\":{},\"repeats\":{},\"metrics\":{{",
+            self.timestamp_unix_ms, self.repeats
+        );
+        for (i, (name, value)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(name, &mut out);
+            out.push(':');
+            if value.is_finite() {
+                let _ = write!(out, "{value}");
+            } else {
+                out.push_str("null");
+            }
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Parses one ledger line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line description of the first malformation (bad JSON,
+    /// wrong schema, missing fields).
+    pub fn parse(line: &str) -> Result<HistoryEntry, String> {
+        let json = ant_obs::parse_json(line).map_err(|e| e.to_string())?;
+        let schema = json
+            .get("schema")
+            .and_then(|s| s.as_str())
+            .ok_or("missing schema")?;
+        if schema != SCHEMA {
+            return Err(format!("unsupported schema {schema:?} (want {SCHEMA:?})"));
+        }
+        let label = json
+            .get("label")
+            .and_then(|s| s.as_str())
+            .ok_or("missing label")?
+            .to_string();
+        let git_revision = json
+            .get("git_revision")
+            .and_then(|s| s.as_str())
+            .map(str::to_string);
+        let timestamp_unix_ms = json
+            .get("timestamp_unix_ms")
+            .and_then(|n| n.as_u64())
+            .ok_or("missing timestamp_unix_ms")?;
+        let repeats = json
+            .get("repeats")
+            .and_then(|n| n.as_u64())
+            .ok_or("missing repeats")? as u32;
+        let mut metrics = BTreeMap::new();
+        let map = json
+            .get("metrics")
+            .and_then(|m| m.as_object())
+            .ok_or("missing metrics object")?;
+        for (name, value) in map {
+            if let Some(v) = value.as_f64() {
+                metrics.insert(name.clone(), v);
+            }
+        }
+        Ok(HistoryEntry {
+            label,
+            git_revision,
+            timestamp_unix_ms,
+            repeats,
+            metrics,
+        })
+    }
+
+    /// A short human identity: label plus abbreviated revision.
+    pub fn describe(&self) -> String {
+        match &self.git_revision {
+            Some(rev) => format!("{} @ {}", self.label, &rev[..rev.len().min(10)]),
+            None => format!("{} @ (no revision)", self.label),
+        }
+    }
+}
+
+/// Appends `entry` as one line to the ledger at `path` (created if absent).
+///
+/// # Errors
+///
+/// Propagates open/write failures.
+pub fn append(path: &Path, entry: &HistoryEntry) -> io::Result<()> {
+    let mut file = fs::OpenOptions::new().create(true).append(true).open(path)?;
+    file.write_all(entry.to_json_line().as_bytes())?;
+    file.write_all(b"\n")
+}
+
+/// Loads every entry from the ledger at `path`, oldest first. A missing
+/// file is an empty ledger, not an error; a malformed line is an error
+/// naming the line number.
+///
+/// # Errors
+///
+/// Propagates read failures; malformed lines map to `InvalidData`.
+pub fn load(path: &Path) -> io::Result<Vec<HistoryEntry>> {
+    let text = match fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) if err.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(err) => return Err(err),
+    };
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(HistoryEntry::parse(line).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}:{}: {e}", path.display(), i + 1),
+            )
+        })?);
+    }
+    Ok(out)
+}
+
+/// A synthetic baseline: the metric-wise median over `entries` (a metric
+/// contributes wherever present). The rolling-median baseline makes the
+/// regression gate robust to one outlier run in the window.
+///
+/// # Panics
+///
+/// Panics when `entries` is empty.
+pub fn median_of(entries: &[&HistoryEntry]) -> HistoryEntry {
+    assert!(!entries.is_empty(), "median of empty history window");
+    let mut samples: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
+    for entry in entries {
+        for (name, value) in &entry.metrics {
+            samples.entry(name).or_default().push(*value);
+        }
+    }
+    let metrics = samples
+        .into_iter()
+        .map(|(name, mut values)| {
+            values.sort_by(|a, b| a.partial_cmp(b).expect("finite metric"));
+            // Lower of the two middles for even counts: a slightly
+            // conservative (smaller) baseline gates slightly harder.
+            (name.to_string(), values[(values.len() - 1) / 2])
+        })
+        .collect();
+    HistoryEntry {
+        label: format!("{} median({})", entries[0].label, entries.len()),
+        git_revision: None,
+        timestamp_unix_ms: entries.last().expect("non-empty").timestamp_unix_ms,
+        repeats: entries.iter().map(|e| e.repeats).min().unwrap_or(1),
+        metrics,
+    }
+}
+
+/// Converts a `BENCH_baseline.json` snapshot (the pre-ledger format:
+/// `{"workloads": {net: {scnn_cycles, ant_cycles, scnn_energy_uj,
+/// ant_energy_uj}}}`) into a comparable entry, so the first ledger run can
+/// still be gated against the committed baseline.
+///
+/// # Errors
+///
+/// Returns a one-line description when the snapshot does not parse.
+pub fn from_bench_baseline(text: &str) -> Result<HistoryEntry, String> {
+    let json = ant_obs::parse_json(text).map_err(|e| e.to_string())?;
+    let workloads = json
+        .get("workloads")
+        .and_then(|w| w.as_object())
+        .ok_or("missing workloads object")?;
+    let mut metrics = BTreeMap::new();
+    for (net, measures) in workloads {
+        let measures = measures.as_object().ok_or("workload is not an object")?;
+        for (measure, value) in measures {
+            if let Some(v) = value.as_f64() {
+                metrics.insert(format!("{net}/{measure}"), v);
+            }
+        }
+    }
+    Ok(HistoryEntry {
+        label: "baseline-snapshot".to_string(),
+        git_revision: json
+            .get("git_revision")
+            .and_then(|s| s.as_str())
+            .map(str::to_string),
+        timestamp_unix_ms: 0,
+        repeats: 1,
+        metrics,
+    })
+}
+
+/// How [`compare`] treats a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricClass {
+    /// Deterministic simulator output — gated at the bare threshold.
+    Deterministic,
+    /// Host-performance metric — gated at the larger of the threshold and
+    /// the recorded noise floor.
+    Noisy,
+    /// Reported in the table but never gated.
+    NoteOnly,
+    /// Informational; omitted from regression accounting entirely.
+    InfoOnly,
+}
+
+impl MetricClass {
+    /// Short label for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricClass::Deterministic => "cycles",
+            MetricClass::Noisy => "host",
+            MetricClass::NoteOnly => "note",
+            MetricClass::InfoOnly => "info",
+        }
+    }
+}
+
+/// Classifies a metric by name (see the module docs for the rules).
+pub fn classify(name: &str) -> MetricClass {
+    if name.ends_with("_spread") || name.ends_with("_per_sec") {
+        MetricClass::InfoOnly
+    } else if name.ends_with("_cycles") {
+        MetricClass::Deterministic
+    } else if name.ends_with("wall_us") || name.contains("alloc") {
+        MetricClass::Noisy
+    } else if name.ends_with("_energy_uj") {
+        MetricClass::NoteOnly
+    } else {
+        MetricClass::InfoOnly
+    }
+}
+
+/// One metric's movement between two entries.
+#[derive(Debug, Clone)]
+pub struct MetricDelta {
+    /// Metric name.
+    pub name: String,
+    /// How the gate treated it.
+    pub class: MetricClass,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Candidate value.
+    pub candidate: f64,
+    /// `(candidate - baseline) / baseline`; `1.0` when the baseline is zero
+    /// and the candidate is not.
+    pub rel_change: f64,
+    /// The gate this metric was held to (0 for ungated classes).
+    pub gate: f64,
+    /// Candidate worse than baseline by more than the gate.
+    pub regressed: bool,
+    /// Candidate better than baseline by more than the gate.
+    pub improved: bool,
+}
+
+/// The outcome of comparing two entries.
+#[derive(Debug, Clone)]
+pub struct CompareReport {
+    /// Baseline identity ([`HistoryEntry::describe`]).
+    pub baseline: String,
+    /// Candidate identity.
+    pub candidate: String,
+    /// The base threshold the gates were built from.
+    pub threshold: f64,
+    /// Per-metric movement, sorted by name.
+    pub deltas: Vec<MetricDelta>,
+    /// Metrics present in exactly one of the entries (never gated — a new
+    /// metric is not a regression).
+    pub missing: Vec<String>,
+}
+
+impl CompareReport {
+    /// The gated metrics that regressed.
+    pub fn regressions(&self) -> Vec<&MetricDelta> {
+        self.deltas.iter().filter(|d| d.regressed).collect()
+    }
+
+    /// Whether any gated metric regressed.
+    pub fn has_regressions(&self) -> bool {
+        self.deltas.iter().any(|d| d.regressed)
+    }
+
+    /// Renders the report as markdown: header, per-metric table, summary.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# Bench history compare\n");
+        let _ = writeln!(out, "- baseline:  `{}`", self.baseline);
+        let _ = writeln!(out, "- candidate: `{}`", self.candidate);
+        let _ = writeln!(
+            out,
+            "- threshold: {:.1}% (cycles); host metrics widen to their noise floor\n",
+            self.threshold * 100.0
+        );
+        let _ = writeln!(out, "| metric | class | baseline | candidate | change | status |");
+        let _ = writeln!(out, "|---|---|---:|---:|---:|---|");
+        for d in &self.deltas {
+            let status = if d.regressed {
+                "**REGRESSED**"
+            } else if d.improved {
+                "improved"
+            } else if matches!(d.class, MetricClass::NoteOnly | MetricClass::InfoOnly) {
+                "-"
+            } else {
+                "ok"
+            };
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {:+.1}% | {} |",
+                d.name,
+                d.class.name(),
+                fmt_value(d.baseline),
+                fmt_value(d.candidate),
+                d.rel_change * 100.0,
+                status
+            );
+        }
+        let regressed = self.regressions().len();
+        let improved = self.deltas.iter().filter(|d| d.improved).count();
+        let _ = writeln!(
+            out,
+            "\n{} regression{}, {} improvement{}, {} metrics compared.",
+            regressed,
+            if regressed == 1 { "" } else { "s" },
+            improved,
+            if improved == 1 { "" } else { "s" },
+            self.deltas.len()
+        );
+        if !self.missing.is_empty() {
+            let _ = writeln!(
+                out,
+                "\nOnly in one entry (not gated): {}.",
+                self.missing.join(", ")
+            );
+        }
+        out
+    }
+}
+
+fn fmt_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Compares `candidate` against `baseline` at the given base `threshold`.
+///
+/// Gates per metric class: deterministic metrics regress when they move up
+/// by more than `threshold`; host metrics widen the gate to the largest of
+/// `threshold`, both entries' recorded `<metric>_spread` noise floors, and
+/// a static floor ([`WALL_NOISE_FLOOR`] for wall times, [`ALLOC_NOISE_FLOOR`]
+/// for allocator metrics). All gated metrics are lower-is-better.
+pub fn compare(baseline: &HistoryEntry, candidate: &HistoryEntry, threshold: f64) -> CompareReport {
+    let mut deltas = Vec::new();
+    let mut missing = Vec::new();
+    for (name, &base) in &baseline.metrics {
+        let Some(&cand) = candidate.metrics.get(name) else {
+            missing.push(name.clone());
+            continue;
+        };
+        let class = classify(name);
+        let rel_change = if base != 0.0 {
+            (cand - base) / base
+        } else if cand == 0.0 {
+            0.0
+        } else {
+            1.0
+        };
+        let gate = match class {
+            MetricClass::Deterministic => threshold,
+            MetricClass::Noisy => {
+                let spread_key = format!("{name}_spread");
+                let floor = baseline
+                    .metrics
+                    .get(&spread_key)
+                    .copied()
+                    .unwrap_or(0.0)
+                    .max(candidate.metrics.get(&spread_key).copied().unwrap_or(0.0));
+                let static_floor = if name.contains("alloc") {
+                    ALLOC_NOISE_FLOOR
+                } else {
+                    WALL_NOISE_FLOOR
+                };
+                threshold.max(floor).max(static_floor)
+            }
+            MetricClass::NoteOnly | MetricClass::InfoOnly => 0.0,
+        };
+        let gated = matches!(class, MetricClass::Deterministic | MetricClass::Noisy);
+        deltas.push(MetricDelta {
+            name: name.clone(),
+            class,
+            baseline: base,
+            candidate: cand,
+            rel_change,
+            gate,
+            regressed: gated && rel_change > gate,
+            improved: gated && rel_change < -gate,
+        });
+    }
+    for name in candidate.metrics.keys() {
+        if !baseline.metrics.contains_key(name) {
+            missing.push(name.clone());
+        }
+    }
+    missing.sort();
+    CompareReport {
+        baseline: baseline.describe(),
+        candidate: candidate.describe(),
+        threshold,
+        deltas,
+        missing,
+    }
+}
+
+/// Which networks a [`record`] run simulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadSet {
+    /// The five Figure-9 networks at paper-default config — the tracked
+    /// benchmark.
+    Fig09,
+    /// One tiny synthetic network at a reduced channel sample — a
+    /// seconds-scale smoke workload for CI.
+    Tiny,
+}
+
+impl WorkloadSet {
+    /// Parses a CLI label.
+    pub fn from_label(label: &str) -> Option<WorkloadSet> {
+        match label {
+            "fig09" => Some(WorkloadSet::Fig09),
+            "tiny" => Some(WorkloadSet::Tiny),
+            _ => None,
+        }
+    }
+
+    /// The ledger label recorded entries carry.
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkloadSet::Fig09 => "fig09",
+            WorkloadSet::Tiny => "tiny",
+        }
+    }
+
+    fn networks(self) -> Vec<NetworkModel> {
+        match self {
+            WorkloadSet::Fig09 => figure9_networks(),
+            WorkloadSet::Tiny => vec![NetworkModel {
+                name: "tiny",
+                layers: vec![
+                    ant_workloads::ConvLayerSpec::new("l1", 4, 2, 3, 16, 1, 1, 1),
+                    ant_workloads::ConvLayerSpec::new("l2", 4, 4, 3, 8, 1, 1, 2),
+                ],
+            }],
+        }
+    }
+
+    fn config(self) -> ExperimentConfig {
+        match self {
+            WorkloadSet::Fig09 => ExperimentConfig::paper_default(),
+            WorkloadSet::Tiny => ExperimentConfig {
+                max_channels: 2,
+                ..ExperimentConfig::paper_default()
+            },
+        }
+    }
+}
+
+/// Runs the workload set `repeats` times (min 1) and builds a ledger entry:
+/// deterministic cycle/energy metrics from the first repeat, min-of-K wall
+/// time with its relative spread as the noise floor, allocator traffic when
+/// the counting allocator is active (it is, in `ant-bench` binaries — this
+/// function enables counting), and an informational throughput rate.
+pub fn record(set: WorkloadSet, repeats: u32) -> HistoryEntry {
+    let repeats = repeats.max(1);
+    ant_obs::alloc::enable();
+    let cfg = set.config();
+    let energy = EnergyModel::paper_7nm();
+    let scnn = ScnnPlus::paper_default();
+    let ant = AntAccelerator::paper_default();
+    let mut metrics = BTreeMap::new();
+    for net in set.networks() {
+        let mut walls: Vec<f64> = Vec::with_capacity(repeats as usize);
+        let mut alloc_bytes: Vec<f64> = Vec::with_capacity(repeats as usize);
+        let mut allocs: Vec<f64> = Vec::with_capacity(repeats as usize);
+        let mut first = None;
+        for _ in 0..repeats {
+            let before = ant_obs::alloc::snapshot();
+            let started = Instant::now();
+            let s = simulate_network_parallel(&scnn, &net, &cfg);
+            let a = simulate_network_parallel(&ant, &net, &cfg);
+            walls.push(started.elapsed().as_micros() as f64);
+            let delta = ant_obs::alloc::snapshot().delta_from(&before);
+            alloc_bytes.push(delta.allocated_bytes as f64);
+            allocs.push(delta.allocs as f64);
+            if first.is_none() {
+                first = Some((s, a));
+            }
+        }
+        let (s, a) = first.expect("at least one repeat");
+        let min = |v: &[f64]| v.iter().copied().fold(f64::INFINITY, f64::min);
+        let min_wall = min(&walls);
+        let max_wall = walls.iter().copied().fold(0.0_f64, f64::max);
+        let spread = if min_wall > 0.0 {
+            (max_wall - min_wall) / min_wall
+        } else {
+            0.0
+        };
+        let key = |measure: &str| format!("{}/{measure}", net.name);
+        metrics.insert(key("scnn_cycles"), s.wall_cycles as f64);
+        metrics.insert(key("ant_cycles"), a.wall_cycles as f64);
+        metrics.insert(key("scnn_energy_uj"), s.total.energy_pj(&energy) / 1e6);
+        metrics.insert(key("ant_energy_uj"), a.total.energy_pj(&energy) / 1e6);
+        metrics.insert(key("wall_us"), min_wall);
+        metrics.insert(key("wall_us_spread"), spread);
+        if ant_obs::alloc::counting_active() {
+            metrics.insert(key("alloc_bytes"), min(&alloc_bytes));
+            metrics.insert(key("allocs"), min(&allocs));
+        }
+        let combined = s.total.merge(&a.total);
+        metrics.insert(
+            key("effectual_macs_per_sec"),
+            combined.throughput(min_wall / 1e6).effectual_macs_per_sec,
+        );
+    }
+    HistoryEntry {
+        label: set.label().to_string(),
+        git_revision: ant_obs::git_revision(),
+        timestamp_unix_ms: SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0),
+        repeats,
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(metrics: &[(&str, f64)]) -> HistoryEntry {
+        HistoryEntry {
+            label: "fig09".to_string(),
+            git_revision: Some("deadbeef0123".to_string()),
+            timestamp_unix_ms: 1_700_000_000_000,
+            repeats: 3,
+            metrics: metrics
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn json_line_round_trips() {
+        let e = entry(&[
+            ("vgg16/ant_cycles", 123456.0),
+            ("vgg16/wall_us", 789.5),
+            ("vgg16/wall_us_spread", 0.04),
+        ]);
+        let parsed = HistoryEntry::parse(&e.to_json_line()).expect("round trip");
+        assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema() {
+        let line = r#"{"schema":"other/9","label":"x","timestamp_unix_ms":0,"repeats":1,"metrics":{}}"#;
+        assert!(HistoryEntry::parse(line).unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn classify_follows_suffix_rules() {
+        assert_eq!(classify("net/ant_cycles"), MetricClass::Deterministic);
+        assert_eq!(classify("net/scnn_cycles"), MetricClass::Deterministic);
+        assert_eq!(classify("net/wall_us"), MetricClass::Noisy);
+        assert_eq!(classify("net/alloc_bytes"), MetricClass::Noisy);
+        assert_eq!(classify("net/allocs"), MetricClass::Noisy);
+        assert_eq!(classify("net/ant_energy_uj"), MetricClass::NoteOnly);
+        assert_eq!(classify("net/wall_us_spread"), MetricClass::InfoOnly);
+        assert_eq!(classify("net/effectual_macs_per_sec"), MetricClass::InfoOnly);
+    }
+
+    #[test]
+    fn self_compare_reports_zero_regressions() {
+        let e = entry(&[
+            ("vgg16/ant_cycles", 1e6),
+            ("vgg16/wall_us", 5e5),
+            ("vgg16/ant_energy_uj", 12.5),
+        ]);
+        let report = compare(&e, &e, DEFAULT_THRESHOLD);
+        assert!(!report.has_regressions());
+        assert!(report.regressions().is_empty());
+        assert!(report.deltas.iter().all(|d| d.rel_change == 0.0));
+    }
+
+    #[test]
+    fn injected_cycle_regression_is_flagged() {
+        let base = entry(&[("vgg16/ant_cycles", 1_000_000.0)]);
+        let mut worse = base.clone();
+        worse
+            .metrics
+            .insert("vgg16/ant_cycles".to_string(), 1_100_000.0); // +10%
+        let report = compare(&base, &worse, DEFAULT_THRESHOLD);
+        assert!(report.has_regressions());
+        let regs = report.regressions();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].name, "vgg16/ant_cycles");
+        assert!((regs[0].rel_change - 0.10).abs() < 1e-9);
+        assert!(report.to_markdown().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn cycle_improvement_is_not_a_regression() {
+        let base = entry(&[("vgg16/ant_cycles", 1_000_000.0)]);
+        let better = entry(&[("vgg16/ant_cycles", 800_000.0)]);
+        let report = compare(&base, &better, DEFAULT_THRESHOLD);
+        assert!(!report.has_regressions());
+        assert!(report.deltas[0].improved);
+    }
+
+    #[test]
+    fn wall_noise_inside_recorded_spread_is_not_flagged() {
+        // 55% wall movement, but the entries carry a 60% noise floor that
+        // exceeds the static WALL_NOISE_FLOOR.
+        let base = entry(&[("vgg16/wall_us", 100_000.0), ("vgg16/wall_us_spread", 0.60)]);
+        let cand = entry(&[("vgg16/wall_us", 155_000.0), ("vgg16/wall_us_spread", 0.02)]);
+        let report = compare(&base, &cand, DEFAULT_THRESHOLD);
+        assert!(!report.has_regressions(), "{:?}", report.regressions());
+        // Without the spread the same movement is flagged.
+        let base_ns = entry(&[("vgg16/wall_us", 100_000.0)]);
+        let cand_ns = entry(&[("vgg16/wall_us", 155_000.0)]);
+        assert!(compare(&base_ns, &cand_ns, DEFAULT_THRESHOLD).has_regressions());
+    }
+
+    #[test]
+    fn wall_metrics_get_the_static_noise_floor() {
+        // Run-to-run wall jitter up to WALL_NOISE_FLOOR passes even when the
+        // within-run repeats agreed perfectly (spread 0, e.g. repeats=1).
+        let base = entry(&[("vgg16/wall_us", 100_000.0), ("vgg16/wall_us_spread", 0.0)]);
+        let jitter = entry(&[("vgg16/wall_us", 130_000.0), ("vgg16/wall_us_spread", 0.0)]);
+        assert!(!compare(&base, &jitter, DEFAULT_THRESHOLD).has_regressions());
+        let blowup = entry(&[("vgg16/wall_us", 200_000.0), ("vgg16/wall_us_spread", 0.0)]);
+        assert!(compare(&base, &blowup, DEFAULT_THRESHOLD).has_regressions());
+    }
+
+    #[test]
+    fn energy_never_gates() {
+        let base = entry(&[("vgg16/ant_energy_uj", 10.0)]);
+        let worse = entry(&[("vgg16/ant_energy_uj", 20.0)]);
+        assert!(!compare(&base, &worse, DEFAULT_THRESHOLD).has_regressions());
+    }
+
+    #[test]
+    fn alloc_metrics_get_extra_allowance() {
+        let base = entry(&[("vgg16/alloc_bytes", 1_000_000.0)]);
+        let within = entry(&[("vgg16/alloc_bytes", 1_080_000.0)]); // +8% < 10%
+        assert!(!compare(&base, &within, DEFAULT_THRESHOLD).has_regressions());
+        let beyond = entry(&[("vgg16/alloc_bytes", 1_200_000.0)]); // +20%
+        assert!(compare(&base, &beyond, DEFAULT_THRESHOLD).has_regressions());
+    }
+
+    #[test]
+    fn new_metrics_are_missing_not_regressed() {
+        let base = entry(&[("vgg16/ant_cycles", 1e6)]);
+        let cand = entry(&[("vgg16/ant_cycles", 1e6), ("vgg16/alloc_bytes", 5e6)]);
+        let report = compare(&base, &cand, DEFAULT_THRESHOLD);
+        assert!(!report.has_regressions());
+        assert_eq!(report.missing, vec!["vgg16/alloc_bytes".to_string()]);
+    }
+
+    #[test]
+    fn median_baseline_rejects_outlier_run() {
+        let entries = [
+            entry(&[("vgg16/ant_cycles", 100.0)]),
+            entry(&[("vgg16/ant_cycles", 101.0)]),
+            entry(&[("vgg16/ant_cycles", 500.0)]), // outlier
+        ];
+        let refs: Vec<&HistoryEntry> = entries.iter().collect();
+        let median = median_of(&refs);
+        assert_eq!(median.metrics["vgg16/ant_cycles"], 101.0);
+        assert!(median.label.contains("median(3)"));
+    }
+
+    #[test]
+    fn bench_baseline_snapshot_converts() {
+        let text = r#"{"source":"x","git_revision":"cafe","workloads":{
+            "vgg16":{"scnn_cycles":100,"ant_cycles":30,"scnn_energy_uj":9.0,"ant_energy_uj":2.0}}}"#;
+        let e = from_bench_baseline(text).expect("convert");
+        assert_eq!(e.metrics["vgg16/scnn_cycles"], 100.0);
+        assert_eq!(e.metrics["vgg16/ant_cycles"], 30.0);
+        assert_eq!(e.git_revision.as_deref(), Some("cafe"));
+        // Converted metrics classify the same as recorded ones.
+        assert_eq!(classify("vgg16/scnn_cycles"), MetricClass::Deterministic);
+    }
+}

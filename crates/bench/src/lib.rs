@@ -12,13 +12,27 @@
 //! * [`obs`] — the per-binary experiment harness: banner, root span,
 //!   progress reporting, and a run-manifest sidecar for every output
 //!   (tracing gated by `ANT_TRACE`; see `docs/OBSERVABILITY.md`).
+//! * [`history`] — the bench-history ledger (`BENCH_history.jsonl`):
+//!   append-only benchmark runs keyed by git revision, with trend-aware
+//!   regression comparison (`bench_history` binary, `scripts/bench_check.sh`).
+//!
+//! Every binary linking this crate gets the counting global allocator
+//! compiled in (below). It is **disabled** unless `ANT_ALLOC=1` is set or a
+//! tool enables it; disabled cost is one relaxed atomic load per
+//! allocation.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod history;
 pub mod obs;
 pub mod report;
 pub mod runner;
 
 pub use obs::Experiment;
 pub use runner::{ExperimentConfig, NetworkResult};
+
+/// The opt-in counting allocator, installed for every `ant-bench` binary
+/// and test (see [`ant_obs::alloc`]).
+#[global_allocator]
+static GLOBAL_ALLOC: ant_obs::alloc::CountingAlloc = ant_obs::alloc::CountingAlloc::new();

@@ -78,6 +78,22 @@ impl Experiment {
         self
     }
 
+    /// Records one host-performance entry (wall-time rates, allocator
+    /// counters) in the manifest's `host` section.
+    pub fn host_stat(&mut self, key: &'static str, value: impl Into<Value>) -> &mut Self {
+        self.manifest.host_stat(key, value);
+        self
+    }
+
+    /// Records a simulated-work-per-wall-second throughput
+    /// ([`ant_sim::SimStats::throughput`]) in the manifest's `host` section.
+    pub fn host_throughput(&mut self, stats: &ant_sim::SimStats, wall_secs: f64) -> &mut Self {
+        for (key, value) in stats.throughput(wall_secs).fields() {
+            self.manifest.host_stat(key, value);
+        }
+        self
+    }
+
     /// A progress tracker labelled with this experiment's name.
     pub fn progress(&self, total: usize) -> ant_obs::Progress {
         ant_obs::Progress::new(self.name, total)
@@ -102,23 +118,45 @@ impl Experiment {
             Ok(path) => println!("\ncsv: {}", path.display()),
             Err(err) => eprintln!("output write failed: {err}"),
         }
-        match manifest.write_to_dir(&experiments_dir()) {
-            Ok(path) => println!("manifest: {}", path.display()),
-            Err(err) => eprintln!("manifest write failed: {err}"),
-        }
-        span.close();
-        ant_obs::trace::flush();
+        finalize(name, manifest, span);
     }
 
     /// Finishes a run that produced no table (microbenchmark-style
     /// binaries): writes only the manifest.
     pub fn finish_without_table(self) {
-        let Experiment { manifest, span, .. } = self;
-        match manifest.write_to_dir(&experiments_dir()) {
-            Ok(path) => println!("manifest: {}", path.display()),
-            Err(err) => eprintln!("manifest write failed: {err}"),
-        }
-        span.close();
-        ant_obs::trace::flush();
+        let Experiment {
+            name,
+            manifest,
+            span,
+        } = self;
+        finalize(name, manifest, span);
     }
+}
+
+/// Shared tail of every experiment: close the root span *first* (so its
+/// wall time folds into the flame table), write the collapsed-stack
+/// flamegraph when `ANT_FLAME` is on, fold host stats (allocator counters,
+/// runner wall/throughput metrics) into the manifest, write it, and flush
+/// the trace.
+fn finalize(name: &'static str, mut manifest: RunManifest, span: Span) {
+    span.close();
+    match ant_obs::flame::write_if_enabled(name) {
+        Ok(Some(path)) => {
+            manifest.output(path.display().to_string());
+            println!("flamegraph: {}", path.display());
+        }
+        Ok(None) => {}
+        Err(err) => eprintln!("flamegraph write failed: {err}"),
+    }
+    manifest.record_alloc_stats();
+    for (key, value) in ant_obs::registry().snapshot() {
+        if key.starts_with("runner.") {
+            manifest.host_stat(key, value);
+        }
+    }
+    match manifest.write_to_dir(&experiments_dir()) {
+        Ok(path) => println!("manifest: {}", path.display()),
+        Err(err) => eprintln!("manifest write failed: {err}"),
+    }
+    ant_obs::trace::flush();
 }

@@ -7,6 +7,8 @@
 //! (`max_channels`), and the sampled counters are scaled linearly back to
 //! the full layer (and by the layer's multiplicity).
 
+use std::time::Instant;
+
 use ant_conv::efficiency::TrainingPhase;
 use ant_nn::trace::ConvPair;
 use ant_sim::{ConvSim, SimStats};
@@ -57,6 +59,33 @@ pub struct NetworkResult {
     pub per_layer: Vec<LayerStats>,
     /// Wall-clock cycles after perfect load balancing over `num_pes`.
     pub wall_cycles: u64,
+    /// Host wall time spent simulating this network, in microseconds
+    /// (simulator speed, not modeled-hardware time).
+    pub host_wall_us: u64,
+}
+
+impl NetworkResult {
+    fn empty(network: &'static str, machine: &'static str) -> Self {
+        NetworkResult {
+            network,
+            machine,
+            total: SimStats::default(),
+            per_phase: [
+                (TrainingPhase::Forward, SimStats::default()),
+                (TrainingPhase::Backward, SimStats::default()),
+                (TrainingPhase::Update, SimStats::default()),
+            ],
+            per_layer: Vec::new(),
+            wall_cycles: 0,
+            host_wall_us: 0,
+        }
+    }
+
+    /// Simulated-work-per-wall-second rates for this network's run
+    /// (see [`ant_sim::Throughput`]).
+    pub fn throughput(&self) -> ant_sim::Throughput {
+        self.total.throughput(self.host_wall_us as f64 / 1e6)
+    }
 }
 
 /// One layer's accumulated (scaled) counters across all three phases.
@@ -82,20 +111,11 @@ pub fn simulate_network<S: ConvSim + ?Sized>(
     net: &NetworkModel,
     cfg: &ExperimentConfig,
 ) -> NetworkResult {
+    let started = Instant::now();
     let mut span = ant_obs::span("network");
     span.record("network", net.name).record("machine", pe.name());
-    let mut result = NetworkResult {
-        network: net.name,
-        machine: pe.name(),
-        total: SimStats::default(),
-        per_phase: [
-            (TrainingPhase::Forward, SimStats::default()),
-            (TrainingPhase::Backward, SimStats::default()),
-            (TrainingPhase::Update, SimStats::default()),
-        ],
-        per_layer: Vec::with_capacity(net.layers.len()),
-        wall_cycles: 0,
-    };
+    let mut result = NetworkResult::empty(net.name, pe.name());
+    result.per_layer.reserve(net.layers.len());
     for (li, layer) in net.layers.iter().enumerate() {
         accumulate_layer(pe, layer, li, cfg, &mut result);
     }
@@ -104,10 +124,14 @@ pub fn simulate_network<S: ConvSim + ?Sized>(
         .total_cycles()
         .div_ceil(cfg.num_pes as u64)
         .max(1);
+    result.host_wall_us = started.elapsed().as_micros() as u64;
+    record_network_host_metrics(&result);
     if span.is_recording() {
         span.record("layers", net.layers.len());
         span.record("wall_cycles", result.wall_cycles);
         span.record_all(stats_fields(&result.total));
+        span.record("host_wall_us", result.host_wall_us);
+        span.record_all(throughput_fields(&result.total, result.host_wall_us));
     }
     result
 }
@@ -120,6 +144,33 @@ fn stats_fields(stats: &SimStats) -> impl Iterator<Item = (&'static str, ant_obs
         .map(|(name, value)| (name, ant_obs::Value::U64(value)))
 }
 
+/// Derived throughput rates (simulated work per wall second) as typed span
+/// fields, for a region whose counters are `stats` and whose host wall time
+/// was `wall_us`.
+fn throughput_fields(
+    stats: &SimStats,
+    wall_us: u64,
+) -> impl Iterator<Item = (&'static str, ant_obs::Value)> {
+    stats
+        .throughput(wall_us as f64 / 1e6)
+        .fields()
+        .into_iter()
+        .map(|(name, value)| (name, ant_obs::Value::F64(value)))
+}
+
+/// Feeds one finished network run into the process-wide metrics registry:
+/// a wall-time histogram plus last-seen throughput gauges. Snapshotted into
+/// manifests by the experiment harness.
+fn record_network_host_metrics(result: &NetworkResult) {
+    let registry = ant_obs::registry();
+    registry
+        .histogram("runner.network_wall_us")
+        .record(result.host_wall_us as f64);
+    for (name, value) in result.throughput().fields() {
+        registry.gauge(&format!("runner.{name}")).set(value);
+    }
+}
+
 /// Parallel variant of [`simulate_network`]: layers are simulated on worker
 /// threads (layer seeds are derived per layer index, so the result is
 /// bit-identical to the serial version).
@@ -128,6 +179,7 @@ pub fn simulate_network_parallel<S: ConvSim + Sync + ?Sized>(
     net: &NetworkModel,
     cfg: &ExperimentConfig,
 ) -> NetworkResult {
+    let started = Instant::now();
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
@@ -147,18 +199,7 @@ pub fn simulate_network_parallel<S: ConvSim + Sync + ?Sized>(
                 .filter(|(i, _)| i % threads == chunk_id)
                 .collect();
             handles.push(scope.spawn(move || {
-                let mut partial = NetworkResult {
-                    network: net.name,
-                    machine: pe.name(),
-                    total: SimStats::default(),
-                    per_phase: [
-                        (TrainingPhase::Forward, SimStats::default()),
-                        (TrainingPhase::Backward, SimStats::default()),
-                        (TrainingPhase::Update, SimStats::default()),
-                    ],
-                    per_layer: Vec::new(),
-                    wall_cycles: 0,
-                };
+                let mut partial = NetworkResult::empty(net.name, pe.name());
                 for (li, layer) in layers {
                     accumulate_layer(pe, layer, li, cfg, &mut partial);
                 }
@@ -170,18 +211,8 @@ pub fn simulate_network_parallel<S: ConvSim + Sync + ?Sized>(
             .map(|h| h.join().expect("worker panicked"))
             .collect()
     });
-    let mut merged = NetworkResult {
-        network: net.name,
-        machine: pe.name(),
-        total: SimStats::default(),
-        per_phase: [
-            (TrainingPhase::Forward, SimStats::default()),
-            (TrainingPhase::Backward, SimStats::default()),
-            (TrainingPhase::Update, SimStats::default()),
-        ],
-        per_layer: Vec::with_capacity(net.layers.len()),
-        wall_cycles: 0,
-    };
+    let mut merged = NetworkResult::empty(net.name, pe.name());
+    merged.per_layer.reserve(net.layers.len());
     for partial in results {
         merged.total.accumulate(&partial.total);
         for ((_, dst), (_, src)) in merged.per_phase.iter_mut().zip(partial.per_phase.iter()) {
@@ -195,10 +226,14 @@ pub fn simulate_network_parallel<S: ConvSim + Sync + ?Sized>(
         .total_cycles()
         .div_ceil(cfg.num_pes as u64)
         .max(1);
+    merged.host_wall_us = started.elapsed().as_micros() as u64;
+    record_network_host_metrics(&merged);
     if span.is_recording() {
         span.record("layers", net.layers.len());
         span.record("wall_cycles", merged.wall_cycles);
         span.record_all(stats_fields(&merged.total));
+        span.record("host_wall_us", merged.host_wall_us);
+        span.record_all(throughput_fields(&merged.total, merged.host_wall_us));
     }
     merged
 }
@@ -237,6 +272,7 @@ fn accumulate_layer<S: ConvSim + ?Sized>(
     ];
     let mut layer_total = SimStats::default();
     for (phase, pairs) in phases {
+        let phase_started = Instant::now();
         let mut phase_span = ant_obs::span("phase");
         phase_span
             .record("phase", phase.paper_name())
@@ -269,8 +305,15 @@ fn accumulate_layer<S: ConvSim + ?Sized>(
         let scaled = phase_stats.scaled_f64(scale);
         scaled.debug_assert_cycles_attributed("runner phase");
         // The scaled stats are exactly this phase's contribution (delta)
-        // to the network totals; attach them to the phase span.
-        phase_span.record_all(stats_fields(&scaled));
+        // to the network totals; attach them to the phase span, with the
+        // host wall time this phase took to simulate and the derived
+        // simulated-work-per-wall-second rates.
+        if phase_span.is_recording() {
+            let phase_wall_us = phase_started.elapsed().as_micros() as u64;
+            phase_span.record_all(stats_fields(&scaled));
+            phase_span.record("host_wall_us", phase_wall_us);
+            phase_span.record_all(throughput_fields(&scaled, phase_wall_us));
+        }
         out.total.accumulate(&scaled);
         out.per_phase
             .iter_mut()
@@ -555,6 +598,25 @@ mod tests {
         let mut sorted = indices.clone();
         sorted.sort_unstable();
         assert_eq!(indices, sorted);
+    }
+
+    #[test]
+    fn host_wall_time_and_throughput_are_populated() {
+        let cfg = ExperimentConfig::paper_default();
+        let net = tiny_net();
+        let r = simulate_network(&ScnnPlus::paper_default(), &net, &cfg);
+        let t = r.throughput();
+        // A fast machine can finish the tiny net in under a microsecond;
+        // throughput then reports zero rates instead of dividing by zero.
+        if r.host_wall_us > 0 {
+            assert!(t.sim_cycles_per_sec > 0.0);
+            assert!(t.effectual_macs_per_sec > 0.0);
+            assert!(t.pairs_per_sec > 0.0);
+        } else {
+            assert_eq!(t, ant_sim::Throughput::default());
+        }
+        // The run fed the host-metrics registry.
+        assert!(ant_obs::registry().histogram("runner.network_wall_us").count() > 0);
     }
 
     #[test]

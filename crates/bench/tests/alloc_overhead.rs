@@ -1,0 +1,89 @@
+//! End-to-end tests of the counting global allocator, run where it is
+//! actually installed: every `ant-bench` binary and test links the crate's
+//! `#[global_allocator]` (see `src/lib.rs`).
+//!
+//! The counters are process-global, so tests that flip counting on/off
+//! serialize through a mutex; Rust runs these tests in threads.
+
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+// The test crate must reference ant-bench, or the linker drops the rlib —
+// and with it the `#[global_allocator]` registration under test.
+use ant_bench as _;
+
+fn alloc_guard() -> &'static Mutex<()> {
+    static GUARD: OnceLock<Mutex<()>> = OnceLock::new();
+    GUARD.get_or_init(|| Mutex::new(()))
+}
+
+#[test]
+fn counting_allocator_is_installed_and_counts_real_traffic() {
+    let _guard = alloc_guard().lock().unwrap_or_else(|e| e.into_inner());
+    ant_obs::alloc::enable();
+    assert!(ant_obs::alloc::counting_active());
+
+    let before = ant_obs::alloc::snapshot();
+    let buf = vec![0u8; 1 << 20];
+    let delta = ant_obs::alloc::snapshot().delta_from(&before);
+    assert!(delta.allocs >= 1, "no allocations counted");
+    assert!(
+        delta.allocated_bytes >= buf.len() as u64,
+        "1 MiB vec not reflected: {delta:?}"
+    );
+    drop(buf);
+    let after_free = ant_obs::alloc::snapshot().delta_from(&before);
+    assert!(
+        after_free.net_bytes < delta.net_bytes,
+        "freeing the vec must reduce net bytes"
+    );
+    ant_obs::alloc::disable();
+}
+
+#[test]
+fn disabled_counting_path_is_near_free() {
+    let _guard = alloc_guard().lock().unwrap_or_else(|e| e.into_inner());
+    ant_obs::alloc::disable();
+    assert!(!ant_obs::alloc::counting_active());
+
+    // The disabled path is one relaxed atomic load per alloc/free. A
+    // million boxed values must complete in well under a second; the bound
+    // is deliberately loose for slow CI machines — the real guard is that
+    // the disabled path never becomes a lock or a syscall.
+    let start = Instant::now();
+    let mut keep = 0u64;
+    for i in 0..1_000_000u64 {
+        let b = Box::new(i);
+        keep = keep.wrapping_add(*b);
+    }
+    let elapsed = start.elapsed();
+    assert!(keep > 0);
+    assert!(
+        elapsed.as_millis() < 2_000,
+        "1M boxes with counting disabled took {elapsed:?}"
+    );
+}
+
+#[test]
+fn spans_carry_real_alloc_deltas_when_counting() {
+    let _guard = alloc_guard().lock().unwrap_or_else(|e| e.into_inner());
+    ant_obs::alloc::enable();
+    let (sink, memory) = ant_obs::Sink::in_memory();
+    ant_obs::trace::install(std::sync::Arc::new(sink), false);
+    {
+        let _span = ant_obs::span("allocating_work");
+        let buf = vec![0u8; 256 * 1024];
+        std::hint::black_box(&buf);
+    }
+    ant_obs::trace::uninstall();
+    ant_obs::alloc::disable();
+
+    let records = memory.parsed();
+    let fields = records[0].get("fields").expect("span fields");
+    let bytes = fields.get("alloc_bytes").unwrap().as_u64().unwrap();
+    assert!(
+        bytes >= 256 * 1024,
+        "span alloc delta missed the 256 KiB buffer: {bytes}"
+    );
+    assert!(fields.get("allocs").unwrap().as_u64().unwrap() >= 1);
+}

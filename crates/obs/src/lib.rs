@@ -21,12 +21,23 @@
 //!   JSON export of per-PE phase slices in *simulated* time (1 cycle =
 //!   1 µs), gated by `ANT_PROFILE` / `ANT_PROFILE_FILE` and written by the
 //!   `profile` bench binary.
+//! * **Allocation counting** ([`alloc::CountingAlloc`]) — an opt-in
+//!   counting global allocator (`ANT_ALLOC=1`): allocation count, bytes,
+//!   live, and peak, with per-span deltas attached to span records. One
+//!   relaxed atomic load per allocation when disabled.
+//! * **Flamegraphs** ([`flame`]) — span-tree rollup of self/total wall
+//!   time per span path, exported as collapsed stacks
+//!   (inferno/speedscope-compatible) under `ANT_FLAME` / `ANT_FLAME_FILE`.
 //!
 //! See `docs/OBSERVABILITY.md` for the full event schema and workflows.
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide; the single exception is `alloc`, whose
+// `GlobalAlloc` impl forwards to the system allocator.
+#![deny(unsafe_code)]
 
+pub mod alloc;
+pub mod flame;
 pub mod json;
 pub mod manifest;
 pub mod metrics;
@@ -35,6 +46,8 @@ pub mod span;
 pub mod timeline;
 pub mod trace;
 
+pub use alloc::{AllocDelta, AllocStats, CountingAlloc};
+pub use flame::SpanStat;
 pub use json::{parse as parse_json, Json, Value};
 pub use manifest::{git_revision, RunManifest};
 pub use metrics::{registry, Counter, Gauge, Histogram, Registry};

@@ -12,8 +12,14 @@
 //!  "trace_file":null,
 //!  "config":{"sparsity":0.9,"num_pes":64},
 //!  "stats":{"networks":6},
+//!  "host":{"alloc_counting":true,"allocs":182044,"alloc_bytes":73400320},
 //!  "outputs":["target/experiments/fig09_speedup_energy.csv"]}
 //! ```
+//!
+//! The `host` section carries host-performance stats — wall-clock derived
+//! rates and (when the counting allocator is active, see [`crate::alloc`])
+//! allocation counters — kept apart from `stats` so simulated results stay
+//! directly diffable across machines of different speeds.
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -64,6 +70,7 @@ pub struct RunManifest {
     git_revision: Option<String>,
     config: Vec<(String, Value)>,
     stats: Vec<(String, Value)>,
+    host: Vec<(String, Value)>,
     outputs: Vec<String>,
 }
 
@@ -81,6 +88,7 @@ impl RunManifest {
             git_revision: git_revision(),
             config: Vec::new(),
             stats: Vec::new(),
+            host: Vec::new(),
             outputs: Vec::new(),
         }
     }
@@ -99,6 +107,27 @@ impl RunManifest {
     /// Records one final-stats entry.
     pub fn stat(&mut self, key: impl Into<String>, value: impl Into<Value>) -> &mut Self {
         self.stats.push((key.into(), value.into()));
+        self
+    }
+
+    /// Records one host-performance entry (wall-time rates, allocator
+    /// counters) in the `host` section.
+    pub fn host_stat(&mut self, key: impl Into<String>, value: impl Into<Value>) -> &mut Self {
+        self.host.push((key.into(), value.into()));
+        self
+    }
+
+    /// Copies the counting allocator's current state into the `host`
+    /// section: an `alloc_counting` flag, plus every [`crate::alloc`]
+    /// counter when counting is active.
+    pub fn record_alloc_stats(&mut self) -> &mut Self {
+        let active = crate::alloc::counting_active();
+        self.host_stat("alloc_counting", active);
+        if active {
+            for (key, value) in crate::alloc::snapshot().fields() {
+                self.host_stat(key, value);
+            }
+        }
         self
     }
 
@@ -139,7 +168,11 @@ impl RunManifest {
             Some(path) => write_json_string(&path.display().to_string(), &mut out),
             None => out.push_str("null"),
         }
-        for (section, entries) in [("config", &self.config), ("stats", &self.stats)] {
+        for (section, entries) in [
+            ("config", &self.config),
+            ("stats", &self.stats),
+            ("host", &self.host),
+        ] {
             out.push(',');
             write_json_string(section, &mut out);
             out.push_str(":{");

@@ -19,6 +19,8 @@
 use std::cell::RefCell;
 use std::time::Instant;
 
+use crate::alloc::{self, AllocStats};
+use crate::flame;
 use crate::json::Value;
 use crate::trace::{self, Event};
 
@@ -48,12 +50,22 @@ struct SpanState {
     entered_us: u64,
     entered: Instant,
     fields: Vec<(&'static str, Value)>,
+    /// Allocator counters at entry, when both tracing and allocation
+    /// counting are on; the drop attaches the delta to the record.
+    alloc_entry: Option<AllocStats>,
+    /// Whether the closing span should fold into the flame table.
+    tracing: bool,
 }
 
 /// Opens a span named `name`. The span becomes the parent of any span opened
 /// on this thread before it closes.
+///
+/// Spans are live when tracing (`ANT_TRACE`) *or* flame collection
+/// (`ANT_FLAME`) is on; with only the latter, the span is timed and folded
+/// into the flamegraph but no trace record is written.
 pub fn span(name: impl Into<String>) -> Span {
-    if !trace::enabled() {
+    let tracing = trace::enabled();
+    if !tracing && !flame::enabled() {
         return Span { state: None };
     }
     let name = name.into();
@@ -79,13 +91,19 @@ pub fn span(name: impl Into<String>) -> Span {
             entered_us: trace::now_us(),
             entered: Instant::now(),
             fields: Vec::new(),
+            alloc_entry: if tracing && alloc::enabled() {
+                Some(alloc::snapshot())
+            } else {
+                None
+            },
+            tracing,
         }),
     }
 }
 
 impl Span {
-    /// Whether this span will emit a record (i.e. tracing was enabled at
-    /// creation). Use to skip expensive field computation.
+    /// Whether this span is live — tracing or flame collection was enabled
+    /// at creation. Use to skip expensive field computation.
     pub fn is_recording(&self) -> bool {
         self.state.is_some()
     }
@@ -116,7 +134,7 @@ impl Span {
 
 impl Drop for Span {
     fn drop(&mut self) {
-        let Some(state) = self.state.take() else {
+        let Some(mut state) = self.state.take() else {
             return;
         };
         let dur_us = state.entered.elapsed().as_micros() as u64;
@@ -128,6 +146,22 @@ impl Drop for Span {
                 stack.remove(pos);
             }
         });
+        if flame::enabled() {
+            flame::record(&state.path, dur_us);
+        }
+        if !state.tracing {
+            return;
+        }
+        if let Some(entry) = state.alloc_entry.take() {
+            let delta = alloc::snapshot().delta_from(&entry);
+            state.fields.push(("allocs", Value::U64(delta.allocs)));
+            state
+                .fields
+                .push(("alloc_bytes", Value::U64(delta.allocated_bytes)));
+            state
+                .fields
+                .push(("alloc_net_bytes", Value::I64(delta.net_bytes)));
+        }
         trace::emit_at(
             &Event {
                 kind: "span",

@@ -316,6 +316,34 @@ mod tests {
     }
 
     #[test]
+    fn empty_timeline_is_valid_parseable_json() {
+        // A run that records no slices (e.g. profiling disabled mid-way or a
+        // zero-layer network) must still emit a file Perfetto accepts.
+        let text = Timeline::new().to_json();
+        assert_eq!(text, r#"{"traceEvents":[],"displayTimeUnit":"ns"}"#);
+        let json = parse(&text).expect("valid JSON");
+        let events = json
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("traceEvents array");
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn write_to_creates_parent_directories() {
+        let dir = std::env::temp_dir().join(format!(
+            "ant-obs-timeline-test-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        let path = dir.join("nested/deeper/empty.perfetto.json");
+        Timeline::new().write_to(&path).expect("write with parents");
+        let text = fs::read_to_string(&path).expect("read back");
+        assert!(parse(&text).is_ok());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn output_path_honours_stem() {
         let path = output_path("profile_test_stem");
         assert!(path

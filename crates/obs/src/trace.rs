@@ -48,7 +48,7 @@ pub(crate) fn next_span_id() -> u64 {
     NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)
 }
 
-fn truthy(v: &str) -> bool {
+pub(crate) fn truthy(v: &str) -> bool {
     !matches!(v.trim(), "" | "0" | "false" | "off" | "no")
 }
 

@@ -214,6 +214,21 @@ fn single_sample_histogram_is_every_percentile() {
 }
 
 #[test]
+fn all_equal_samples_collapse_every_percentile() {
+    let hist = metrics::Histogram::new();
+    for _ in 0..7 {
+        hist.record(9.0);
+    }
+    for p in [0.0, 25.0, 50.0, 95.0, 100.0] {
+        assert_eq!(hist.percentile(p), Some(9.0), "p{p}");
+    }
+    assert_eq!(hist.min(), Some(9.0));
+    assert_eq!(hist.max(), Some(9.0));
+    assert_eq!(hist.mean(), Some(9.0));
+    assert_eq!(hist.count(), 7);
+}
+
+#[test]
 fn registry_snapshot_is_sorted_and_typed() {
     let registry = metrics::Registry::new();
     registry.counter("pairs").add(10);
@@ -279,6 +294,96 @@ fn manifest_is_complete_and_parses() {
     let outputs = json.get("outputs").unwrap().as_array().unwrap();
     assert_eq!(outputs.len(), 1);
     assert_eq!(outputs[0].as_str(), Some("target/experiments/test_run.csv"));
+}
+
+#[test]
+fn manifest_host_section_carries_host_stats_and_alloc_flag() {
+    let mut manifest = RunManifest::new("host_test");
+    manifest.host_stat("sim_wall_us", 1234u64);
+    manifest.host_stat("pairs_per_sec", 2.5f64);
+    manifest.record_alloc_stats();
+
+    let json = ant_obs::parse_json(&manifest.to_json()).expect("manifest parses");
+    let host = json.get("host").expect("host section present");
+    assert_eq!(host.get("sim_wall_us").unwrap().as_u64(), Some(1234));
+    assert_eq!(host.get("pairs_per_sec").unwrap().as_f64(), Some(2.5));
+    // This test binary does not install the counting allocator, so the
+    // probe must report counting inactive and omit the counter fields.
+    assert_eq!(host.get("alloc_counting").unwrap().as_bool(), Some(false));
+    assert!(host.get("alloc_allocs").is_none());
+}
+
+#[test]
+fn span_records_alloc_delta_fields_when_counting_enabled() {
+    ant_obs::alloc::enable();
+    let records = with_sink(false, || {
+        let _span = ant_obs::span("alloc_probe");
+    });
+    ant_obs::alloc::disable();
+    let fields = records[0].get("fields").expect("span has fields");
+    // Without the installed allocator the deltas are zero, but the fields
+    // must still be attached whenever counting is enabled.
+    assert!(fields.get("allocs").unwrap().as_u64().is_some());
+    assert!(fields.get("alloc_bytes").unwrap().as_u64().is_some());
+    assert!(fields.get("alloc_net_bytes").is_some());
+}
+
+#[test]
+fn flame_aggregates_span_tree_into_collapsed_stacks() {
+    let _guard = sink_guard().lock().unwrap_or_else(|e| e.into_inner());
+    ant_obs::flame::reset();
+    ant_obs::flame::set_enabled(true);
+    {
+        let _outer = ant_obs::span("flame_outer");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        {
+            let _inner = ant_obs::span("flame_inner");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+    }
+    ant_obs::flame::set_enabled(false);
+    let collapsed = ant_obs::flame::to_collapsed();
+    ant_obs::flame::reset();
+    // Collapsed-stack grammar: "frame;frame <self_us>" per line, child
+    // frames joined with ';'.
+    assert!(
+        collapsed.contains("flame_outer;flame_inner "),
+        "missing nested stack in:\n{collapsed}"
+    );
+    for line in collapsed.lines() {
+        let (stack, count) = line.rsplit_once(' ').expect("stack<space>count");
+        assert!(!stack.is_empty());
+        count.parse::<u64>().expect("count is an integer");
+    }
+}
+
+#[test]
+fn flame_write_collapsed_creates_parent_directories() {
+    let _guard = sink_guard().lock().unwrap_or_else(|e| e.into_inner());
+    ant_obs::flame::reset();
+    ant_obs::flame::record("solo", 10);
+    let dir = std::env::temp_dir().join(format!("ant_obs_flame_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let path = dir.join("nested/deeper/out.folded");
+    ant_obs::flame::write_collapsed(&path).expect("write with parents");
+    let body = std::fs::read_to_string(&path).expect("read back");
+    assert!(body.starts_with("solo 10"));
+    ant_obs::flame::reset();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn file_sink_creates_nested_parent_directories() {
+    // ANT_TRACE_FILE pointing into a directory that does not exist yet must
+    // not panic: the sink creates the parents.
+    let _guard = sink_guard().lock().unwrap_or_else(|e| e.into_inner());
+    let dir = std::env::temp_dir().join(format!("ant_obs_sink_nested_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let path = dir.join("a/b/c/trace.jsonl");
+    let sink = ant_obs::Sink::to_path(&path).expect("open sink with missing parents");
+    drop(sink);
+    assert!(path.parent().unwrap().is_dir());
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

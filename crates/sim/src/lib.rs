@@ -70,4 +70,4 @@ pub mod tiling;
 pub use accelerator::{Accelerator, ConvSim, MatmulSim};
 pub use breakdown::{CycleBreakdown, CycleCause};
 pub use energy::EnergyModel;
-pub use stats::{EnergyBreakdown, SimStats};
+pub use stats::{EnergyBreakdown, SimStats, Throughput};

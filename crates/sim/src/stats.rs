@@ -48,6 +48,32 @@ impl EnergyBreakdown {
     }
 }
 
+/// Host-throughput rates derived from a [`SimStats`] and the wall time the
+/// host spent producing it: simulated work per second of real time. These
+/// measure the *simulator's* speed (for bench history and regression
+/// tracking), not the modeled accelerator's.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Throughput {
+    /// Non-zero kernel/image pairs simulated per wall-clock second.
+    pub pairs_per_sec: f64,
+    /// Effectual MACs (useful multiplications) simulated per wall-clock
+    /// second.
+    pub effectual_macs_per_sec: f64,
+    /// Simulated cycles (`total_cycles`) per wall-clock second.
+    pub sim_cycles_per_sec: f64,
+}
+
+impl Throughput {
+    /// Named rates, in declaration order — for traces and manifests.
+    pub fn fields(&self) -> [(&'static str, f64); 3] {
+        [
+            ("pairs_per_sec", self.pairs_per_sec),
+            ("effectual_macs_per_sec", self.effectual_macs_per_sec),
+            ("sim_cycles_per_sec", self.sim_cycles_per_sec),
+        ]
+    }
+}
+
 /// Operation and cycle counters for a simulated workload (one kernel/image
 /// pair, a layer, or a whole network — counters accumulate).
 ///
@@ -154,6 +180,28 @@ impl SimStats {
             self.total_cycles(),
             self.cycles,
         );
+    }
+
+    /// Effectual MACs: executed multiplications that contributed to a valid
+    /// output (the paper's "effectual computation" — alias of
+    /// `useful_mults`, named for throughput reporting).
+    pub fn effectual_macs(&self) -> u64 {
+        self.useful_mults
+    }
+
+    /// Simulated-work-per-wall-second rates for a region that took
+    /// `wall_secs` of host time to simulate. Zero rates when `wall_secs`
+    /// is non-positive or non-finite (a clock that did not advance).
+    pub fn throughput(&self, wall_secs: f64) -> Throughput {
+        // NaN, zero, negative, and infinite wall times all yield zero rates.
+        if !(wall_secs.is_finite() && wall_secs > 0.0) {
+            return Throughput::default();
+        }
+        Throughput {
+            pairs_per_sec: self.pairs_total as f64 / wall_secs,
+            effectual_macs_per_sec: self.effectual_macs() as f64 / wall_secs,
+            sim_cycles_per_sec: self.total_cycles() as f64 / wall_secs,
+        }
     }
 
     /// Accumulator bank-conflict serialization cycles (first-class view of
@@ -468,6 +516,34 @@ mod tests {
                 s.total_cycles()
             );
         }
+    }
+
+    #[test]
+    fn throughput_divides_by_wall_seconds() {
+        let s = sample();
+        let t = s.throughput(2.0);
+        assert!((t.pairs_per_sec - 650.0).abs() < 1e-9);
+        assert!((t.effectual_macs_per_sec - 150.0).abs() < 1e-9);
+        assert!((t.sim_cycles_per_sec - 52.5).abs() < 1e-9);
+        assert_eq!(s.effectual_macs(), s.useful_mults);
+    }
+
+    #[test]
+    fn throughput_guards_degenerate_wall_time() {
+        let s = sample();
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(s.throughput(bad), Throughput::default(), "wall {bad}");
+        }
+    }
+
+    #[test]
+    fn throughput_fields_enumerate_every_rate() {
+        let t = Throughput {
+            pairs_per_sec: 1.0,
+            effectual_macs_per_sec: 1.0,
+            sim_cycles_per_sec: 1.0,
+        };
+        assert_eq!(t.fields().iter().map(|(_, v)| v).sum::<f64>(), 3.0);
     }
 
     #[test]

@@ -30,4 +30,33 @@ for e in events:
 print(f"profile smoke: {len(events)} trace events ok")
 PY
 
+echo "== flamegraph smoke (collapsed-stack grammar under ANT_FLAME)"
+FLAME_OUT="target/experiments/ci_flame_smoke.folded"
+rm -f "$FLAME_OUT"
+ANT_FLAME=1 ANT_FLAME_FILE="$FLAME_OUT" \
+  cargo run --release -p ant-bench --bin profile -- tiny >/dev/null
+python3 - "$FLAME_OUT" <<'PY'
+import sys
+
+lines = open(sys.argv[1]).read().splitlines()
+assert lines, "empty collapsed-stack output"
+for line in lines:
+    stack, _, count = line.rpartition(" ")
+    assert stack, f"no stack in {line!r}"
+    assert count.isdigit(), f"non-integer self time in {line!r}"
+    for frame in stack.split(";"):
+        assert frame and ";" not in frame and " " not in frame, f"bad frame in {line!r}"
+assert any(";" in line.rpartition(" ")[0] for line in lines), "no nested stacks"
+print(f"flame smoke: {len(lines)} collapsed stacks ok")
+PY
+
+echo "== bench_history smoke (tiny record + self-compare must be clean)"
+HISTORY_SMOKE="target/experiments/ci_bench_history_smoke.jsonl"
+rm -f "$HISTORY_SMOKE"
+cargo run --release -q -p ant-bench --bin bench_history -- \
+  record --label tiny --repeats 2 --file "$HISTORY_SMOKE"
+cargo run --release -q -p ant-bench --bin bench_history -- \
+  compare --self --file "$HISTORY_SMOKE" \
+  --report target/experiments/ci_bench_history_smoke.md
+
 echo "ci: all green"
