@@ -7,11 +7,14 @@
 //! (`max_channels`), and the sampled counters are scaled linearly back to
 //! the full layer (and by the layer's multiplicity).
 
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 use ant_conv::efficiency::TrainingPhase;
 use ant_nn::trace::ConvPair;
-use ant_sim::{ConvSim, SimStats};
+use ant_sim::{ConvSim, SimScratch, SimStats};
 use ant_workloads::models::NetworkModel;
 use ant_workloads::synth::{synthesize_layer, LayerSparsity};
 use rand::rngs::StdRng;
@@ -171,56 +174,214 @@ fn record_network_host_metrics(result: &NetworkResult) {
     }
 }
 
-/// Parallel variant of [`simulate_network`]: layers are simulated on worker
-/// threads (layer seeds are derived per layer index, so the result is
-/// bit-identical to the serial version).
+/// Parallel variant of [`simulate_network`]: pair-granularity jobs run on a
+/// work-stealing worker pool sized to the available CPUs (see
+/// [`simulate_network_parallel_with_threads`]; results are bit-identical to
+/// the serial runner for any worker count).
 pub fn simulate_network_parallel<S: ConvSim + Sync + ?Sized>(
     pe: &S,
     net: &NetworkModel,
     cfg: &ExperimentConfig,
 ) -> NetworkResult {
-    let started = Instant::now();
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(1)
-        .min(net.layers.len().max(1));
+        .unwrap_or(1);
+    simulate_network_parallel_with_threads(pe, net, cfg, threads)
+}
+
+/// One pair-granularity unit for the work-stealing scheduler: indices into
+/// the synthesized [`LayerWork`] table.
+#[derive(Debug, Clone, Copy)]
+struct PairTask {
+    layer: usize,
+    phase: usize,
+    pair: usize,
+}
+
+/// Work-stealing parallel runner with an explicit worker count.
+///
+/// Three stages, each bit-identical to [`simulate_network`]:
+///
+/// 1. **Synthesis** — layers are synthesized concurrently (each layer's RNG
+///    seed derives from its index alone, so synthesis order is free).
+/// 2. **Simulation** — every (layer, phase, pair) becomes one job. Jobs are
+///    dealt to per-worker deques in contiguous chunks (a worker runs one
+///    layer's like-shaped pairs back to back, keeping its [`SimScratch`]
+///    warm); an idle worker steals from the *back* of a victim's deque —
+///    the work its owner is furthest from reaching. Each worker folds raw
+///    pair counters into per-(layer, phase) partials; the counters are
+///    `u64` sums, so accumulation order cannot change the result.
+/// 3. **Merge** — partials are summed across workers, then clamped, scaled,
+///    and accumulated in exact serial layer order via the same
+///    [`finalize_phase`] the serial runner uses.
+pub fn simulate_network_parallel_with_threads<S: ConvSim + Sync + ?Sized>(
+    pe: &S,
+    net: &NetworkModel,
+    cfg: &ExperimentConfig,
+    threads: usize,
+) -> NetworkResult {
+    let started = Instant::now();
     let mut span = ant_obs::span("network");
-    span.record("network", net.name)
-        .record("machine", pe.name())
-        .record("threads", threads)
-        .record("parallel", true);
-    let results: Vec<NetworkResult> = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for chunk_id in 0..threads {
-            let layers: Vec<(usize, &ant_workloads::ConvLayerSpec)> = net
-                .layers
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| i % threads == chunk_id)
-                .collect();
-            handles.push(scope.spawn(move || {
-                let mut partial = NetworkResult::empty(net.name, pe.name());
-                for (li, layer) in layers {
-                    accumulate_layer(pe, layer, li, cfg, &mut partial);
-                }
-                partial
+    // Stage 1: synthesize all layers, claiming indices from a shared atomic.
+    let slots: Vec<OnceLock<LayerWork>> =
+        (0..net.layers.len()).map(|_| OnceLock::new()).collect();
+    let next_layer = AtomicUsize::new(0);
+    let synth_workers = threads.clamp(1, net.layers.len().max(1));
+    let synth_loop = || loop {
+        let li = next_layer.fetch_add(1, Ordering::Relaxed);
+        if li >= net.layers.len() {
+            break;
+        }
+        let work = synthesize_layer_work(&net.layers[li], li, cfg);
+        let stored = slots[li].set(work);
+        debug_assert!(stored.is_ok(), "layer {li} synthesized twice");
+    };
+    if synth_workers == 1 {
+        // Single worker: run inline, skipping the thread-spawn overhead
+        // (which dominates sub-millisecond workloads).
+        synth_loop();
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..synth_workers {
+                scope.spawn(synth_loop);
+            }
+        });
+    }
+    let layer_work: Vec<LayerWork> = slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("all layers synthesized"))
+        .collect();
+
+    // Pair-granularity job list, in serial simulation order.
+    let mut jobs: Vec<PairTask> = Vec::new();
+    for (li, work) in layer_work.iter().enumerate() {
+        for (pi, (_, pairs, _)) in work.phases.iter().enumerate() {
+            jobs.extend((0..pairs.len()).map(|pair| PairTask {
+                layer: li,
+                phase: pi,
+                pair,
             }));
         }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    });
+    }
+    let workers = threads.clamp(1, jobs.len().max(1));
+    span.record("network", net.name)
+        .record("machine", pe.name())
+        .record("threads", workers)
+        .record("parallel", true)
+        .record("scheduler", "work-steal")
+        .record("jobs", jobs.len());
+
+    // Stage 2: deal contiguous chunks, then run the stealing loop.
+    let chunk = jobs.len().div_ceil(workers).max(1);
+    let deques: Vec<Mutex<VecDeque<PairTask>>> = (0..workers)
+        .map(|w| {
+            let lo = (w * chunk).min(jobs.len());
+            let hi = ((w + 1) * chunk).min(jobs.len());
+            Mutex::new(jobs[lo..hi].iter().copied().collect())
+        })
+        .collect();
+    let worker_body = |me: usize| {
+        let mut worker_span = ant_obs::span("steal_worker");
+        worker_span.record("worker", me);
+        let mut scratch = SimScratch::new();
+        let mut partial = vec![SimStats::default(); layer_work.len() * 3];
+        let mut executed = 0u64;
+        let mut stolen = 0u64;
+        loop {
+            let task = deques[me].lock().expect("deque poisoned").pop_front();
+            let task = task.or_else(|| {
+                (1..workers).find_map(|off| {
+                    let victim = (me + off) % workers;
+                    let task = deques[victim].lock().expect("deque poisoned").pop_back();
+                    stolen += u64::from(task.is_some());
+                    task
+                })
+            });
+            // No new jobs are ever produced, so one full empty
+            // scan means the pool is drained for good.
+            let Some(task) = task else { break };
+            let (_, pairs, _) = &layer_work[task.layer].phases[task.phase];
+            let pair = &pairs[task.pair];
+            partial[task.layer * 3 + task.phase].accumulate(&pe.simulate_conv_pair_scratch(
+                &pair.kernel,
+                &pair.image,
+                &pair.shape,
+                &mut scratch,
+            ));
+            executed += 1;
+        }
+        if worker_span.is_recording() {
+            worker_span.record("jobs_executed", executed);
+            worker_span.record("jobs_stolen", stolen);
+        }
+        (partial, executed, stolen)
+    };
+    let partials: Vec<(Vec<SimStats>, u64, u64)> = if workers == 1 {
+        // Single worker: the deque drains front-to-back inline, identical
+        // to the spawned path minus the thread round-trip.
+        vec![worker_body(0)]
+    } else {
+        std::thread::scope(|scope| {
+            let worker_body = &worker_body;
+            let handles: Vec<_> = (0..workers)
+                .map(|me| scope.spawn(move || worker_body(me)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        })
+    };
+
+    // Stage 3: sum partials across workers, then finalize in serial layer
+    // order so every downstream aggregate matches the serial runner.
     let mut merged = NetworkResult::empty(net.name, pe.name());
     merged.per_layer.reserve(net.layers.len());
-    for partial in results {
-        merged.total.accumulate(&partial.total);
-        for ((_, dst), (_, src)) in merged.per_phase.iter_mut().zip(partial.per_phase.iter()) {
-            dst.accumulate(src);
+    for (li, layer) in net.layers.iter().enumerate() {
+        let work = &layer_work[li];
+        let mut layer_span = ant_obs::span("layer");
+        layer_span
+            .record("layer", layer.name.as_str())
+            .record("layer_index", li)
+            .record("network", net.name)
+            .record("machine", pe.name())
+            .record("channel_scale", work.channel_scale);
+        let mut layer_total = SimStats::default();
+        for (pi, (phase, pairs, distinct_images)) in work.phases.iter().enumerate() {
+            let mut phase_stats = SimStats::default();
+            for (partial, _, _) in &partials {
+                phase_stats.accumulate(&partial[li * 3 + pi]);
+            }
+            let scaled = finalize_phase(phase_stats, *distinct_images, work.scale);
+            // Same phase-delta contract as the serial runner's spans; the
+            // pairs ran interleaved across workers, so no per-phase host
+            // wall time is attributable here.
+            let mut phase_span = ant_obs::span("phase");
+            if phase_span.is_recording() {
+                phase_span
+                    .record("phase", phase.paper_name())
+                    .record("network", net.name)
+                    .record("machine", pe.name())
+                    .record("layer", layer.name.as_str())
+                    .record("pairs", pairs.len());
+                phase_span.record_all(stats_fields(&scaled));
+            }
+            merged.total.accumulate(&scaled);
+            merged
+                .per_phase
+                .iter_mut()
+                .find(|(p, _)| p == phase)
+                .expect("phase present")
+                .1
+                .accumulate(&scaled);
+            layer_total.accumulate(&scaled);
         }
-        merged.per_layer.extend(partial.per_layer);
+        merged.per_layer.push(LayerStats {
+            index: li,
+            name: layer.name.clone(),
+            stats: layer_total,
+        });
     }
-    merged.per_layer.sort_by_key(|l| l.index);
     merged.wall_cycles = merged
         .total
         .total_cycles()
@@ -230,12 +391,89 @@ pub fn simulate_network_parallel<S: ConvSim + Sync + ?Sized>(
     record_network_host_metrics(&merged);
     if span.is_recording() {
         span.record("layers", net.layers.len());
+        span.record("jobs_stolen", partials.iter().map(|(_, _, s)| *s).sum::<u64>());
         span.record("wall_cycles", merged.wall_cycles);
         span.record_all(stats_fields(&merged.total));
         span.record("host_wall_us", merged.host_wall_us);
         span.record_all(throughput_fields(&merged.total, merged.host_wall_us));
     }
     merged
+}
+
+/// One layer's synthesized sample plus the constants needed to reproduce
+/// the serial accounting: the sampled pairs of each training phase with its
+/// image-stationary `distinct_images` clamp, and the counter scale factor.
+/// Built once per layer (by either runner) and consumed read-only.
+#[derive(Debug)]
+struct LayerWork {
+    /// `channel_scale * layer.count`: factor from sampled to full-layer
+    /// counters.
+    scale: f64,
+    /// Channel-sampling scale alone (for span parity with older traces).
+    channel_scale: f64,
+    /// Per-phase sampled pairs and the distinct resident-image count that
+    /// bounds the start-up charge.
+    phases: [(TrainingPhase, Vec<ConvPair>, u64); 3],
+}
+
+/// Synthesizes one layer's [`LayerWork`]. The RNG seed derives from
+/// `cfg.seed` and the layer index alone, so any execution order (serial,
+/// chunked, work-stealing) sees identical operands.
+fn synthesize_layer_work(
+    layer: &ant_workloads::ConvLayerSpec,
+    layer_index: usize,
+    cfg: &ExperimentConfig,
+) -> LayerWork {
+    let mut rng =
+        StdRng::seed_from_u64(cfg.seed ^ (layer_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let synth = synthesize_layer(layer, &cfg.sparsity, cfg.max_channels, &mut rng);
+    // Image-stationary reuse (paper Sections 2.3 and 6.1): the resident
+    // image plane is held while every kernel matrix streams past, so the
+    // five-cycle pipeline start-up is paid once per *image*, not once per
+    // (k, c) pair. Forward/update phases keep an input-channel plane
+    // resident; the backward phase keeps a gradient plane (one per output
+    // channel) resident. All machines share the dataflow, so the
+    // amortization applies equally.
+    let in_images = synth.trace.in_channels() as u64;
+    let out_images = synth.trace.out_channels() as u64;
+    LayerWork {
+        scale: synth.channel_scale * layer.count as f64,
+        channel_scale: synth.channel_scale,
+        phases: [
+            (
+                TrainingPhase::Forward,
+                synth.trace.forward_pairs().expect("valid layer spec"),
+                in_images,
+            ),
+            (
+                TrainingPhase::Backward,
+                synth.trace.backward_pairs().expect("valid layer spec"),
+                out_images,
+            ),
+            (
+                TrainingPhase::Update,
+                synth.trace.update_pairs().expect("valid layer spec"),
+                in_images,
+            ),
+        ],
+    }
+}
+
+/// Applies the per-phase start-up clamp and channel scaling to raw
+/// accumulated pair counters. Shared by the serial and work-stealing
+/// runners: this is the single definition of the sampled-to-full-layer
+/// accounting.
+fn finalize_phase(mut phase_stats: SimStats, distinct_images: u64, scale: f64) -> SimStats {
+    phase_stats.startup_cycles = phase_stats
+        .startup_cycles
+        .min(ant_sim::accelerator::STARTUP_CYCLES * distinct_images);
+    // Mirror the clamp into the attribution: `cycles.startup` tracked the
+    // unclamped per-pair start-up, so snapping it to the clamped value
+    // keeps `cycles.total() == total_cycles()` exactly.
+    phase_stats.cycles.startup = phase_stats.startup_cycles;
+    let scaled = phase_stats.scaled_f64(scale);
+    scaled.debug_assert_cycles_attributed("runner phase");
+    scaled
 }
 
 fn accumulate_layer<S: ConvSim + ?Sized>(
@@ -251,27 +489,10 @@ fn accumulate_layer<S: ConvSim + ?Sized>(
         .record("layer_index", layer_index)
         .record("network", out.network)
         .record("machine", pe.name());
-    let mut rng =
-        StdRng::seed_from_u64(cfg.seed ^ (layer_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-    let synth = synthesize_layer(layer, &cfg.sparsity, cfg.max_channels, &mut rng);
-    let scale = synth.channel_scale * layer.count as f64;
-    layer_span.record("channel_scale", synth.channel_scale);
-    let phases: [(TrainingPhase, Vec<ConvPair>); 3] = [
-        (
-            TrainingPhase::Forward,
-            synth.trace.forward_pairs().expect("valid layer spec"),
-        ),
-        (
-            TrainingPhase::Backward,
-            synth.trace.backward_pairs().expect("valid layer spec"),
-        ),
-        (
-            TrainingPhase::Update,
-            synth.trace.update_pairs().expect("valid layer spec"),
-        ),
-    ];
+    let work = synthesize_layer_work(layer, layer_index, cfg);
+    layer_span.record("channel_scale", work.channel_scale);
     let mut layer_total = SimStats::default();
-    for (phase, pairs) in phases {
+    for (phase, pairs, distinct_images) in &work.phases {
         let phase_started = Instant::now();
         let mut phase_span = ant_obs::span("phase");
         phase_span
@@ -281,29 +502,10 @@ fn accumulate_layer<S: ConvSim + ?Sized>(
             .record("layer", layer.name.as_str())
             .record("pairs", pairs.len());
         let mut phase_stats = SimStats::default();
-        for pair in &pairs {
+        for pair in pairs {
             phase_stats.accumulate(&pe.simulate_conv_pair(&pair.kernel, &pair.image, &pair.shape));
         }
-        // Image-stationary reuse (paper Sections 2.3 and 6.1): the resident
-        // image plane is held while every kernel matrix streams past, so the
-        // five-cycle pipeline start-up is paid once per *image*, not once
-        // per (k, c) pair. Forward/update phases keep an input-channel plane
-        // resident; the backward phase keeps a gradient plane (one per
-        // output channel) resident. Both machines share the dataflow, so
-        // the amortization applies equally.
-        let distinct_images = match phase {
-            TrainingPhase::Forward | TrainingPhase::Update => synth.trace.in_channels(),
-            TrainingPhase::Backward => synth.trace.out_channels(),
-        } as u64;
-        phase_stats.startup_cycles = phase_stats
-            .startup_cycles
-            .min(ant_sim::accelerator::STARTUP_CYCLES * distinct_images);
-        // Mirror the clamp into the attribution: `cycles.startup` tracked
-        // the unclamped per-pair start-up, so snapping it to the clamped
-        // value keeps `cycles.total() == total_cycles()` exactly.
-        phase_stats.cycles.startup = phase_stats.startup_cycles;
-        let scaled = phase_stats.scaled_f64(scale);
-        scaled.debug_assert_cycles_attributed("runner phase");
+        let scaled = finalize_phase(phase_stats, *distinct_images, work.scale);
         // The scaled stats are exactly this phase's contribution (delta)
         // to the network totals; attach them to the phase span, with the
         // host wall time this phase took to simulate and the derived
@@ -317,7 +519,7 @@ fn accumulate_layer<S: ConvSim + ?Sized>(
         out.total.accumulate(&scaled);
         out.per_phase
             .iter_mut()
-            .find(|(p, _)| *p == phase)
+            .find(|(p, _)| p == phase)
             .expect("phase present")
             .1
             .accumulate(&scaled);
@@ -357,31 +559,15 @@ pub fn pair_jobs<S: ConvSim + ?Sized>(
 ) -> Vec<PairJob> {
     let mut jobs = Vec::new();
     for (li, layer) in net.layers.iter().enumerate() {
-        let mut rng =
-            StdRng::seed_from_u64(cfg.seed ^ (li as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        let synth = synthesize_layer(layer, &cfg.sparsity, cfg.max_channels, &mut rng);
-        let phases: [(TrainingPhase, Vec<ConvPair>); 3] = [
-            (
-                TrainingPhase::Forward,
-                synth.trace.forward_pairs().expect("valid layer spec"),
-            ),
-            (
-                TrainingPhase::Backward,
-                synth.trace.backward_pairs().expect("valid layer spec"),
-            ),
-            (
-                TrainingPhase::Update,
-                synth.trace.update_pairs().expect("valid layer spec"),
-            ),
-        ];
-        for (phase, pairs) in phases {
-            for pair in &pairs {
+        let work = synthesize_layer_work(layer, li, cfg);
+        for (phase, pairs, _) in &work.phases {
+            for pair in pairs {
                 let stats = pe.simulate_conv_pair(&pair.kernel, &pair.image, &pair.shape);
                 stats.debug_assert_cycles_attributed("pair job");
                 jobs.push(PairJob {
                     layer_index: li,
                     layer: layer.name.clone(),
-                    phase,
+                    phase: *phase,
                     stats,
                 });
             }
@@ -537,21 +723,36 @@ mod tests {
             ..ExperimentConfig::paper_default()
         };
         let net = models::resnet18_cifar();
-        for (serial, parallel) in [
-            (
-                simulate_network(&ScnnPlus::paper_default(), &net, &cfg),
-                super::simulate_network_parallel(&ScnnPlus::paper_default(), &net, &cfg),
-            ),
-            (
-                simulate_network(&AntAccelerator::paper_default(), &net, &cfg),
-                super::simulate_network_parallel(&AntAccelerator::paper_default(), &net, &cfg),
-            ),
-        ] {
-            assert_eq!(serial.total, parallel.total);
-            assert_eq!(serial.wall_cycles, parallel.wall_cycles);
-            for ((_, a), (_, b)) in serial.per_phase.iter().zip(parallel.per_phase.iter()) {
-                assert_eq!(a, b);
+        let machines = [
+            Box::new(ScnnPlus::paper_default()) as Box<dyn ConvSim + Sync>,
+            Box::new(AntAccelerator::paper_default()),
+        ];
+        for machine in &machines {
+            let pe = machine.as_ref();
+            let serial = simulate_network(pe, &net, &cfg);
+            let assert_matches = |parallel: &NetworkResult, label: &str| {
+                assert_eq!(serial.total, parallel.total, "{label}");
+                assert_eq!(serial.wall_cycles, parallel.wall_cycles, "{label}");
+                for ((_, a), (_, b)) in serial.per_phase.iter().zip(parallel.per_phase.iter()) {
+                    assert_eq!(a, b, "{label}");
+                }
+                assert_eq!(serial.per_layer.len(), parallel.per_layer.len(), "{label}");
+                for (a, b) in serial.per_layer.iter().zip(parallel.per_layer.iter()) {
+                    assert_eq!(a.index, b.index, "{label}");
+                    assert_eq!(a.name, b.name, "{label}");
+                    assert_eq!(a.stats, b.stats, "{label} layer {}", a.name);
+                }
+            };
+            // The work-stealing scheduler must be bit-identical for one
+            // worker, an even count, odd counts, and far more workers than
+            // layers (forcing heavy stealing and partial deques).
+            for threads in [1, 2, 3, 7, 64] {
+                let parallel =
+                    super::simulate_network_parallel_with_threads(pe, &net, &cfg, threads);
+                assert_matches(&parallel, &format!("{} threads={threads}", pe.name()));
             }
+            let default_entry = super::simulate_network_parallel(pe, &net, &cfg);
+            assert_matches(&default_entry, &format!("{} default", pe.name()));
         }
     }
 

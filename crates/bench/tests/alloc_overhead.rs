@@ -24,7 +24,9 @@ fn counting_allocator_is_installed_and_counts_real_traffic() {
     assert!(ant_obs::alloc::counting_active());
 
     let before = ant_obs::alloc::snapshot();
-    let buf = vec![0u8; 1 << 20];
+    // black_box keeps release-mode LLVM from eliding the never-read
+    // allocation entirely (which would make the delta count zero).
+    let buf = std::hint::black_box(vec![0u8; 1 << 20]);
     let delta = ant_obs::alloc::snapshot().delta_from(&before);
     assert!(delta.allocs >= 1, "no allocations counted");
     assert!(

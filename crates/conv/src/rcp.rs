@@ -247,11 +247,73 @@ impl ProductBreakdown {
 #[derive(Debug)]
 pub struct ImageNzCounter {
     shape: ConvShape,
-    // prefix[py][px] is the 2-D inclusive prefix-sum over the indicator of
-    // non-zero image elements restricted to the stride phase (py, px),
-    // with a sentinel row/column of zeros at index 0.
-    prefix: Vec<Vec<u32>>,
+    // Flat storage of stride*stride planes, each `plane_len` long. Within
+    // plane (py, px), the 2-D inclusive prefix-sum over the indicator of
+    // non-zero image elements restricted to that stride phase, with a
+    // sentinel row/column of zeros at index 0.
+    prefix: Vec<u32>,
     phase_cols: usize,
+    plane_len: usize,
+}
+
+/// Fills `prefix` with the per-stride-phase 2-D prefix-sum planes for
+/// `image`, reusing the buffer's capacity. Returns `(phase_cols, plane_len)`.
+fn fill_prefix(image: &CsrMatrix, shape: &ConvShape, prefix: &mut Vec<u32>) -> (usize, usize) {
+    assert_eq!(
+        image.shape(),
+        (shape.image_h(), shape.image_w()),
+        "image shape mismatch"
+    );
+    let stride = shape.stride();
+    let h = shape.image_h();
+    let w = shape.image_w();
+    let cols = w + 1;
+    let plane_len = (h + 1) * cols;
+    prefix.clear();
+    prefix.resize(stride * stride * plane_len, 0);
+    for (y, x, _) in image.iter() {
+        let phase = (y % stride) * stride + (x % stride);
+        prefix[phase * plane_len + (y + 1) * cols + (x + 1)] += 1;
+    }
+    for plane in prefix.chunks_mut(plane_len) {
+        for y in 1..=h {
+            for x in 1..=w {
+                plane[y * cols + x] =
+                    plane[y * cols + x] + plane[(y - 1) * cols + x] + plane[y * cols + (x - 1)]
+                        - plane[(y - 1) * cols + (x - 1)];
+            }
+        }
+    }
+    (cols, plane_len)
+}
+
+/// [`ImageNzCounter::count_valid`] over borrowed prefix planes (shared by
+/// the owned counter and the scratch-reusing fast path).
+fn count_valid_in(
+    shape: &ConvShape,
+    prefix: &[u32],
+    phase_cols: usize,
+    plane_len: usize,
+    s: usize,
+    r: usize,
+) -> u64 {
+    let d = shape.dilation();
+    let stride = shape.stride();
+    let y0 = d * r;
+    let x0 = d * s;
+    if y0 >= shape.image_h() || x0 >= shape.image_w() {
+        return 0;
+    }
+    let y1 = (y0 + stride * (shape.out_h() - 1)).min(shape.image_h() - 1);
+    let x1 = (x0 + stride * (shape.out_w() - 1)).min(shape.image_w() - 1);
+    let phase = (y0 % stride) * stride + (x0 % stride);
+    let c = phase_cols;
+    let p = &prefix[phase * plane_len..(phase + 1) * plane_len];
+    let total = p[(y1 + 1) * c + (x1 + 1)] as i64
+        - p[y0 * c + (x1 + 1)] as i64
+        - p[(y1 + 1) * c + x0] as i64
+        + p[y0 * c + x0] as i64;
+    total as u64
 }
 
 impl ImageNzCounter {
@@ -261,70 +323,68 @@ impl ImageNzCounter {
     ///
     /// Panics if the image dimensions disagree with `shape`.
     pub fn new(image: &CsrMatrix, shape: &ConvShape) -> Self {
-        assert_eq!(
-            image.shape(),
-            (shape.image_h(), shape.image_w()),
-            "image shape mismatch"
-        );
-        let stride = shape.stride();
-        let h = shape.image_h();
-        let w = shape.image_w();
-        let mut prefix = vec![vec![0u32; (h + 1) * (w + 1)]; stride * stride];
-        let cols = w + 1;
-        for (y, x, _) in image.iter() {
-            let phase = (y % stride) * stride + (x % stride);
-            prefix[phase][(y + 1) * cols + (x + 1)] += 1;
-        }
-        for plane in &mut prefix {
-            for y in 1..=h {
-                for x in 1..=w {
-                    plane[y * cols + x] =
-                        plane[y * cols + x] + plane[(y - 1) * cols + x] + plane[y * cols + (x - 1)]
-                            - plane[(y - 1) * cols + (x - 1)];
-                }
-            }
-        }
+        let mut prefix = Vec::new();
+        let (phase_cols, plane_len) = fill_prefix(image, shape, &mut prefix);
         Self {
             shape: *shape,
             prefix,
-            phase_cols: cols,
+            phase_cols,
+            plane_len,
         }
     }
 
     /// Number of non-zero image elements `(x, y)` for which the product with
     /// kernel element `(s, r)` is valid.
     pub fn count_valid(&self, s: usize, r: usize) -> u64 {
-        let d = self.shape.dilation();
-        let stride = self.shape.stride();
-        let y0 = d * r;
-        let x0 = d * s;
-        if y0 >= self.shape.image_h() || x0 >= self.shape.image_w() {
-            return 0;
-        }
-        let y1 = (y0 + stride * (self.shape.out_h() - 1)).min(self.shape.image_h() - 1);
-        let x1 = (x0 + stride * (self.shape.out_w() - 1)).min(self.shape.image_w() - 1);
-        let phase = (y0 % stride) * stride + (x0 % stride);
-        self.rect_count(phase, y0, x0, y1, x1)
+        count_valid_in(
+            &self.shape,
+            &self.prefix,
+            self.phase_cols,
+            self.plane_len,
+            s,
+            r,
+        )
     }
+}
 
-    fn rect_count(&self, phase: usize, y0: usize, x0: usize, y1: usize, x1: usize) -> u64 {
-        let c = self.phase_cols;
-        let p = &self.prefix[phase];
-        let total = p[(y1 + 1) * c + (x1 + 1)] as i64
-            - p[y0 * c + (x1 + 1)] as i64
-            - p[(y1 + 1) * c + x0] as i64
-            + p[y0 * c + x0] as i64;
-        total as u64
+/// Reusable buffer for [`count_useful_products_with`]: the prefix-sum planes
+/// of [`ImageNzCounter`] without the per-call allocation. One scratch per
+/// worker; it grows to the largest image seen and is then reused as-is.
+#[derive(Debug, Clone, Default)]
+pub struct NzCounterScratch {
+    prefix: Vec<u32>,
+}
+
+impl NzCounterScratch {
+    /// An empty scratch; the buffer grows on first use.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
 /// Counts the useful (valid, both-non-zero) products between a sparse kernel
 /// and sparse image, exactly, in `O(H*W*stride^2 + nnz_kernel)`.
 pub fn count_useful_products(kernel: &CsrMatrix, image: &CsrMatrix, shape: &ConvShape) -> u64 {
-    let counter = ImageNzCounter::new(image, shape);
+    count_useful_products_with(kernel, image, shape, &mut NzCounterScratch::new())
+}
+
+/// [`count_useful_products`] with a caller-owned [`NzCounterScratch`] — the
+/// steady-state-allocation-free form used by the simulator machines. Returns
+/// exactly the same count.
+///
+/// # Panics
+///
+/// Panics if the image dimensions disagree with `shape`.
+pub fn count_useful_products_with(
+    kernel: &CsrMatrix,
+    image: &CsrMatrix,
+    shape: &ConvShape,
+    scratch: &mut NzCounterScratch,
+) -> u64 {
+    let (phase_cols, plane_len) = fill_prefix(image, shape, &mut scratch.prefix);
     kernel
         .iter()
-        .map(|(r, s, _)| counter.count_valid(s, r))
+        .map(|(r, s, _)| count_valid_in(shape, &scratch.prefix, phase_cols, plane_len, s, r))
         .sum()
 }
 
@@ -624,6 +684,40 @@ mod tests {
             "rcp fraction {:.3}",
             b.rcp_fraction_of_nonzero()
         );
+    }
+
+    #[test]
+    fn reused_counter_scratch_matches_fresh_counts() {
+        // One scratch across images of different shapes and strides must
+        // reproduce the allocating count exactly.
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut scratch = NzCounterScratch::new();
+        for (shape, sparsity) in [
+            (ConvShape::new(3, 3, 12, 12, 1).unwrap(), 0.6),
+            (ConvShape::new(4, 4, 9, 9, 1).unwrap(), 0.9),
+            (ConvShape::new(3, 3, 11, 11, 2).unwrap(), 0.7),
+            (ConvShape::with_dilation(3, 3, 11, 11, 1, 2).unwrap(), 0.5),
+            (ConvShape::new(2, 2, 6, 6, 1).unwrap(), 0.3),
+        ] {
+            let kernel = sparsify::random_with_sparsity(
+                shape.kernel_h(),
+                shape.kernel_w(),
+                sparsity,
+                &mut rng,
+            );
+            let image = sparsify::random_with_sparsity(
+                shape.image_h(),
+                shape.image_w(),
+                sparsity,
+                &mut rng,
+            );
+            let (kernel, image) = (CsrMatrix::from_dense(&kernel), CsrMatrix::from_dense(&image));
+            assert_eq!(
+                count_useful_products_with(&kernel, &image, &shape, &mut scratch),
+                count_useful_products(&kernel, &image, &shape),
+                "shape {shape}"
+            );
+        }
     }
 
     #[test]

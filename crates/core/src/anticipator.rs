@@ -13,7 +13,7 @@ use ant_sparse::{CsrMatrix, DenseMatrix};
 
 use crate::fnir::Fnir;
 use crate::range::{compute_matmul_r_range, compute_ranges, GroupRanges};
-use crate::scan::{scan_kernel, scan_kernel_matmul};
+use crate::scan::{scan_kernel, scan_kernel_into, scan_kernel_matmul_into, KernelScan};
 
 /// ANT PE configuration (paper Table 4 defaults).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -144,6 +144,55 @@ pub struct AntRun {
     pub counters: AntCounters,
 }
 
+/// Reusable working memory for [`Anticipator::run_conv_with`] /
+/// [`Anticipator::run_matmul_with`].
+///
+/// One scratch per worker: after the first pair warms its buffers up to the
+/// largest shapes seen, subsequent pairs run without any heap allocation.
+/// The scratch may be shared across anticipator configurations and operand
+/// shapes — every run fully re-initializes the state it reads. Results are
+/// bit-identical to the allocating entry points.
+#[derive(Debug, Clone)]
+pub struct AntScratch {
+    /// The scanned operand's non-zeros, in group order.
+    entries: Vec<(usize, usize, f32)>,
+    /// Coordinate view of the current group (range-computation input).
+    coords: Vec<(usize, usize)>,
+    /// Per-group range table, precomputed once per pair.
+    ranges: Vec<GroupRanges>,
+    /// Kernel-scan result buffer.
+    scan: KernelScan,
+    /// Flat output indices of the current multiplier cycle's valid products.
+    cycle_outputs: Vec<usize>,
+    /// The accumulated output matrix (valid after a run).
+    output: DenseMatrix,
+}
+
+impl AntScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self {
+            entries: Vec::new(),
+            coords: Vec::new(),
+            ranges: Vec::new(),
+            scan: KernelScan::default(),
+            cycle_outputs: Vec::new(),
+            output: DenseMatrix::zeros(1, 1),
+        }
+    }
+
+    /// The output matrix accumulated by the most recent run.
+    pub fn output(&self) -> &DenseMatrix {
+        &self.output
+    }
+}
+
+impl Default for AntScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// The ANT anticipator: orchestrates the range computation, kernel scan,
 /// and multiplier bookkeeping for convolutions and matrix multiplications.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -201,20 +250,53 @@ impl Anticipator {
         kernel: &CsrMatrix,
         image: &CsrMatrix,
         shape: &ConvShape,
-        mut observer: impl FnMut(&[usize]),
+        observer: impl FnMut(&[usize]),
     ) -> Result<AntRun, ConvError> {
+        let mut scratch = AntScratch::new();
+        let counters = self.run_conv_with(kernel, image, shape, &mut scratch, observer)?;
+        Ok(AntRun {
+            output: scratch.output,
+            counters,
+        })
+    }
+
+    /// Like [`Anticipator::run_conv_observed`], but runs entirely inside a
+    /// caller-owned [`AntScratch`] — the steady-state-allocation-free hot
+    /// path. The accumulated output stays in the scratch
+    /// ([`AntScratch::output`]); counters and output are bit-identical to
+    /// [`Anticipator::run_conv_observed`].
+    ///
+    /// The per-group [`GroupRanges`] table is precomputed once per pair
+    /// (with the Fig. 14 ablation overrides already applied) before the
+    /// kernel scans start, mirroring how the hardware's range stage runs
+    /// ahead of the FNIR scan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvError::OperandShapeMismatch`] when operands disagree
+    /// with `shape`.
+    pub fn run_conv_with(
+        &self,
+        kernel: &CsrMatrix,
+        image: &CsrMatrix,
+        shape: &ConvShape,
+        scratch: &mut AntScratch,
+        mut observer: impl FnMut(&[usize]),
+    ) -> Result<AntCounters, ConvError> {
         check_conv_shapes(kernel, image, shape)?;
-        let mut output = DenseMatrix::zeros(shape.out_h(), shape.out_w());
+        scratch.output.reset_zeroed(shape.out_h(), shape.out_w());
         let mut counters = AntCounters {
             pairs_total: kernel.nnz() as u64 * image.nnz() as u64,
             ..AntCounters::default()
         };
-        let entries: Vec<(usize, usize, f32)> = image.iter().collect();
-        for group in entries.chunks(self.config.n) {
-            counters.groups += 1;
-            counters.image_reads += 2 * group.len() as u64; // value + index
-            let coords: Vec<(usize, usize)> = group.iter().map(|&(y, x, _)| (y, x)).collect();
-            let mut ranges = compute_ranges(shape, &coords);
+        scratch.entries.clear();
+        scratch.entries.extend(image.iter());
+        // Range prepass: one table entry per image group.
+        scratch.ranges.clear();
+        for group in scratch.entries.chunks(self.config.n) {
+            scratch.coords.clear();
+            scratch.coords.extend(group.iter().map(|&(y, x, _)| (y, x)));
+            let mut ranges = compute_ranges(shape, &scratch.coords);
             counters.range_ops += ranges.ops.comparisons + ranges.ops.additions;
             if !self.config.use_r {
                 ranges.r = IndexRange {
@@ -228,18 +310,24 @@ impl Anticipator {
                     max: i64::MAX,
                 };
             }
-            let scan = scan_kernel(kernel, &ranges, &self.fnir);
-            self.consume_scan(
-                &scan,
+            scratch.ranges.push(ranges);
+        }
+        for (gi, group) in scratch.entries.chunks(self.config.n).enumerate() {
+            counters.groups += 1;
+            counters.image_reads += 2 * group.len() as u64; // value + index
+            scan_kernel_into(kernel, &scratch.ranges[gi], &self.fnir, &mut scratch.scan);
+            consume_scan(
+                &scratch.scan,
                 group,
                 shape,
-                &mut output,
+                &mut scratch.output,
                 &mut counters,
+                &mut scratch.cycle_outputs,
                 &mut observer,
             );
         }
         counters.rcps_skipped = counters.pairs_total - counters.multiplications;
-        Ok(AntRun { output, counters })
+        Ok(counters)
     }
 
     /// Runs a sparse convolution in the kernel-stationary dataflow
@@ -396,8 +484,32 @@ impl Anticipator {
         kernel: &CsrMatrix,
         shape: &MatmulShape,
     ) -> Result<AntRun, ConvError> {
+        let mut scratch = AntScratch::new();
+        let counters = self.run_matmul_with(image, kernel, shape, &mut scratch)?;
+        Ok(AntRun {
+            output: scratch.output,
+            counters,
+        })
+    }
+
+    /// Like [`Anticipator::run_matmul`], but runs entirely inside a
+    /// caller-owned [`AntScratch`] (see [`Anticipator::run_conv_with`] for
+    /// the reuse contract). Counters and output are bit-identical to
+    /// [`Anticipator::run_matmul`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvError::OperandShapeMismatch`] when operands disagree
+    /// with `shape`.
+    pub fn run_matmul_with(
+        &self,
+        image: &CsrMatrix,
+        kernel: &CsrMatrix,
+        shape: &MatmulShape,
+        scratch: &mut AntScratch,
+    ) -> Result<AntCounters, ConvError> {
         check_matmul_shapes(image, kernel, shape)?;
-        let mut output = DenseMatrix::zeros(shape.image_h(), shape.kernel_s());
+        scratch.output.reset_zeroed(shape.image_h(), shape.kernel_s());
         let mut counters = AntCounters {
             pairs_total: kernel.nnz() as u64 * image.nnz() as u64,
             ..AntCounters::default()
@@ -408,15 +520,29 @@ impl Anticipator {
         // collapse to (nearly) a single kernel row. The paper notes CSC
         // "would work equally well with ANT" (Section 4.1); this ordering is
         // what achieves the >99% RCP elimination of Section 7.8.
-        let mut entries: Vec<(usize, usize, f32)> = image.iter().collect();
-        entries.sort_by_key(|&(y, x, _)| (x, y));
-        for group in entries.chunks(self.config.n) {
+        // Coordinates are unique, so the unstable sort is deterministic.
+        scratch.entries.clear();
+        scratch.entries.extend(image.iter());
+        scratch.entries.sort_unstable_by_key(|&(y, x, _)| (x, y));
+        // Range prepass: one table entry per image group (Eq. 15 ranges).
+        scratch.ranges.clear();
+        for group in scratch.entries.chunks(self.config.n) {
+            scratch.coords.clear();
+            scratch.coords.extend(group.iter().map(|&(y, x, _)| (y, x)));
+            let ranges: GroupRanges = compute_matmul_r_range(&scratch.coords);
+            counters.range_ops += ranges.ops.comparisons + ranges.ops.additions;
+            scratch.ranges.push(ranges);
+        }
+        for (gi, group) in scratch.entries.chunks(self.config.n).enumerate() {
             counters.groups += 1;
             counters.image_reads += 2 * group.len() as u64;
-            let coords: Vec<(usize, usize)> = group.iter().map(|&(y, x, _)| (y, x)).collect();
-            let ranges: GroupRanges = compute_matmul_r_range(&coords);
-            counters.range_ops += ranges.ops.comparisons + ranges.ops.additions;
-            let scan = scan_kernel_matmul(kernel, ranges.r, self.config.n);
+            scan_kernel_matmul_into(
+                kernel,
+                scratch.ranges[gi].r,
+                self.config.n,
+                &mut scratch.scan,
+            );
+            let scan = &scratch.scan;
             counters.scan_cycles += scan.cycles;
             counters.mult_cycles += scan.mult_cycles;
             counters.rowptr_reads += scan.rowptr_reads;
@@ -427,7 +553,7 @@ impl Anticipator {
                     counters.multiplications += 1;
                     counters.output_index_ops += 1;
                     if shape.is_valid_product(x, entry.r) {
-                        output[(y, entry.s)] += iv * entry.value;
+                        scratch.output[(y, entry.s)] += iv * entry.value;
                         counters.useful += 1;
                         counters.accumulator_writes += 1;
                     } else {
@@ -437,50 +563,53 @@ impl Anticipator {
             }
         }
         counters.rcps_skipped = counters.pairs_total - counters.multiplications;
-        Ok(AntRun { output, counters })
+        Ok(counters)
     }
+}
 
-    fn consume_scan(
-        &self,
-        scan: &crate::scan::KernelScan,
-        group: &[(usize, usize, f32)],
-        shape: &ConvShape,
-        output: &mut DenseMatrix,
-        counters: &mut AntCounters,
-        observer: &mut impl FnMut(&[usize]),
-    ) {
-        counters.scan_cycles += scan.cycles;
-        counters.mult_cycles += scan.mult_cycles;
-        counters.rowptr_reads += scan.rowptr_reads;
-        counters.colidx_reads += scan.colidx_reads;
-        counters.value_reads += scan.value_reads;
-        counters.fnir_comparator_ops += scan.fnir_comparator_ops;
-        let mut cycle_outputs: Vec<usize> = Vec::with_capacity(self.config.n * group.len());
-        let mut current_cycle = u64::MAX;
-        for entry in &scan.selected {
-            if entry.cycle != current_cycle {
-                if current_cycle != u64::MAX {
-                    observer(&cycle_outputs);
-                }
-                cycle_outputs.clear();
-                current_cycle = entry.cycle;
+/// Folds one kernel scan into the counters and output, invoking `observer`
+/// once per multiplier cycle with that cycle's valid flat output indices.
+/// `cycle_outputs` is caller-owned scratch, cleared on entry.
+fn consume_scan(
+    scan: &KernelScan,
+    group: &[(usize, usize, f32)],
+    shape: &ConvShape,
+    output: &mut DenseMatrix,
+    counters: &mut AntCounters,
+    cycle_outputs: &mut Vec<usize>,
+    observer: &mut impl FnMut(&[usize]),
+) {
+    counters.scan_cycles += scan.cycles;
+    counters.mult_cycles += scan.mult_cycles;
+    counters.rowptr_reads += scan.rowptr_reads;
+    counters.colidx_reads += scan.colidx_reads;
+    counters.value_reads += scan.value_reads;
+    counters.fnir_comparator_ops += scan.fnir_comparator_ops;
+    cycle_outputs.clear();
+    let mut current_cycle = u64::MAX;
+    for entry in &scan.selected {
+        if entry.cycle != current_cycle {
+            if current_cycle != u64::MAX {
+                observer(cycle_outputs);
             }
-            for &(y, x, iv) in group {
-                counters.multiplications += 1;
-                counters.output_index_ops += 1;
-                if let Some((ox, oy)) = shape.output_index(x, y, entry.s, entry.r) {
-                    output[(oy, ox)] += iv * entry.value;
-                    counters.useful += 1;
-                    counters.accumulator_writes += 1;
-                    cycle_outputs.push(oy * shape.out_w() + ox);
-                } else {
-                    counters.rcps_executed += 1;
-                }
+            cycle_outputs.clear();
+            current_cycle = entry.cycle;
+        }
+        for &(y, x, iv) in group {
+            counters.multiplications += 1;
+            counters.output_index_ops += 1;
+            if let Some((ox, oy)) = shape.output_index(x, y, entry.s, entry.r) {
+                output[(oy, ox)] += iv * entry.value;
+                counters.useful += 1;
+                counters.accumulator_writes += 1;
+                cycle_outputs.push(oy * shape.out_w() + ox);
+            } else {
+                counters.rcps_executed += 1;
             }
         }
-        if current_cycle != u64::MAX {
-            observer(&cycle_outputs);
-        }
+    }
+    if current_cycle != u64::MAX {
+        observer(cycle_outputs);
     }
 }
 
@@ -806,6 +935,68 @@ mod tests {
         assert!(config.supports_conv(&ConvShape::new(3, 3, 256, 256, 1).unwrap()));
         // A 512-wide plane exceeds the datapath and must be tiled first.
         assert!(!config.supports_conv(&ConvShape::new(3, 3, 512, 512, 1).unwrap()));
+    }
+
+    #[test]
+    fn shared_scratch_is_bit_identical_across_pairs_and_modes() {
+        // One scratch reused across different shapes, configs, and modes
+        // must reproduce the allocating entry points exactly (counters,
+        // output, and observer stream).
+        let mut scratch = AntScratch::new();
+        let ant = Anticipator::new(AntConfig::paper_default());
+        for (shape, seed) in [
+            (ConvShape::new(6, 6, 9, 9, 1).unwrap(), 41),
+            (ConvShape::new(3, 3, 12, 12, 1).unwrap(), 42),
+            (ConvShape::new(2, 2, 9, 9, 2).unwrap(), 43),
+        ] {
+            let (kernel, image) = random_pair(&shape, 0.7, seed);
+            let mut observed_ref: Vec<Vec<usize>> = Vec::new();
+            let reference = ant
+                .run_conv_observed(&kernel, &image, &shape, |o| observed_ref.push(o.to_vec()))
+                .unwrap();
+            let mut observed_scratch: Vec<Vec<usize>> = Vec::new();
+            let counters = ant
+                .run_conv_with(&kernel, &image, &shape, &mut scratch, |o| {
+                    observed_scratch.push(o.to_vec())
+                })
+                .unwrap();
+            assert_eq!(counters, reference.counters, "{shape}");
+            assert_eq!(*scratch.output(), reference.output, "{shape}");
+            assert_eq!(observed_scratch, observed_ref, "{shape}");
+        }
+        // Ablation configs through the same (already warm) scratch.
+        let shape = ConvShape::new(6, 6, 9, 9, 1).unwrap();
+        let (kernel, image) = random_pair(&shape, 0.8, 44);
+        for config in [
+            AntConfig {
+                use_s: false,
+                ..AntConfig::default()
+            },
+            AntConfig {
+                use_r: false,
+                ..AntConfig::default()
+            },
+        ] {
+            let ablated = Anticipator::new(config);
+            let reference = ablated.run_conv(&kernel, &image, &shape).unwrap();
+            let counters = ablated
+                .run_conv_with(&kernel, &image, &shape, &mut scratch, |_| {})
+                .unwrap();
+            assert_eq!(counters, reference.counters);
+            assert_eq!(*scratch.output(), reference.output);
+        }
+        // Matmul through the same scratch.
+        let mut rng = StdRng::seed_from_u64(45);
+        let image = sparsify::random_with_sparsity(7, 9, 0.5, &mut rng);
+        let kernel = sparsify::random_with_sparsity(9, 6, 0.5, &mut rng);
+        let mshape = MatmulShape::new(7, 9, 9, 6).unwrap();
+        let (image, kernel) = (CsrMatrix::from_dense(&image), CsrMatrix::from_dense(&kernel));
+        let reference = ant.run_matmul(&image, &kernel, &mshape).unwrap();
+        let counters = ant
+            .run_matmul_with(&image, &kernel, &mshape, &mut scratch)
+            .unwrap();
+        assert_eq!(counters, reference.counters);
+        assert_eq!(*scratch.output(), reference.output);
     }
 
     #[test]

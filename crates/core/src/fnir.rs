@@ -139,30 +139,113 @@ impl Fnir {
     ///
     /// Panics if `window.len() > k`.
     pub fn select(&self, min: i64, max: i64, window: &[i64]) -> FnirOutput {
-        assert!(
-            window.len() <= self.k,
-            "window of {} exceeds k={}",
-            window.len(),
-            self.k
-        );
-        // Stage 1: k parallel comparator blocks -> validity mask.
-        let mask: Vec<bool> = window.iter().map(|&s| min <= s && s <= max).collect();
-        // Stage 2: n+1 Arbiter Select stages. Each finds the first set bit,
-        // outputs its position, and clears it for the next stage.
-        let mut request = mask;
         let mut positions = Vec::with_capacity(self.n + 1);
-        for _ in 0..=self.n {
-            let grant = request.iter().position(|&b| b);
-            if let Some(pos) = grant {
-                request[pos] = false;
-            }
-            positions.push(grant);
-        }
+        let (count, feedback) =
+            self.select_core(min, max, window.len(), |i| window[i], &mut |pos| {
+                positions.push(Some(pos));
+            });
+        debug_assert_eq!(count as usize, positions.len());
+        positions.resize(self.n, None);
+        positions.push(feedback);
         FnirOutput {
             positions,
             comparator_ops: 2 * window.len() as u64,
         }
     }
+
+    /// Allocation-free evaluation over a window of column (`s`) indices, as
+    /// stored in CSR `col_idx`. Invokes `on_selected` with the lane position
+    /// of each of the first `n` in-range indices, in lane order, and returns
+    /// the selection summary.
+    ///
+    /// Semantically identical to [`Fnir::select`] on the same window: for
+    /// `k <= 64` the validity mask lives in one machine word and the
+    /// `n+1` Arbiter Select stages are `trailing_zeros` + clear-lowest-bit
+    /// steps; wider windows fall back to a scalar lane walk with the same
+    /// outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window.len() > k`.
+    pub fn select_cols(
+        &self,
+        min: i64,
+        max: i64,
+        window: &[usize],
+        mut on_selected: impl FnMut(usize),
+    ) -> FnirSelect {
+        let (selected, feedback) =
+            self.select_core(min, max, window.len(), |i| window[i] as i64, &mut on_selected);
+        FnirSelect {
+            selected,
+            feedback,
+            comparator_ops: 2 * window.len() as u64,
+        }
+    }
+
+    /// Shared comparator + arbiter-chain model behind [`Fnir::select`] and
+    /// [`Fnir::select_cols`]: emits the first `n` valid lane positions and
+    /// returns `(count, feedback)` where `feedback` is the `n+1`-st valid
+    /// lane, if any.
+    fn select_core(
+        &self,
+        min: i64,
+        max: i64,
+        len: usize,
+        lane: impl Fn(usize) -> i64,
+        on_selected: &mut impl FnMut(usize),
+    ) -> (u32, Option<usize>) {
+        assert!(len <= self.k, "window of {} exceeds k={}", len, self.k);
+        if len <= 64 {
+            // Stage 1: k parallel comparator blocks -> one-word validity mask.
+            let mut mask: u64 = 0;
+            for i in 0..len {
+                let s = lane(i);
+                mask |= u64::from(min <= s && s <= max) << i;
+            }
+            // Stage 2: n+1 Arbiter Select stages — find lowest set bit,
+            // strip it, repeat.
+            let mut count = 0u32;
+            while mask != 0 && (count as usize) < self.n {
+                on_selected(mask.trailing_zeros() as usize);
+                mask &= mask - 1;
+                count += 1;
+            }
+            let feedback = (mask != 0).then(|| mask.trailing_zeros() as usize);
+            (count, feedback)
+        } else {
+            // k > 64: same semantics, lane-at-a-time.
+            let mut count = 0u32;
+            let mut feedback = None;
+            for i in 0..len {
+                let s = lane(i);
+                if min <= s && s <= max {
+                    if (count as usize) < self.n {
+                        on_selected(i);
+                        count += 1;
+                    } else {
+                        feedback = Some(i);
+                        break;
+                    }
+                }
+            }
+            (count, feedback)
+        }
+    }
+}
+
+/// Summary of one allocation-free FNIR evaluation ([`Fnir::select_cols`]):
+/// how many lanes were selected, the feedback lane, and the comparator
+/// energy charge. The selected lane positions themselves are streamed to the
+/// caller's closure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FnirSelect {
+    /// Number of selected (first `n`) valid lanes.
+    pub selected: u32,
+    /// The `n+1`-st valid lane (feedback into the Kernel Indices Buffer).
+    pub feedback: Option<usize>,
+    /// Comparator operations performed (2 per window lane).
+    pub comparator_ops: u64,
 }
 
 #[cfg(test)]
@@ -261,5 +344,58 @@ mod tests {
             FnirError::ZeroParameter.to_string(),
             "fnir parameters must be non-zero"
         );
+    }
+
+    fn assert_select_cols_matches_select(fnir: &Fnir, min: i64, max: i64, window: &[usize]) {
+        let as_i64: Vec<i64> = window.iter().map(|&c| c as i64).collect();
+        let reference = fnir.select(min, max, &as_i64);
+        let mut selected = Vec::new();
+        let fast = fnir.select_cols(min, max, window, |pos| selected.push(pos));
+        assert_eq!(
+            selected,
+            reference.selected().collect::<Vec<_>>(),
+            "selected lanes diverge for window {window:?} range [{min}, {max}]"
+        );
+        assert_eq!(fast.selected as usize, reference.selected_count());
+        assert_eq!(fast.feedback, reference.feedback());
+        assert_eq!(fast.comparator_ops, reference.comparator_ops());
+    }
+
+    #[test]
+    fn select_cols_matches_select_word_path() {
+        let fnir = Fnir::new(2, 8).unwrap();
+        assert_select_cols_matches_select(&fnir, 3, 6, &[1, 4, 5, 2, 6, 3, 9, 4]);
+        assert_select_cols_matches_select(&fnir, 10, 20, &[0, 1, 2, 3]);
+        assert_select_cols_matches_select(&fnir, 0, 10, &[5, 6, 7, 8]);
+        assert_select_cols_matches_select(&fnir, 0, 0, &[]);
+        // Negative minima before clamping (Eq. 11).
+        assert_select_cols_matches_select(&fnir, -5, 1, &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn select_cols_matches_select_exhaustively_on_small_windows() {
+        // Every 6-lane validity pattern, for several (n, k).
+        for n in [1, 2, 4] {
+            let fnir = Fnir::new(n, 6).unwrap();
+            for pattern in 0u32..64 {
+                let window: Vec<usize> = (0..6)
+                    .map(|i| if pattern & (1 << i) != 0 { 5 } else { 50 })
+                    .collect();
+                assert_select_cols_matches_select(&fnir, 0, 10, &window);
+            }
+        }
+    }
+
+    #[test]
+    fn select_cols_matches_select_beyond_word_width() {
+        // k > 64 exercises the scalar fallback lane walk.
+        let fnir = Fnir::new(3, 80).unwrap();
+        let window: Vec<usize> = (0..70).map(|i| (i * 13) % 97).collect();
+        assert_select_cols_matches_select(&fnir, 20, 40, &window);
+        // Exactly 64 and 65 lanes straddle the path boundary.
+        let window64: Vec<usize> = (0..64).map(|i| (i * 7) % 31).collect();
+        assert_select_cols_matches_select(&fnir, 5, 12, &window64);
+        let window65: Vec<usize> = (0..65).map(|i| (i * 7) % 31).collect();
+        assert_select_cols_matches_select(&fnir, 5, 12, &window65);
     }
 }

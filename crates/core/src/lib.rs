@@ -59,5 +59,5 @@ pub mod range;
 pub mod rotate;
 pub mod scan;
 
-pub use anticipator::{AntConfig, Anticipator};
-pub use fnir::Fnir;
+pub use anticipator::{AntConfig, AntScratch, Anticipator};
+pub use fnir::{Fnir, FnirSelect};

@@ -65,6 +65,19 @@ impl KernelScan {
     pub fn values_skipped(&self, kernel_nnz: usize) -> u64 {
         kernel_nnz as u64 - self.value_reads.min(kernel_nnz as u64)
     }
+
+    /// Zeroes every counter and clears `selected` while keeping its
+    /// capacity, so a `KernelScan` can be reused across groups and pairs
+    /// without reallocating.
+    pub fn reset(&mut self) {
+        self.cycles = 0;
+        self.mult_cycles = 0;
+        self.selected.clear();
+        self.rowptr_reads = 0;
+        self.colidx_reads = 0;
+        self.value_reads = 0;
+        self.fnir_comparator_ops = 0;
+    }
 }
 
 /// Walks `kernel` (CSR) against the image-group `ranges` using an `n x n`
@@ -80,91 +93,108 @@ impl KernelScan {
 /// built with [`Fnir::new`]).
 pub fn scan_kernel(kernel: &CsrMatrix, ranges: &GroupRanges, fnir: &Fnir) -> KernelScan {
     let mut scan = KernelScan::default();
+    scan_kernel_into(kernel, ranges, fnir, &mut scan);
+    scan
+}
+
+/// [`scan_kernel`] into a caller-owned [`KernelScan`], reusing its
+/// `selected` capacity. This is the steady-state-allocation-free hot path:
+/// FNIR windows are evaluated word-parallel via [`Fnir::select_cols`]
+/// directly on the CSR columns slice (no per-window `Vec` collect), and the
+/// row of each selected element is recovered with a forward row-pointer
+/// cursor instead of a per-span row table.
+pub fn scan_kernel_into(kernel: &CsrMatrix, ranges: &GroupRanges, fnir: &Fnir, scan: &mut KernelScan) {
+    scan.reset();
     // Clamp the r range to the kernel's rows; an empty clamp means every
     // product would be an RCP and nothing is read at all.
     let Some((r_lo, r_hi)) = ranges.r.clamp_to(kernel.rows()) else {
-        return scan;
+        return;
     };
     // Row pointers delimiting rows r_lo ..= r_hi: entries r_lo .. r_hi+1.
     scan.rowptr_reads = (r_hi - r_lo + 2) as u64;
-    let start = kernel.row_ptr()[r_lo];
-    let end = kernel.row_ptr()[r_hi + 1];
+    let row_ptr = kernel.row_ptr();
+    let start = row_ptr[r_lo];
+    let end = row_ptr[r_hi + 1];
     if start == end {
-        return scan;
-    }
-    // Precompute the row of each stream position within the span.
-    let mut rows = Vec::with_capacity(end - start);
-    for row in r_lo..=r_hi {
-        for _ in kernel.row_range(row) {
-            rows.push(row);
-        }
+        return;
     }
     let cols = &kernel.col_idx()[start..end];
     let vals = &kernel.values()[start..end];
     let k = fnir.k();
-    let n = fnir.n();
+    // Selected stream positions are strictly increasing (FNIR lane order
+    // within a window, and the feedback pointer always advances past every
+    // selected lane), so one forward walk of the row-pointer table recovers
+    // each position's kernel row.
+    let mut cur_row = r_lo;
     let mut ptr = 0usize;
     while ptr < cols.len() {
         let window_end = (ptr + k).min(cols.len());
-        let window: Vec<i64> = cols[ptr..window_end].iter().map(|&c| c as i64).collect();
+        let window = &cols[ptr..window_end];
         scan.colidx_reads += window.len() as u64;
-        let out = fnir.select(ranges.s.min, ranges.s.max, &window);
-        scan.fnir_comparator_ops += out.comparator_ops();
-        let mut any = false;
-        for pos in out.selected() {
+        let cycle = scan.cycles;
+        let selected = &mut scan.selected;
+        let out = fnir.select_cols(ranges.s.min, ranges.s.max, window, |pos| {
             let idx = ptr + pos;
-            scan.selected.push(SelectedEntry {
-                r: rows[idx],
+            while row_ptr[cur_row + 1] - start <= idx {
+                cur_row += 1;
+            }
+            selected.push(SelectedEntry {
+                r: cur_row,
                 s: cols[idx],
                 value: vals[idx],
-                cycle: scan.cycles,
+                cycle,
             });
-            any = true;
-        }
-        scan.value_reads += out.selected_count() as u64;
-        if any {
+        });
+        scan.fnir_comparator_ops += out.comparator_ops;
+        scan.value_reads += u64::from(out.selected);
+        if out.selected > 0 {
             scan.mult_cycles += 1;
         }
         scan.cycles += 1;
         // Feedback: jump to the n+1-st valid index, else advance by k.
-        ptr = match out.feedback() {
+        ptr = match out.feedback {
             Some(fb) => ptr + fb,
             None => ptr + k,
         };
-        let _ = n;
     }
-    scan
 }
 
 /// Walks `kernel` in matmul mode (paper Section 5): rows inside the `r`
 /// range are streamed `n` per cycle with *no* FNIR filtering (stages 3–4 of
 /// the pipeline are bypassed); every streamed element feeds the multiplier.
 pub fn scan_kernel_matmul(kernel: &CsrMatrix, r: IndexRange, n: usize) -> KernelScan {
-    assert!(n > 0, "multiplier dimension must be non-zero");
     let mut scan = KernelScan::default();
+    scan_kernel_matmul_into(kernel, r, n, &mut scan);
+    scan
+}
+
+/// [`scan_kernel_matmul`] into a caller-owned [`KernelScan`] (see
+/// [`scan_kernel_into`] for the reuse contract).
+pub fn scan_kernel_matmul_into(kernel: &CsrMatrix, r: IndexRange, n: usize, scan: &mut KernelScan) {
+    assert!(n > 0, "multiplier dimension must be non-zero");
+    scan.reset();
     let Some((r_lo, r_hi)) = r.clamp_to(kernel.rows()) else {
-        return scan;
+        return;
     };
     scan.rowptr_reads = (r_hi - r_lo + 2) as u64;
-    let start = kernel.row_ptr()[r_lo];
-    let end = kernel.row_ptr()[r_hi + 1];
+    let row_ptr = kernel.row_ptr();
+    let start = row_ptr[r_lo];
+    let end = row_ptr[r_hi + 1];
     if start == end {
-        return scan;
-    }
-    let mut rows = Vec::with_capacity(end - start);
-    for row in r_lo..=r_hi {
-        for _ in kernel.row_range(row) {
-            rows.push(row);
-        }
+        return;
     }
     let cols = &kernel.col_idx()[start..end];
     let vals = &kernel.values()[start..end];
+    let mut cur_row = r_lo;
     let mut ptr = 0usize;
     while ptr < cols.len() {
         let batch_end = (ptr + n).min(cols.len());
         for idx in ptr..batch_end {
+            while row_ptr[cur_row + 1] - start <= idx {
+                cur_row += 1;
+            }
             scan.selected.push(SelectedEntry {
-                r: rows[idx],
+                r: cur_row,
                 s: cols[idx],
                 value: vals[idx],
                 cycle: scan.cycles,
@@ -176,7 +206,6 @@ pub fn scan_kernel_matmul(kernel: &CsrMatrix, r: IndexRange, n: usize) -> Kernel
         scan.cycles += 1;
         ptr = batch_end;
     }
-    scan
 }
 
 #[cfg(test)]
@@ -357,5 +386,58 @@ mod tests {
         let scan = scan_kernel_matmul(&kernel, IndexRange { min: 9, max: 20 }, 4);
         assert_eq!(scan.cycles, 0);
         assert!(scan.selected.is_empty());
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_scan() {
+        // A dirty, previously-used KernelScan must produce the same result
+        // as a fresh one for both scan flavors.
+        let kernel = fig7_like_kernel();
+        let fnir = Fnir::new(2, 4).unwrap();
+        let ranges_a = crate::range::GroupRanges {
+            r: unbounded(),
+            s: IndexRange { min: 1, max: 3 },
+            ops: Default::default(),
+        };
+        let ranges_b = crate::range::GroupRanges {
+            r: IndexRange { min: 2, max: 3 },
+            s: IndexRange { min: 0, max: 2 },
+            ops: Default::default(),
+        };
+        let mut scratch = KernelScan::default();
+        scan_kernel_into(&kernel, &ranges_a, &fnir, &mut scratch);
+        scan_kernel_into(&kernel, &ranges_b, &fnir, &mut scratch);
+        assert_eq!(scratch, scan_kernel(&kernel, &ranges_b, &fnir));
+
+        scan_kernel_matmul_into(&kernel, IndexRange { min: 0, max: 3 }, 2, &mut scratch);
+        scan_kernel_matmul_into(&kernel, IndexRange { min: 1, max: 2 }, 4, &mut scratch);
+        assert_eq!(
+            scratch,
+            scan_kernel_matmul(&kernel, IndexRange { min: 1, max: 2 }, 4)
+        );
+    }
+
+    #[test]
+    fn row_cursor_skips_empty_rows() {
+        // Rows 1 and 3 are empty; the cursor walk must still attribute the
+        // correct r to every selected entry.
+        let kernel = CsrMatrix::from_triplets(
+            5,
+            4,
+            vec![(0, 1, 1.0), (2, 0, 2.0), (2, 3, 3.0), (4, 2, 4.0)],
+        )
+        .unwrap();
+        let ranges = crate::range::GroupRanges {
+            r: unbounded(),
+            s: unbounded(),
+            ops: Default::default(),
+        };
+        let fnir = Fnir::new(2, 4).unwrap();
+        let scan = scan_kernel(&kernel, &ranges, &fnir);
+        let got: Vec<(usize, usize)> = scan.selected.iter().map(|e| (e.r, e.s)).collect();
+        assert_eq!(got, vec![(0, 1), (2, 0), (2, 3), (4, 2)]);
+        let matmul = scan_kernel_matmul(&kernel, unbounded(), 3);
+        let got_mm: Vec<(usize, usize)> = matmul.selected.iter().map(|e| (e.r, e.s)).collect();
+        assert_eq!(got_mm, vec![(0, 1), (2, 0), (2, 3), (4, 2)]);
     }
 }

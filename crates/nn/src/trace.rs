@@ -188,12 +188,16 @@ impl ConvTrace {
     pub fn forward_pairs(&self) -> Result<Vec<ConvPair>, ConvError> {
         let mut span = self.pairs_span("forward");
         let shape = self.forward_shape()?;
+        // Convert each resident image plane once; every output channel
+        // reuses the same compressed form (cloning a CSR copies nnz-sized
+        // arrays, vs re-scanning the whole dense plane per pair).
+        let images: Vec<CsrMatrix> = self.activations.iter().map(CsrMatrix::from_dense).collect();
         let mut pairs = Vec::with_capacity(self.out_channels() * self.in_channels());
         for k in 0..self.out_channels() {
-            for c in 0..self.in_channels() {
+            for (c, image) in images.iter().enumerate() {
                 pairs.push(ConvPair {
                     kernel: CsrMatrix::from_dense(&self.weights[k][c]),
-                    image: CsrMatrix::from_dense(&self.activations[c]),
+                    image: image.clone(),
                     shape,
                 });
             }
@@ -211,12 +215,16 @@ impl ConvTrace {
     pub fn update_pairs(&self) -> Result<Vec<ConvPair>, ConvError> {
         let mut span = self.pairs_span("update");
         let shape = self.update_shape()?;
+        // Same plane-level reuse as `forward_pairs`: each operand plane is
+        // compressed exactly once.
+        let images: Vec<CsrMatrix> = self.activations.iter().map(CsrMatrix::from_dense).collect();
         let mut pairs = Vec::with_capacity(self.out_channels() * self.in_channels());
         for k in 0..self.out_channels() {
-            for c in 0..self.in_channels() {
+            let kernel = CsrMatrix::from_dense(&self.grad_out[k]);
+            for image in &images {
                 pairs.push(ConvPair {
-                    kernel: CsrMatrix::from_dense(&self.grad_out[k]),
-                    image: CsrMatrix::from_dense(&self.activations[c]),
+                    kernel: kernel.clone(),
+                    image: image.clone(),
                     shape,
                 });
             }

@@ -4,6 +4,7 @@ use ant_conv::matmul::MatmulShape;
 use ant_conv::ConvShape;
 use ant_sparse::CsrMatrix;
 
+use crate::scratch::SimScratch;
 use crate::stats::SimStats;
 
 /// Pipeline start-up cost charged per matrix pair handed to a PE
@@ -52,6 +53,25 @@ pub trait ConvSim {
         image: &CsrMatrix,
         shape: &ConvShape,
     ) -> SimStats;
+
+    /// Like [`ConvSim::simulate_conv_pair`], but with a caller-owned
+    /// [`SimScratch`] arena so the steady state allocates nothing.
+    ///
+    /// Results MUST be bit-identical to [`ConvSim::simulate_conv_pair`]
+    /// (see the golden proptests in `ant-sim/tests`). The default simply
+    /// forwards, which is already allocation-free for the analytic
+    /// machines; machines with real working sets override this and route
+    /// their plain entry point through the shared thread scratch.
+    fn simulate_conv_pair_scratch(
+        &self,
+        kernel: &CsrMatrix,
+        image: &CsrMatrix,
+        shape: &ConvShape,
+        scratch: &mut SimScratch,
+    ) -> SimStats {
+        let _ = scratch;
+        self.simulate_conv_pair(kernel, image, shape)
+    }
 }
 
 /// A machine that can simulate a matrix-multiplication pair
@@ -64,6 +84,20 @@ pub trait MatmulSim {
         kernel: &CsrMatrix,
         shape: &MatmulShape,
     ) -> SimStats;
+
+    /// Like [`MatmulSim::simulate_matmul_pair`], but with a caller-owned
+    /// [`SimScratch`] arena (see
+    /// [`ConvSim::simulate_conv_pair_scratch`] for the contract).
+    fn simulate_matmul_pair_scratch(
+        &self,
+        image: &CsrMatrix,
+        kernel: &CsrMatrix,
+        shape: &MatmulShape,
+        scratch: &mut SimScratch,
+    ) -> SimStats {
+        let _ = scratch;
+        self.simulate_matmul_pair(image, kernel, shape)
+    }
 }
 
 /// A PE model replicated across `num_pes` processing elements with the
@@ -108,9 +142,15 @@ impl<S: ConvSim> Accelerator<S> {
         &self,
         pairs: impl IntoIterator<Item = (&'a CsrMatrix, &'a CsrMatrix, ConvShape)>,
     ) -> SimStats {
+        let mut scratch = SimScratch::new();
         let mut total = SimStats::default();
         for (kernel, image, shape) in pairs {
-            total.accumulate(&self.sim.simulate_conv_pair(kernel, image, &shape));
+            total.accumulate(&self.sim.simulate_conv_pair_scratch(
+                kernel,
+                image,
+                &shape,
+                &mut scratch,
+            ));
         }
         total
     }
@@ -122,9 +162,15 @@ impl<S: MatmulSim> Accelerator<S> {
         &self,
         pairs: impl IntoIterator<Item = (&'a CsrMatrix, &'a CsrMatrix, MatmulShape)>,
     ) -> SimStats {
+        let mut scratch = SimScratch::new();
         let mut total = SimStats::default();
         for (image, kernel, shape) in pairs {
-            total.accumulate(&self.sim.simulate_matmul_pair(image, kernel, &shape));
+            total.accumulate(&self.sim.simulate_matmul_pair_scratch(
+                image,
+                kernel,
+                &shape,
+                &mut scratch,
+            ));
         }
         total
     }

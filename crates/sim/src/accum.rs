@@ -41,10 +41,22 @@ impl AccumulatorBanks {
     /// given flat output indices: `max_bank_occupancy - 1` (zero for an
     /// empty cycle).
     pub fn conflict_cycles(&self, flat_output_indices: &[usize]) -> u64 {
+        self.conflict_cycles_with(flat_output_indices, &mut Vec::new())
+    }
+
+    /// [`AccumulatorBanks::conflict_cycles`] with a caller-owned occupancy
+    /// buffer, so per-cycle invocations on a hot path allocate nothing
+    /// after warm-up. Returns exactly the same count.
+    pub fn conflict_cycles_with(
+        &self,
+        flat_output_indices: &[usize],
+        counts: &mut Vec<u32>,
+    ) -> u64 {
         if flat_output_indices.is_empty() {
             return 0;
         }
-        let mut counts = vec![0u32; self.banks];
+        counts.clear();
+        counts.resize(self.banks, 0);
         for &idx in flat_output_indices {
             counts[idx % self.banks] += 1;
         }

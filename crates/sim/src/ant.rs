@@ -15,6 +15,7 @@ use ant_sparse::CsrMatrix;
 use crate::accelerator::{ConvSim, MatmulSim, STARTUP_CYCLES};
 use crate::accum::AccumulatorBanks;
 use crate::breakdown::CycleBreakdown;
+use crate::scratch::{with_thread_scratch, SimScratch};
 use crate::stats::SimStats;
 
 /// The ANT PE model.
@@ -114,23 +115,38 @@ impl ConvSim for AntAccelerator {
         image: &CsrMatrix,
         shape: &ConvShape,
     ) -> SimStats {
+        with_thread_scratch(|scratch| self.simulate_conv_pair_scratch(kernel, image, shape, scratch))
+    }
+
+    fn simulate_conv_pair_scratch(
+        &self,
+        kernel: &CsrMatrix,
+        image: &CsrMatrix,
+        shape: &ConvShape,
+        scratch: &mut SimScratch,
+    ) -> SimStats {
         if kernel.nnz() == 0 || image.nnz() == 0 {
             return SimStats::default();
         }
         let mut accum_conflicts = 0u64;
-        let run = match self.accum_banks {
+        // Disjoint borrows of the arena: the anticipator drives `ant` while
+        // the per-cycle observer reuses `bank_counts`.
+        let SimScratch {
+            ant, bank_counts, ..
+        } = scratch;
+        let counters = match self.accum_banks {
             Some(banks) => self
                 .anticipator
-                .run_conv_observed(kernel, image, shape, |cycle_outputs| {
-                    accum_conflicts += banks.conflict_cycles(cycle_outputs);
+                .run_conv_with(kernel, image, shape, ant, |cycle_outputs| {
+                    accum_conflicts += banks.conflict_cycles_with(cycle_outputs, bank_counts);
                 })
                 .expect("operands validated by caller"),
             None => self
                 .anticipator
-                .run_conv(kernel, image, shape)
+                .run_conv_with(kernel, image, shape, ant, |_| {})
                 .expect("operands validated by caller"),
         };
-        let stats = self.map_counters(&run.counters, accum_conflicts);
+        let stats = self.map_counters(&counters, accum_conflicts);
         crate::accelerator::trace_pair(self.name(), "conv", kernel, image, &stats);
         stats
     }
@@ -143,14 +159,26 @@ impl MatmulSim for AntAccelerator {
         kernel: &CsrMatrix,
         shape: &MatmulShape,
     ) -> SimStats {
+        with_thread_scratch(|scratch| {
+            self.simulate_matmul_pair_scratch(image, kernel, shape, scratch)
+        })
+    }
+
+    fn simulate_matmul_pair_scratch(
+        &self,
+        image: &CsrMatrix,
+        kernel: &CsrMatrix,
+        shape: &MatmulShape,
+        scratch: &mut SimScratch,
+    ) -> SimStats {
         if kernel.nnz() == 0 || image.nnz() == 0 {
             return SimStats::default();
         }
-        let run = self
+        let counters = self
             .anticipator
-            .run_matmul(image, kernel, shape)
+            .run_matmul_with(image, kernel, shape, &mut scratch.ant)
             .expect("operands validated by caller");
-        let stats = self.map_counters(&run.counters, 0);
+        let stats = self.map_counters(&counters, 0);
         crate::accelerator::trace_pair(ConvSim::name(self), "matmul", kernel, image, &stats);
         stats
     }

@@ -14,12 +14,13 @@
 
 use ant_conv::im2col::duplication_factor;
 use ant_conv::matmul::MatmulShape;
-use ant_conv::rcp::count_useful_products;
+use ant_conv::rcp::count_useful_products_with;
 use ant_conv::ConvShape;
 use ant_sparse::CsrMatrix;
 
 use crate::accelerator::{ConvSim, MatmulSim, STARTUP_CYCLES};
 use crate::breakdown::CycleBreakdown;
+use crate::scratch::{with_thread_scratch, SimScratch};
 use crate::stats::SimStats;
 
 /// The DST-like PE model.
@@ -114,10 +115,20 @@ impl ConvSim for DstAccelerator {
         image: &CsrMatrix,
         shape: &ConvShape,
     ) -> SimStats {
+        with_thread_scratch(|scratch| self.simulate_conv_pair_scratch(kernel, image, shape, scratch))
+    }
+
+    fn simulate_conv_pair_scratch(
+        &self,
+        kernel: &CsrMatrix,
+        image: &CsrMatrix,
+        shape: &ConvShape,
+        scratch: &mut SimScratch,
+    ) -> SimStats {
         if kernel.nnz() == 0 || image.nnz() == 0 {
             return SimStats::default();
         }
-        let useful = count_useful_products(kernel, image, shape);
+        let useful = count_useful_products_with(kernel, image, shape, &mut scratch.nz_counter);
         self.simulate(
             useful,
             duplication_factor(shape),
@@ -135,10 +146,24 @@ impl MatmulSim for DstAccelerator {
         kernel: &CsrMatrix,
         shape: &MatmulShape,
     ) -> SimStats {
+        with_thread_scratch(|scratch| {
+            self.simulate_matmul_pair_scratch(image, kernel, shape, scratch)
+        })
+    }
+
+    fn simulate_matmul_pair_scratch(
+        &self,
+        image: &CsrMatrix,
+        kernel: &CsrMatrix,
+        shape: &MatmulShape,
+        scratch: &mut SimScratch,
+    ) -> SimStats {
         if kernel.nnz() == 0 || image.nnz() == 0 {
             return SimStats::default();
         }
-        let mut image_col_nnz = vec![0u64; shape.image_w()];
+        let image_col_nnz = &mut scratch.col_nnz;
+        image_col_nnz.clear();
+        image_col_nnz.resize(shape.image_w(), 0);
         for (_, x, _) in image.iter() {
             image_col_nnz[x] += 1;
         }

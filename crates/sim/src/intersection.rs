@@ -19,12 +19,13 @@
 //! granularity.
 
 use ant_conv::matmul::MatmulShape;
-use ant_conv::rcp::count_useful_products;
+use ant_conv::rcp::count_useful_products_with;
 use ant_conv::ConvShape;
 use ant_sparse::{Bitmask, CsrMatrix};
 
 use crate::accelerator::{ConvSim, MatmulSim, STARTUP_CYCLES};
 use crate::breakdown::CycleBreakdown;
+use crate::scratch::{with_thread_scratch, SimScratch};
 use crate::stats::SimStats;
 
 /// The GoSPA-like intersection PE model.
@@ -82,14 +83,14 @@ impl IntersectionAccelerator {
             return SimStats::default();
         }
         // Dynamic-sparsity overhead: unpack the kernel CSR into the sparsity
-        // filter bitmask (GoSPA's SSF). The word count comes from the actual
-        // mask the filter would occupy.
+        // filter bitmask (GoSPA's SSF). The word count is the mask extent the
+        // filter would occupy — a pure function of the kernel's dense shape,
+        // so no mask is actually materialized.
         let filter_cycles = if self.static_kernel {
             0
         } else {
-            let mask = Bitmask::from_csr(kernel);
-            (mask.rebuild_words() as u64 * 64).div_ceil(self.filter_bits_per_cycle as u64)
-                + nnz_kernel as u64
+            let words = Bitmask::words_for(kernel.rows(), kernel.cols());
+            (words as u64 * 64).div_ceil(self.filter_bits_per_cycle as u64) + nnz_kernel as u64
         };
         // Intersection tests: each non-zero image element probes the filter
         // for each kernel row that overlaps it; first-order, one probe per
@@ -143,7 +144,17 @@ impl ConvSim for IntersectionAccelerator {
         image: &CsrMatrix,
         shape: &ConvShape,
     ) -> SimStats {
-        let useful = count_useful_products(kernel, image, shape);
+        with_thread_scratch(|scratch| self.simulate_conv_pair_scratch(kernel, image, shape, scratch))
+    }
+
+    fn simulate_conv_pair_scratch(
+        &self,
+        kernel: &CsrMatrix,
+        image: &CsrMatrix,
+        shape: &ConvShape,
+        scratch: &mut SimScratch,
+    ) -> SimStats {
+        let useful = count_useful_products_with(kernel, image, shape, &mut scratch.nz_counter);
         self.simulate(
             kernel,
             image.nnz(),
@@ -160,7 +171,21 @@ impl MatmulSim for IntersectionAccelerator {
         kernel: &CsrMatrix,
         shape: &MatmulShape,
     ) -> SimStats {
-        let mut image_col_nnz = vec![0u64; shape.image_w()];
+        with_thread_scratch(|scratch| {
+            self.simulate_matmul_pair_scratch(image, kernel, shape, scratch)
+        })
+    }
+
+    fn simulate_matmul_pair_scratch(
+        &self,
+        image: &CsrMatrix,
+        kernel: &CsrMatrix,
+        shape: &MatmulShape,
+        scratch: &mut SimScratch,
+    ) -> SimStats {
+        let image_col_nnz = &mut scratch.col_nnz;
+        image_col_nnz.clear();
+        image_col_nnz.resize(shape.image_w(), 0);
         for (_, x, _) in image.iter() {
             image_col_nnz[x] += 1;
         }

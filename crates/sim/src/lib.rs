@@ -64,10 +64,12 @@ pub mod intersection;
 pub mod partition;
 pub mod schedule;
 pub mod scnn;
+pub mod scratch;
 pub mod stats;
 pub mod tiling;
 
 pub use accelerator::{Accelerator, ConvSim, MatmulSim};
 pub use breakdown::{CycleBreakdown, CycleCause};
 pub use energy::EnergyModel;
+pub use scratch::{with_thread_scratch, SimScratch};
 pub use stats::{EnergyBreakdown, SimStats, Throughput};

@@ -13,12 +13,13 @@
 //! ImageNet-scale layers simulate in microseconds.
 
 use ant_conv::matmul::MatmulShape;
-use ant_conv::rcp::count_useful_products;
+use ant_conv::rcp::count_useful_products_with;
 use ant_conv::ConvShape;
 use ant_sparse::CsrMatrix;
 
 use crate::accelerator::{ConvSim, MatmulSim, STARTUP_CYCLES};
 use crate::breakdown::CycleBreakdown;
+use crate::scratch::{with_thread_scratch, SimScratch};
 use crate::stats::SimStats;
 
 /// The SCNN+ PE model.
@@ -105,9 +106,19 @@ impl ConvSim for ScnnPlus {
         image: &CsrMatrix,
         shape: &ConvShape,
     ) -> SimStats {
+        with_thread_scratch(|scratch| self.simulate_conv_pair_scratch(kernel, image, shape, scratch))
+    }
+
+    fn simulate_conv_pair_scratch(
+        &self,
+        kernel: &CsrMatrix,
+        image: &CsrMatrix,
+        shape: &ConvShape,
+        scratch: &mut SimScratch,
+    ) -> SimStats {
         debug_assert_eq!(kernel.shape(), (shape.kernel_h(), shape.kernel_w()));
         debug_assert_eq!(image.shape(), (shape.image_h(), shape.image_w()));
-        let useful = count_useful_products(kernel, image, shape);
+        let useful = count_useful_products_with(kernel, image, shape, &mut scratch.nz_counter);
         let stats = self.simulate_products(kernel.nnz(), image.nnz(), kernel.rows(), useful);
         crate::accelerator::trace_pair(self.name(), "conv", kernel, image, &stats);
         stats
@@ -121,10 +132,24 @@ impl MatmulSim for ScnnPlus {
         kernel: &CsrMatrix,
         shape: &MatmulShape,
     ) -> SimStats {
+        with_thread_scratch(|scratch| {
+            self.simulate_matmul_pair_scratch(image, kernel, shape, scratch)
+        })
+    }
+
+    fn simulate_matmul_pair_scratch(
+        &self,
+        image: &CsrMatrix,
+        kernel: &CsrMatrix,
+        shape: &MatmulShape,
+        scratch: &mut SimScratch,
+    ) -> SimStats {
         debug_assert_eq!(image.shape(), (shape.image_h(), shape.image_w()));
         debug_assert_eq!(kernel.shape(), (shape.kernel_r(), shape.kernel_s()));
         // Valid products require r == x: count per contracted index.
-        let mut image_col_nnz = vec![0u64; shape.image_w()];
+        let image_col_nnz = &mut scratch.col_nnz;
+        image_col_nnz.clear();
+        image_col_nnz.resize(shape.image_w(), 0);
         for (_, x, _) in image.iter() {
             image_col_nnz[x] += 1;
         }

@@ -31,8 +31,16 @@ impl Bitmask {
         Self {
             rows,
             cols,
-            words: vec![0; (rows * cols).div_ceil(64)],
+            words: vec![0; Self::words_for(rows, cols)],
         }
+    }
+
+    /// Number of 64-bit words a `rows x cols` mask occupies — the same
+    /// value [`Bitmask::rebuild_words`] reports, but computable without
+    /// materializing the mask (cost models that only need the word count
+    /// should use this instead of building a throwaway mask).
+    pub fn words_for(rows: usize, cols: usize) -> usize {
+        (rows * cols).div_ceil(64)
     }
 
     /// Builds the mask of a CSR matrix's non-zero positions (the dynamic
@@ -124,11 +132,64 @@ impl Bitmask {
         }
     }
 
+    /// Bitwise AND with another mask of the same shape, in place — the
+    /// non-allocating intersection primitive for hot loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn and_assign(&mut self, other: &Bitmask) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= b;
+        }
+    }
+
+    /// Population count of the intersection with `other`, without
+    /// materializing the AND result: one word-level pass of `AND` +
+    /// `popcnt`. Equivalent to `self.and(other).count_ones()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn and_count_ones(&self, other: &Bitmask) -> usize {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
     /// Iterates the set positions in row-major order.
+    ///
+    /// Walks 64-bit words and peels set bits with `trailing_zeros`, so a
+    /// sparse mask costs O(words + popcount) rather than O(rows * cols)
+    /// per-bit probes.
     pub fn iter_set(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
         let cols = self.cols;
-        (0..self.rows * self.cols)
-            .filter(move |&i| self.words[i / 64] & (1u64 << (i % 64)) != 0)
+        self.words
+            .iter()
+            .enumerate()
+            .flat_map(move |(wi, &word)| {
+                std::iter::successors(
+                    (word != 0).then_some(word),
+                    |&rest| {
+                        let rest = rest & (rest - 1);
+                        (rest != 0).then_some(rest)
+                    },
+                )
+                .map(move |w| wi * 64 + w.trailing_zeros() as usize)
+            })
+            .filter(move |&i| i < self.rows * cols)
             .map(move |i| (i / cols, i % cols))
     }
 
@@ -220,5 +281,60 @@ mod tests {
         let a = Bitmask::zeros(2, 2);
         let b = Bitmask::zeros(2, 3);
         let _ = a.and(&b);
+    }
+
+    #[test]
+    fn and_assign_matches_and() {
+        let a = Bitmask::from_dense(&DenseMatrix::from_rows(&[&[1.0, 1.0, 0.0], &[0.0, 2.0, 3.0]]));
+        let b = Bitmask::from_dense(&DenseMatrix::from_rows(&[&[0.0, 1.0, 1.0], &[4.0, 0.0, 5.0]]));
+        let expected = a.and(&b);
+        let mut c = a.clone();
+        c.and_assign(&b);
+        assert_eq!(c, expected);
+    }
+
+    #[test]
+    fn and_count_ones_matches_materialized_and() {
+        let mut a = Bitmask::zeros(10, 10);
+        let mut b = Bitmask::zeros(10, 10);
+        for i in 0..10 {
+            a.set(i, (i * 3) % 10, true);
+            b.set(i, (i * 7) % 10, true);
+            b.set(i, (i * 3) % 10, true);
+        }
+        assert_eq!(a.and_count_ones(&b), a.and(&b).count_ones());
+        assert_eq!(a.and_count_ones(&b), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn and_count_ones_rejects_mismatched_shapes() {
+        let a = Bitmask::zeros(2, 2);
+        let b = Bitmask::zeros(3, 2);
+        let _ = a.and_count_ones(&b);
+    }
+
+    #[test]
+    fn words_for_matches_rebuild_words() {
+        for (r, c) in [(1, 1), (2, 3), (6, 11), (10, 10), (16, 16), (13, 64)] {
+            assert_eq!(Bitmask::words_for(r, c), Bitmask::zeros(r, c).rebuild_words());
+        }
+    }
+
+    #[test]
+    fn iter_set_handles_dense_and_boundary_bits() {
+        // Every bit set in a mask that does not end on a word boundary.
+        let mut mask = Bitmask::zeros(9, 9);
+        for r in 0..9 {
+            for c in 0..9 {
+                mask.set(r, c, true);
+            }
+        }
+        let set: Vec<_> = mask.iter_set().collect();
+        assert_eq!(set.len(), 81);
+        assert_eq!(set.first(), Some(&(0, 0)));
+        assert_eq!(set.last(), Some(&(8, 8)));
+        // Row-major and strictly increasing.
+        assert!(set.windows(2).all(|w| w[0] < w[1]));
     }
 }

@@ -63,6 +63,23 @@ impl DenseMatrix {
         })
     }
 
+    /// Reshapes this matrix to `rows x cols` and fills it with zeros,
+    /// reusing the existing allocation when it is large enough. The result
+    /// is element-for-element identical to `DenseMatrix::zeros(rows, cols)`;
+    /// only the backing capacity may differ. This is the scratch-arena reset
+    /// used by hot simulation paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn reset_zeroed(&mut self, rows: usize, cols: usize) {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Builds a matrix from a slice of row slices.
     ///
     /// # Panics
@@ -450,6 +467,23 @@ mod tests {
         assert_eq!(m.get(2, 2), 8.0);
         assert_eq!(m.get(0, 0), 0.0);
         assert_eq!(m.nnz(), 8); // only (0,0) is zero
+    }
+
+    #[test]
+    fn reset_zeroed_matches_fresh_zeros() {
+        let mut m = DenseMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        m.reset_zeroed(4, 2);
+        assert_eq!(m, DenseMatrix::zeros(4, 2));
+        // Growing past the original capacity still zero-fills everything.
+        m.reset_zeroed(5, 7);
+        assert_eq!(m, DenseMatrix::zeros(5, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "matrix dimensions must be non-zero")]
+    fn reset_zeroed_rejects_degenerate_dims() {
+        let mut m = DenseMatrix::zeros(2, 2);
+        m.reset_zeroed(0, 3);
     }
 
     #[test]

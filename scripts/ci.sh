@@ -59,4 +59,21 @@ cargo run --release -q -p ant-bench --bin bench_history -- \
   compare --self --file "$HISTORY_SMOKE" \
   --report target/experiments/ci_bench_history_smoke.md
 
+echo "== bench_history gate (HEAD tiny vs rolling median of the committed ledger)"
+# Record a fresh tiny entry on top of a copy of the committed ledger and
+# gate it against the rolling median of the previous same-label entries
+# (deterministic cycle metrics at the fixed threshold; host wall time and
+# allocations widened by each run's recorded noise floor). Working on a
+# copy keeps CI from dirtying the committed BENCH_history.jsonl.
+HISTORY_GATE="target/experiments/ci_bench_history_gate.jsonl"
+cp BENCH_history.jsonl "$HISTORY_GATE"
+cargo run --release -q -p ant-bench --bin bench_history -- \
+  record --label tiny --repeats 3 --file "$HISTORY_GATE"
+cargo run --release -q -p ant-bench --bin bench_history -- \
+  compare --file "$HISTORY_GATE" \
+  --report target/experiments/ci_bench_history_gate.md
+
+echo "== steady-state allocation gate (warm worker must not touch the heap)"
+cargo test --release -q -p ant-bench --test steady_state_alloc
+
 echo "ci: all green"
