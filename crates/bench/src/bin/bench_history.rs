@@ -185,8 +185,16 @@ fn cmd_compare(args: &[String]) -> ExitCode {
         Ok(v) => v.map(PathBuf::from),
         Err(e) => return fail(&e),
     };
-    let entries = match history::load(&path) {
-        Ok(entries) => entries,
+    let entries = match history::load_lenient(&path) {
+        Ok((entries, skipped)) => {
+            if skipped > 0 {
+                eprintln!(
+                    "bench_history: ignored {skipped} unusable line(s) in {}",
+                    path.display()
+                );
+            }
+            entries
+        }
         Err(err) => return fail(&format!("cannot load {}: {err}", path.display())),
     };
 
@@ -270,8 +278,16 @@ fn cmd_list(args: &[String]) -> ExitCode {
     if !args.is_empty() {
         return fail(&format!("unexpected arguments: {args:?}"));
     }
-    let entries = match history::load(&path) {
-        Ok(entries) => entries,
+    let entries = match history::load_lenient(&path) {
+        Ok((entries, skipped)) => {
+            if skipped > 0 {
+                eprintln!(
+                    "bench_history: ignored {skipped} unusable line(s) in {}",
+                    path.display()
+                );
+            }
+            entries
+        }
         Err(err) => return fail(&format!("cannot load {}: {err}", path.display())),
     };
     if entries.is_empty() {

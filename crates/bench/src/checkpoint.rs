@@ -1,0 +1,457 @@
+//! Checkpoint/resume sidecar for network sweeps.
+//!
+//! Long sweeps (many networks x many machines) periodically persist each
+//! completed layer's finalized per-phase stats to a JSONL sidecar. A
+//! resumed run loads the sidecar, skips synthesis and simulation for every
+//! layer already on disk, and merges the stored stats in serial layer
+//! order — producing merged results byte-identical to an uninterrupted
+//! run (per-layer RNG seeds derive from the layer index alone, so skipping
+//! a layer cannot perturb its neighbours).
+//!
+//! One sidecar holds many runs: each line carries its `(network, machine)`
+//! coordinates plus a fingerprint of the experiment config. Lines whose
+//! fingerprint does not match the current config are stale and ignored, as
+//! are corrupt lines — a damaged checkpoint degrades to a partial resume,
+//! never a wrong result. Layers that completed with quarantined pair
+//! failures are *not* persisted, so a resumed run retries them.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use ant_obs::json::{write_json_string, Json};
+use ant_sim::{AntError, SimStats};
+
+use crate::runner::{ExperimentConfig, LayerCheckpoint};
+
+/// Schema tag on every checkpoint line; bump on incompatible change.
+pub const SCHEMA: &str = "ant-checkpoint/1";
+
+/// The experiment-config fingerprint stored on every line. Two runs with
+/// equal fingerprints synthesize identical operands for every layer, which
+/// is what makes replaying stored stats byte-identical.
+#[derive(Debug, Clone, PartialEq)]
+struct Fingerprint {
+    seed: u64,
+    max_channels: u64,
+    num_pes: u64,
+    sparsity: [f64; 3],
+}
+
+impl Fingerprint {
+    fn of(cfg: &ExperimentConfig) -> Self {
+        Self {
+            seed: cfg.seed,
+            max_channels: cfg.max_channels as u64,
+            num_pes: cfg.num_pes as u64,
+            sparsity: [
+                cfg.sparsity.weight,
+                cfg.sparsity.activation,
+                cfg.sparsity.gradient,
+            ],
+        }
+    }
+}
+
+type Key = (String, String, usize, String); // (network, machine, index, layer)
+
+/// A JSONL checkpoint sidecar: loaded entries from previous runs plus an
+/// append handle for this run's completed layers.
+#[derive(Debug)]
+pub struct CheckpointFile {
+    path: PathBuf,
+    fingerprint: Fingerprint,
+    entries: HashMap<Key, [SimStats; 3]>,
+    /// `None` once appending has been disabled by an IO failure — the
+    /// sweep keeps simulating, it just stops checkpointing.
+    writer: Option<BufWriter<File>>,
+    ignored: usize,
+}
+
+impl CheckpointFile {
+    /// Starts a fresh checkpoint at `path` (truncating any existing file).
+    pub fn create(path: impl AsRef<Path>, cfg: &ExperimentConfig) -> Result<Self, AntError> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::create(&path)
+            .map_err(|e| AntError::io(format!("create checkpoint {}", path.display()), &e))?;
+        Ok(Self {
+            path,
+            fingerprint: Fingerprint::of(cfg),
+            entries: HashMap::new(),
+            writer: Some(BufWriter::new(file)),
+            ignored: 0,
+        })
+    }
+
+    /// Resumes from `path`: loads every usable line (corrupt or stale lines
+    /// are skipped and counted, with one stderr warning), then reopens the
+    /// file for appending. A missing file resumes nothing — identical to
+    /// [`CheckpointFile::create`].
+    pub fn resume(path: impl AsRef<Path>, cfg: &ExperimentConfig) -> Result<Self, AntError> {
+        let path = path.as_ref().to_path_buf();
+        let fingerprint = Fingerprint::of(cfg);
+        let mut entries = HashMap::new();
+        let mut ignored = 0usize;
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                for line in text.lines() {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    match parse_line(line, &fingerprint) {
+                        Ok(Some((key, phases))) => {
+                            entries.insert(key, phases);
+                        }
+                        Ok(None) | Err(_) => ignored += 1,
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => {
+                return Err(AntError::io(
+                    format!("read checkpoint {}", path.display()),
+                    &e,
+                ))
+            }
+        }
+        if ignored > 0 {
+            eprintln!(
+                "ant-bench: checkpoint {}: ignored {ignored} stale or corrupt line(s)",
+                path.display()
+            );
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| AntError::io(format!("append checkpoint {}", path.display()), &e))?;
+        Ok(Self {
+            path,
+            fingerprint,
+            entries,
+            writer: Some(BufWriter::new(file)),
+            ignored,
+        })
+    }
+
+    /// Lines skipped while loading (corrupt, wrong schema, or stale
+    /// fingerprint).
+    pub fn ignored_lines(&self) -> usize {
+        self.ignored
+    }
+
+    /// Layer entries currently available for resume.
+    pub fn resumable_layers(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Scopes this file to one `(network, machine)` run; the returned view
+    /// implements [`LayerCheckpoint`] for the runner.
+    pub fn scope<'a>(&'a mut self, network: &str, machine: &str) -> RunCheckpoint<'a> {
+        RunCheckpoint {
+            file: self,
+            network: network.to_string(),
+            machine: machine.to_string(),
+        }
+    }
+
+    fn append_line(&mut self, line: &str) {
+        let Some(writer) = self.writer.as_mut() else {
+            return;
+        };
+        let ok = writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush());
+        if let Err(e) = ok {
+            eprintln!(
+                "ant-bench: checkpoint {}: write failed ({e}); checkpointing disabled, \
+                 sweep continues",
+                self.path.display()
+            );
+            self.writer = None;
+        }
+    }
+}
+
+/// A [`CheckpointFile`] scoped to one `(network, machine)` run.
+#[derive(Debug)]
+pub struct RunCheckpoint<'a> {
+    file: &'a mut CheckpointFile,
+    network: String,
+    machine: String,
+}
+
+impl LayerCheckpoint for RunCheckpoint<'_> {
+    fn lookup(&self, layer_index: usize, layer_name: &str) -> Option<[SimStats; 3]> {
+        let key = (
+            self.network.clone(),
+            self.machine.clone(),
+            layer_index,
+            layer_name.to_string(),
+        );
+        self.file.entries.get(&key).copied()
+    }
+
+    fn record(&mut self, layer_index: usize, layer_name: &str, phases: &[SimStats; 3], clean: bool) {
+        if !clean {
+            // A layer with quarantined pair failures is partial; leaving it
+            // out of the sidecar makes the resumed run retry it.
+            return;
+        }
+        let line = emit_line(
+            &self.file.fingerprint,
+            &self.network,
+            &self.machine,
+            layer_index,
+            layer_name,
+            phases,
+        );
+        // Round-trip verify before persisting: `Json` numbers are `f64`,
+        // so a counter above 2^53 would come back rounded. Better to drop
+        // the entry (resume re-simulates the layer) than resume wrong.
+        match parse_line(&line, &self.file.fingerprint) {
+            Ok(Some((_, parsed))) if parsed == *phases => {}
+            _ => {
+                eprintln!(
+                    "ant-bench: checkpoint: layer {layer_index} ({layer_name:?}) does not \
+                     round-trip losslessly; not persisted"
+                );
+                return;
+            }
+        }
+        self.file.append_line(&line);
+        let key = (
+            self.network.clone(),
+            self.machine.clone(),
+            layer_index,
+            layer_name.to_string(),
+        );
+        self.file.entries.insert(key, *phases);
+    }
+}
+
+fn emit_line(
+    fp: &Fingerprint,
+    network: &str,
+    machine: &str,
+    layer_index: usize,
+    layer_name: &str,
+    phases: &[SimStats; 3],
+) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\"schema\":");
+    write_json_string(SCHEMA, &mut out);
+    out.push_str(&format!(
+        ",\"seed\":{},\"max_channels\":{},\"num_pes\":{}",
+        fp.seed, fp.max_channels, fp.num_pes
+    ));
+    out.push_str(&format!(
+        ",\"sparsity\":[{},{},{}]",
+        fp.sparsity[0], fp.sparsity[1], fp.sparsity[2]
+    ));
+    out.push_str(",\"network\":");
+    write_json_string(network, &mut out);
+    out.push_str(",\"machine\":");
+    write_json_string(machine, &mut out);
+    out.push_str(&format!(",\"layer_index\":{layer_index},\"layer\":"));
+    write_json_string(layer_name, &mut out);
+    out.push_str(",\"phases\":[");
+    for (pi, stats) in phases.iter().enumerate() {
+        if pi > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        for (fi, (name, value)) in stats.fields().iter().enumerate() {
+            if fi > 0 {
+                out.push(',');
+            }
+            write_json_string(name, &mut out);
+            out.push_str(&format!(":{value}"));
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Parses one checkpoint line. `Ok(None)` means the line is well-formed
+/// but belongs to another experiment config (stale fingerprint); `Err`
+/// means the line is corrupt.
+fn parse_line(line: &str, expect: &Fingerprint) -> Result<Option<(Key, [SimStats; 3])>, AntError> {
+    let bad = |reason: &str| AntError::corrupt("checkpoint", reason.to_string());
+    let json = ant_obs::parse_json(line)
+        .map_err(|e| AntError::corrupt("checkpoint", e.to_string()))?;
+    if json.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+        return Err(bad("missing or unknown schema tag"));
+    }
+    let u64_field = |key: &str| {
+        json.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad(&format!("missing integer field {key:?}")))
+    };
+    let str_field = |key: &str| {
+        json.get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| bad(&format!("missing string field {key:?}")))
+    };
+    let sparsity_json = json
+        .get("sparsity")
+        .and_then(Json::as_array)
+        .ok_or_else(|| bad("missing sparsity array"))?;
+    if sparsity_json.len() != 3 {
+        return Err(bad("sparsity array must have three entries"));
+    }
+    let mut sparsity = [0.0f64; 3];
+    for (slot, v) in sparsity.iter_mut().zip(sparsity_json) {
+        *slot = v.as_f64().ok_or_else(|| bad("non-numeric sparsity entry"))?;
+    }
+    let fingerprint = Fingerprint {
+        seed: u64_field("seed")?,
+        max_channels: u64_field("max_channels")?,
+        num_pes: u64_field("num_pes")?,
+        sparsity,
+    };
+    if fingerprint != *expect {
+        return Ok(None);
+    }
+    let key: Key = (
+        str_field("network")?,
+        str_field("machine")?,
+        u64_field("layer_index")? as usize,
+        str_field("layer")?,
+    );
+    let phases_json = json
+        .get("phases")
+        .and_then(Json::as_array)
+        .ok_or_else(|| bad("missing phases array"))?;
+    if phases_json.len() != 3 {
+        return Err(bad("phases array must have three entries"));
+    }
+    let mut phases = [SimStats::default(); 3];
+    for (stats, obj) in phases.iter_mut().zip(phases_json) {
+        let Json::Obj(map) = obj else {
+            return Err(bad("phase entry is not an object"));
+        };
+        if map.len() != stats.fields().len() {
+            return Err(bad("phase entry has the wrong counter count"));
+        }
+        for (name, value) in map {
+            let value = value
+                .as_u64()
+                .ok_or_else(|| bad(&format!("counter {name:?} is not an integer")))?;
+            if !stats.set_field(name, value) {
+                return Err(bad(&format!("unknown counter {name:?}")));
+            }
+        }
+    }
+    Ok(Some((key, phases)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "ant-checkpoint-test-{tag}-{}.jsonl",
+            std::process::id()
+        ));
+        p
+    }
+
+    fn sample_stats(salt: u64) -> [SimStats; 3] {
+        let mut phases = [SimStats::default(); 3];
+        for (pi, stats) in phases.iter_mut().enumerate() {
+            for (i, (name, _)) in SimStats::default().fields().iter().enumerate() {
+                stats.set_field(name, salt + (pi as u64) * 100 + i as u64);
+            }
+        }
+        phases
+    }
+
+    #[test]
+    fn round_trips_through_the_sidecar() {
+        let cfg = ExperimentConfig::paper_default();
+        let path = temp_path("roundtrip");
+        let phases = sample_stats(7);
+        {
+            let mut file = CheckpointFile::create(&path, &cfg).unwrap();
+            let mut scope = file.scope("netA", "ANT");
+            scope.record(0, "conv1", &phases, true);
+            scope.record(1, "conv2", &sample_stats(9), false); // dirty: dropped
+        }
+        let mut resumed = CheckpointFile::resume(&path, &cfg).unwrap();
+        assert_eq!(resumed.ignored_lines(), 0);
+        assert_eq!(resumed.resumable_layers(), 1);
+        let scope = resumed.scope("netA", "ANT");
+        assert_eq!(scope.lookup(0, "conv1"), Some(phases));
+        assert_eq!(scope.lookup(1, "conv2"), None);
+        assert_eq!(scope.lookup(0, "other"), None);
+        drop(resumed);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn stale_fingerprint_and_corrupt_lines_are_skipped() {
+        let cfg = ExperimentConfig::paper_default();
+        let path = temp_path("stale");
+        {
+            let mut file = CheckpointFile::create(&path, &cfg).unwrap();
+            file.scope("netA", "ANT").record(0, "conv1", &sample_stats(3), true);
+        }
+        // Append garbage plus a line from a different seed.
+        let mut other = cfg;
+        other.seed ^= 1;
+        let stale = emit_line(
+            &Fingerprint::of(&other),
+            "netA",
+            "ANT",
+            1,
+            "conv2",
+            &sample_stats(5),
+        );
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("not json at all\n");
+        text.push_str(&stale);
+        text.push('\n');
+        std::fs::write(&path, text).unwrap();
+
+        let resumed = CheckpointFile::resume(&path, &cfg).unwrap();
+        assert_eq!(resumed.ignored_lines(), 2);
+        assert_eq!(resumed.resumable_layers(), 1);
+        drop(resumed);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn oversized_counters_are_not_persisted() {
+        let cfg = ExperimentConfig::paper_default();
+        let path = temp_path("oversized");
+        let mut phases = sample_stats(1);
+        phases[0].pe_cycles = (1u64 << 53) + 1; // not representable in f64
+        {
+            let mut file = CheckpointFile::create(&path, &cfg).unwrap();
+            file.scope("netA", "ANT").record(0, "conv1", &phases, true);
+        }
+        let resumed = CheckpointFile::resume(&path, &cfg).unwrap();
+        assert_eq!(resumed.resumable_layers(), 0);
+        drop(resumed);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_resumes_nothing() {
+        let cfg = ExperimentConfig::paper_default();
+        let path = temp_path("missing");
+        let _ = std::fs::remove_file(&path);
+        let resumed = CheckpointFile::resume(&path, &cfg).unwrap();
+        assert_eq!(resumed.resumable_layers(), 0);
+        assert_eq!(resumed.ignored_lines(), 0);
+        drop(resumed);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -212,6 +212,41 @@ pub fn load(path: &Path) -> io::Result<Vec<HistoryEntry>> {
     Ok(out)
 }
 
+/// Like [`load`], but a corrupt or truncated line (a killed run can leave
+/// a partial last line) is skipped instead of failing the whole ledger.
+/// Returns the usable entries plus the number of lines skipped; each skip
+/// is warned about on stderr with its line number.
+///
+/// # Errors
+///
+/// Propagates read failures only — bad content never errors.
+pub fn load_lenient(path: &Path) -> io::Result<(Vec<HistoryEntry>, usize)> {
+    let text = match fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) if err.kind() == io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
+        Err(err) => return Err(err),
+    };
+    let mut out = Vec::new();
+    let mut skipped = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match HistoryEntry::parse(line) {
+            Ok(entry) => out.push(entry),
+            Err(e) => {
+                skipped += 1;
+                eprintln!(
+                    "bench_history: skipping {}:{}: {e}",
+                    path.display(),
+                    i + 1
+                );
+            }
+        }
+    }
+    Ok((out, skipped))
+}
+
 /// A synthetic baseline: the metric-wise median over `entries` (a metric
 /// contributes wherever present). The rolling-median baseline makes the
 /// regression gate robust to one outlier run in the window.

@@ -12,6 +12,9 @@
 //! * [`obs`] — the per-binary experiment harness: banner, root span,
 //!   progress reporting, and a run-manifest sidecar for every output
 //!   (tracing gated by `ANT_TRACE`; see `docs/OBSERVABILITY.md`).
+//! * [`checkpoint`] — the JSONL checkpoint sidecar behind `--resume`:
+//!   completed layers persist as they finish and are skipped (with
+//!   byte-identical merged results) when a sweep restarts.
 //! * [`history`] — the bench-history ledger (`BENCH_history.jsonl`):
 //!   append-only benchmark runs keyed by git revision, with trend-aware
 //!   regression comparison (`bench_history` binary, `scripts/bench_check.sh`).
@@ -24,6 +27,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod checkpoint;
 pub mod history;
 pub mod obs;
 pub mod report;

@@ -8,13 +8,17 @@
 //! the full layer (and by the layer's multiplicity).
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use ant_conv::efficiency::TrainingPhase;
+use ant_conv::ConvShape;
 use ant_nn::trace::ConvPair;
-use ant_sim::{ConvSim, SimScratch, SimStats};
+use ant_sim::chaos::{self, Fault};
+use ant_sim::{AntError, ConvSim, SimScratch, SimStats};
+use ant_sparse::CsrMatrix;
 use ant_workloads::models::NetworkModel;
 use ant_workloads::synth::{synthesize_layer, LayerSparsity};
 use rand::rngs::StdRng;
@@ -47,6 +51,91 @@ impl ExperimentConfig {
     }
 }
 
+/// Tuning knobs for the hardened parallel runner. `Default` matches the
+/// legacy entry points: worker count from the available CPUs, pair wall
+/// budget from the `ANT_PAIR_BUDGET_US` environment variable (unset = no
+/// watchdog).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunOptions {
+    /// Worker count. `None` (or `Some(0)`) sizes to the available CPUs;
+    /// a resolved count of 1 runs inline with no thread spawns.
+    pub threads: Option<usize>,
+    /// Wall-clock budget per pair job, in microseconds. When set, a
+    /// watchdog thread flags in-flight jobs exceeding it (they are *not*
+    /// killed — simulation jobs hold no cancellable resources) and
+    /// completed over-budget jobs are reported in
+    /// [`FailureReport::slow`]. `None` falls back to `ANT_PAIR_BUDGET_US`.
+    pub pair_budget_us: Option<u64>,
+}
+
+/// One quarantined pair job: the job failed its first attempt and its
+/// retry, so its counters are missing from the run.
+#[derive(Debug, Clone)]
+pub struct PairFailure {
+    /// Index of the source layer in the network spec.
+    pub layer_index: usize,
+    /// Source layer name.
+    pub layer: String,
+    /// Which training-phase convolution the pair belonged to.
+    pub phase: TrainingPhase,
+    /// Pair index within the phase.
+    pub pair: usize,
+    /// Machine that was simulating the pair.
+    pub machine: &'static str,
+    /// The error from the final (retry) attempt.
+    pub error: AntError,
+}
+
+/// A pair job that completed but exceeded the configured wall budget.
+#[derive(Debug, Clone, Copy)]
+pub struct SlowJob {
+    /// Index of the source layer in the network spec.
+    pub layer_index: usize,
+    /// Phase index (0 = forward, 1 = backward, 2 = update).
+    pub phase: usize,
+    /// Pair index within the phase.
+    pub pair: usize,
+    /// Observed wall time, in microseconds.
+    pub wall_us: u64,
+}
+
+/// Everything that went wrong (or was merely slow) during one network run.
+/// Deterministically ordered by `(layer, phase, pair)` regardless of worker
+/// count or steal order.
+#[derive(Debug, Clone, Default)]
+pub struct FailureReport {
+    /// Quarantined pair jobs (failed twice; counters missing from stats).
+    pub failures: Vec<PairFailure>,
+    /// Completed jobs that exceeded the watchdog's wall budget.
+    pub slow: Vec<SlowJob>,
+    /// First-attempt failures that triggered a retry (including those whose
+    /// retry then also failed).
+    pub retries: u64,
+}
+
+impl FailureReport {
+    /// Whether the run completed with no quarantined jobs.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Per-layer checkpoint storage driven by the parallel runner: completed
+/// layers' finalized (scaled) per-phase stats are recorded as the run
+/// progresses, and a resumed run skips synthesis and simulation for layers
+/// the store already holds. Implemented by
+/// [`crate::checkpoint::Checkpoint`]; tests use in-memory impls.
+pub trait LayerCheckpoint {
+    /// The scaled per-phase stats (`[forward, backward, update]`) a previous
+    /// run recorded for this layer, or `None` to simulate it afresh.
+    fn lookup(&self, layer_index: usize, layer_name: &str) -> Option<[SimStats; 3]>;
+
+    /// Called once per freshly simulated layer, in layer order. `clean` is
+    /// false when the layer had quarantined pairs — such layers must not be
+    /// replayed into later runs.
+    fn record(&mut self, layer_index: usize, layer_name: &str, phases: &[SimStats; 3], clean: bool);
+}
+
 /// Aggregated result of simulating one network on one machine.
 #[derive(Debug, Clone)]
 pub struct NetworkResult {
@@ -65,6 +154,10 @@ pub struct NetworkResult {
     /// Host wall time spent simulating this network, in microseconds
     /// (simulator speed, not modeled-hardware time).
     pub host_wall_us: u64,
+    /// Quarantined/slow-job report (empty on a clean run).
+    pub failures: FailureReport,
+    /// True when quarantined jobs left the stats incomplete.
+    pub partial: bool,
 }
 
 impl NetworkResult {
@@ -81,6 +174,8 @@ impl NetworkResult {
             per_layer: Vec::new(),
             wall_cycles: 0,
             host_wall_us: 0,
+            failures: FailureReport::default(),
+            partial: false,
         }
     }
 
@@ -176,17 +271,204 @@ fn record_network_host_metrics(result: &NetworkResult) {
 
 /// Parallel variant of [`simulate_network`]: pair-granularity jobs run on a
 /// work-stealing worker pool sized to the available CPUs (see
-/// [`simulate_network_parallel_with_threads`]; results are bit-identical to
-/// the serial runner for any worker count).
+/// [`try_simulate_network_parallel`]; results are bit-identical to the
+/// serial runner for any worker count).
+///
+/// # Panics
+///
+/// Panics on an invalid configuration (zero PEs, malformed sparsity or
+/// layer spec); use [`try_simulate_network_parallel`] for typed errors.
 pub fn simulate_network_parallel<S: ConvSim + Sync + ?Sized>(
     pe: &S,
     net: &NetworkModel,
     cfg: &ExperimentConfig,
 ) -> NetworkResult {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    simulate_network_parallel_with_threads(pe, net, cfg, threads)
+    try_simulate_network_parallel(pe, net, cfg, &RunOptions::default())
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// The hardened parallel entry point: validates the configuration up front,
+/// isolates every pair job behind `catch_unwind` (failed jobs are retried
+/// once, then quarantined into [`NetworkResult::failures`] with the stats
+/// marked [`NetworkResult::partial`]), and degrades zero-worker configs to
+/// an inline serial run instead of deadlocking.
+///
+/// # Errors
+///
+/// Returns [`AntError::InvalidConfig`] for unusable configurations (zero
+/// PEs, sparsities outside `[0, 1]`, zero-dimension layer specs),
+/// [`AntError::Shape`] when a layer's phase shapes cannot be constructed,
+/// and [`AntError::Panic`] if a worker thread dies outside the per-job
+/// isolation boundary. Individual pair-job failures do NOT error the run —
+/// they are quarantined and reported.
+pub fn try_simulate_network_parallel<S: ConvSim + Sync + ?Sized>(
+    pe: &S,
+    net: &NetworkModel,
+    cfg: &ExperimentConfig,
+    opts: &RunOptions,
+) -> Result<NetworkResult, AntError> {
+    run_network_parallel(pe, net, cfg, opts, None)
+}
+
+/// Like [`try_simulate_network_parallel`], with checkpoint/resume: layers
+/// already in `checkpoint` are skipped (their stored stats merge in
+/// byte-identically — per-layer synthesis seeds depend only on the layer
+/// index), and each freshly completed layer is recorded write-through.
+pub fn try_simulate_network_parallel_checkpointed<S: ConvSim + Sync + ?Sized>(
+    pe: &S,
+    net: &NetworkModel,
+    cfg: &ExperimentConfig,
+    opts: &RunOptions,
+    checkpoint: &mut dyn LayerCheckpoint,
+) -> Result<NetworkResult, AntError> {
+    run_network_parallel(pe, net, cfg, opts, Some(checkpoint))
+}
+
+/// Rejects configurations the runners cannot execute, with structured
+/// context. An empty network is valid (the run yields an empty result).
+fn validate_experiment(net: &NetworkModel, cfg: &ExperimentConfig) -> Result<(), AntError> {
+    if cfg.num_pes == 0 {
+        return Err(AntError::invalid_config(
+            "num_pes",
+            "wall-clock division needs at least one PE (got 0)",
+        ));
+    }
+    if cfg.max_channels == 0 {
+        return Err(AntError::invalid_config(
+            "max_channels",
+            "channel sampling needs at least one channel per side (got 0)",
+        ));
+    }
+    for (name, s) in [
+        ("sparsity.weight", cfg.sparsity.weight),
+        ("sparsity.activation", cfg.sparsity.activation),
+        ("sparsity.gradient", cfg.sparsity.gradient),
+    ] {
+        if !(0.0..=1.0).contains(&s) {
+            return Err(AntError::InvalidConfig {
+                param: name,
+                reason: format!("sparsity {s} outside [0, 1]"),
+            });
+        }
+    }
+    for (li, layer) in net.layers.iter().enumerate() {
+        for (dim, value) in [
+            ("out_channels", layer.out_channels),
+            ("in_channels", layer.in_channels),
+            ("kernel_h", layer.kernel_h),
+            ("kernel_w", layer.kernel_w),
+            ("input_h", layer.input_h),
+            ("input_w", layer.input_w),
+            ("stride", layer.stride),
+        ] {
+            if value == 0 {
+                return Err(AntError::invalid_config(
+                    "layer",
+                    format!("layer {li} ({:?}): {dim} must be non-zero", layer.name),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The pair wall budget from `ANT_PAIR_BUDGET_US`, resolved once. An
+/// unparsable value warns and disables the watchdog.
+fn budget_from_env() -> Option<u64> {
+    static BUDGET: OnceLock<Option<u64>> = OnceLock::new();
+    *BUDGET.get_or_init(|| match std::env::var("ANT_PAIR_BUDGET_US") {
+        Ok(raw) if !raw.trim().is_empty() => match raw.trim().parse::<u64>() {
+            Ok(us) if us > 0 => Some(us),
+            _ => {
+                eprintln!("ant-bench: ignoring invalid ANT_PAIR_BUDGET_US={raw:?} (want a positive integer)");
+                None
+            }
+        },
+        _ => None,
+    })
+}
+
+/// Encodes a [`PairTask`] into one word for the watchdog's atomic slots.
+fn encode_task(task: PairTask) -> u64 {
+    ((task.layer as u64) << 40) | ((task.phase as u64) << 32) | (task.pair as u64 & 0xFFFF_FFFF)
+}
+
+fn decode_task(word: u64) -> (usize, usize, usize) {
+    (
+        (word >> 40) as usize,
+        ((word >> 32) & 0xFF) as usize,
+        (word & 0xFFFF_FFFF) as usize,
+    )
+}
+
+/// Per-worker watchdog slot: which job the worker is on and when it
+/// started, published so the watchdog thread can flag stuck jobs.
+#[derive(Default)]
+struct WatchSlot {
+    /// Job start as `elapsed_us + 1` since run start; 0 = idle.
+    start_us: AtomicU64,
+    /// The in-flight task, [`encode_task`]-encoded.
+    task: AtomicU64,
+}
+
+/// The error a chaos-truncated CSR plane produces: rebuilds the kernel with
+/// its last row pointer dropped and returns the validation failure.
+fn truncated_csr_error(kernel: &CsrMatrix) -> AntError {
+    let (rows, cols) = kernel.shape();
+    let mut row_ptr = kernel.row_ptr().to_vec();
+    row_ptr.pop();
+    match CsrMatrix::from_raw(
+        rows,
+        cols,
+        row_ptr,
+        kernel.col_idx().to_vec(),
+        kernel.values().to_vec(),
+    ) {
+        Err(e) => e.into(),
+        Ok(_) => AntError::corrupt("chaos", "truncated row_ptr unexpectedly validated"),
+    }
+}
+
+/// Simulates one pair behind the isolation boundary, applying an injected
+/// chaos fault if one is scheduled for this attempt.
+fn run_pair_job<S: ConvSim + Sync + ?Sized>(
+    pe: &S,
+    pair: &ConvPair,
+    fault: Option<Fault>,
+    scratch: &mut SimScratch,
+) -> Result<SimStats, AntError> {
+    let outcome = catch_unwind(AssertUnwindSafe(|| match fault {
+        Some(Fault::WorkerPanic) => panic!("chaos: injected worker panic"),
+        Some(Fault::TruncatedCsr) => Err(truncated_csr_error(&pair.kernel)),
+        Some(Fault::CorruptShape) => {
+            // A shape that disagrees with the operands: either construction
+            // fails (kernel outgrew the image) or the operand check does.
+            let shape = ConvShape::new(
+                pair.shape.kernel_h() + 1,
+                pair.shape.kernel_w() + 1,
+                pair.shape.image_h(),
+                pair.shape.image_w(),
+                pair.shape.stride(),
+            )?;
+            pe.try_simulate_conv_pair(&pair.kernel, &pair.image, &shape, scratch)
+        }
+        None => pe.try_simulate_conv_pair(&pair.kernel, &pair.image, &pair.shape, scratch),
+    }));
+    match outcome {
+        Ok(result) => result,
+        Err(payload) => Err(AntError::from_panic("pair job", payload.as_ref())),
+    }
+}
+
+/// One worker's harvest: per-(layer, phase) partial sums plus everything
+/// the failure report needs.
+struct WorkerOutput {
+    partial: Vec<SimStats>,
+    executed: u64,
+    stolen: u64,
+    failures: Vec<PairFailure>,
+    slow: Vec<SlowJob>,
+    retries: u64,
 }
 
 /// One pair-granularity unit for the work-stealing scheduler: indices into
@@ -198,41 +480,90 @@ struct PairTask {
     pair: usize,
 }
 
-/// Work-stealing parallel runner with an explicit worker count.
+/// Work-stealing parallel runner with an explicit worker count. `threads`
+/// of 0 degrades to a single inline worker instead of deadlocking.
 ///
-/// Three stages, each bit-identical to [`simulate_network`]:
+/// # Panics
 ///
-/// 1. **Synthesis** — layers are synthesized concurrently (each layer's RNG
-///    seed derives from its index alone, so synthesis order is free).
-/// 2. **Simulation** — every (layer, phase, pair) becomes one job. Jobs are
-///    dealt to per-worker deques in contiguous chunks (a worker runs one
-///    layer's like-shaped pairs back to back, keeping its [`SimScratch`]
-///    warm); an idle worker steals from the *back* of a victim's deque —
-///    the work its owner is furthest from reaching. Each worker folds raw
-///    pair counters into per-(layer, phase) partials; the counters are
-///    `u64` sums, so accumulation order cannot change the result.
-/// 3. **Merge** — partials are summed across workers, then clamped, scaled,
-///    and accumulated in exact serial layer order via the same
-///    [`finalize_phase`] the serial runner uses.
+/// Panics on an invalid configuration (zero PEs, malformed sparsity or
+/// layer spec); use [`try_simulate_network_parallel`] for typed errors.
 pub fn simulate_network_parallel_with_threads<S: ConvSim + Sync + ?Sized>(
     pe: &S,
     net: &NetworkModel,
     cfg: &ExperimentConfig,
     threads: usize,
 ) -> NetworkResult {
+    let opts = RunOptions {
+        threads: Some(threads),
+        ..RunOptions::default()
+    };
+    try_simulate_network_parallel(pe, net, cfg, &opts).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// The work-stealing runner behind every parallel entry point.
+///
+/// Three stages, each bit-identical to [`simulate_network`]:
+///
+/// 1. **Synthesis** — layers are synthesized concurrently (each layer's RNG
+///    seed derives from its index alone, so synthesis order is free).
+///    Checkpointed layers are skipped entirely.
+/// 2. **Simulation** — every (layer, phase, pair) becomes one job. Jobs are
+///    dealt to per-worker deques in contiguous chunks (a worker runs one
+///    layer's like-shaped pairs back to back, keeping its [`SimScratch`]
+///    warm); an idle worker steals from the *back* of a victim's deque —
+///    the work its owner is furthest from reaching. Each job runs behind
+///    `catch_unwind`: a failed job is retried once on a fresh scratch
+///    arena, then quarantined. Each worker folds raw pair counters into
+///    per-(layer, phase) partials; the counters are `u64` sums, so
+///    accumulation order cannot change the result.
+/// 3. **Merge** — partials are summed across workers, then clamped, scaled,
+///    and accumulated in exact serial layer order via the same
+///    [`finalize_phase`] the serial runner uses. Failures are sorted into
+///    deterministic `(layer, phase, pair)` order and reported.
+fn run_network_parallel<S: ConvSim + Sync + ?Sized>(
+    pe: &S,
+    net: &NetworkModel,
+    cfg: &ExperimentConfig,
+    opts: &RunOptions,
+    mut checkpoint: Option<&mut dyn LayerCheckpoint>,
+) -> Result<NetworkResult, AntError> {
+    validate_experiment(net, cfg)?;
     let started = Instant::now();
     let mut span = ant_obs::span("network");
-    // Stage 1: synthesize all layers, claiming indices from a shared atomic.
-    let slots: Vec<OnceLock<LayerWork>> =
+    let threads = opts
+        .threads
+        .filter(|&t| t > 0)
+        .or_else(|| std::thread::available_parallelism().map(|n| n.get()).ok())
+        .unwrap_or(1);
+    let budget_us = opts.pair_budget_us.or_else(budget_from_env);
+    let chaos_cfg = chaos::active();
+
+    // Resume: layers a previous run already completed merge from storage.
+    let prior: Vec<Option<[SimStats; 3]>> = net
+        .layers
+        .iter()
+        .enumerate()
+        .map(|(li, layer)| {
+            checkpoint
+                .as_deref()
+                .and_then(|c| c.lookup(li, &layer.name))
+        })
+        .collect();
+    let resumed = prior.iter().filter(|p| p.is_some()).count();
+
+    // Stage 1: synthesize the pending layers, claiming indices from a
+    // shared atomic.
+    let pending: Vec<usize> = (0..net.layers.len())
+        .filter(|&li| prior[li].is_none())
+        .collect();
+    let slots: Vec<OnceLock<Result<LayerWork, AntError>>> =
         (0..net.layers.len()).map(|_| OnceLock::new()).collect();
-    let next_layer = AtomicUsize::new(0);
-    let synth_workers = threads.clamp(1, net.layers.len().max(1));
+    let next_pending = AtomicUsize::new(0);
+    let synth_workers = threads.clamp(1, pending.len().max(1));
     let synth_loop = || loop {
-        let li = next_layer.fetch_add(1, Ordering::Relaxed);
-        if li >= net.layers.len() {
-            break;
-        }
-        let work = synthesize_layer_work(&net.layers[li], li, cfg);
+        let i = next_pending.fetch_add(1, Ordering::Relaxed);
+        let Some(&li) = pending.get(i) else { break };
+        let work = try_synthesize_layer_work(&net.layers[li], li, cfg);
         let stored = slots[li].set(work);
         debug_assert!(stored.is_ok(), "layer {li} synthesized twice");
     };
@@ -247,14 +578,19 @@ pub fn simulate_network_parallel_with_threads<S: ConvSim + Sync + ?Sized>(
             }
         });
     }
-    let layer_work: Vec<LayerWork> = slots
-        .into_iter()
-        .map(|slot| slot.into_inner().expect("all layers synthesized"))
-        .collect();
+    let mut layer_work: Vec<Option<LayerWork>> = Vec::with_capacity(net.layers.len());
+    for slot in slots {
+        match slot.into_inner() {
+            None => layer_work.push(None), // resumed from the checkpoint
+            Some(Ok(work)) => layer_work.push(Some(work)),
+            Some(Err(e)) => return Err(e),
+        }
+    }
 
     // Pair-granularity job list, in serial simulation order.
     let mut jobs: Vec<PairTask> = Vec::new();
     for (li, work) in layer_work.iter().enumerate() {
+        let Some(work) = work else { continue };
         for (pi, (_, pairs, _)) in work.phases.iter().enumerate() {
             jobs.extend((0..pairs.len()).map(|pair| PairTask {
                 layer: li,
@@ -269,7 +605,8 @@ pub fn simulate_network_parallel_with_threads<S: ConvSim + Sync + ?Sized>(
         .record("threads", workers)
         .record("parallel", true)
         .record("scheduler", "work-steal")
-        .record("jobs", jobs.len());
+        .record("jobs", jobs.len())
+        .record("resumed_layers", resumed);
 
     // Stage 2: deal contiguous chunks, then run the stealing loop.
     let chunk = jobs.len().div_ceil(workers).max(1);
@@ -280,65 +617,194 @@ pub fn simulate_network_parallel_with_threads<S: ConvSim + Sync + ?Sized>(
             Mutex::new(jobs[lo..hi].iter().copied().collect())
         })
         .collect();
-    let worker_body = |me: usize| {
+    let watch: Vec<WatchSlot> = (0..workers).map(|_| WatchSlot::default()).collect();
+    let stop_watchdog = AtomicBool::new(false);
+    let worker_body = |me: usize| -> WorkerOutput {
         let mut worker_span = ant_obs::span("steal_worker");
         worker_span.record("worker", me);
         let mut scratch = SimScratch::new();
-        let mut partial = vec![SimStats::default(); layer_work.len() * 3];
-        let mut executed = 0u64;
-        let mut stolen = 0u64;
+        let mut out = WorkerOutput {
+            partial: vec![SimStats::default(); net.layers.len() * 3],
+            executed: 0,
+            stolen: 0,
+            failures: Vec::new(),
+            slow: Vec::new(),
+            retries: 0,
+        };
         loop {
-            let task = deques[me].lock().expect("deque poisoned").pop_front();
+            // A worker that caught a panic may have poisoned a deque lock
+            // mid-pop on older toolchains; the deque holds Copy tasks, so
+            // recovering the guard is always safe.
+            let task = deques[me]
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .pop_front();
             let task = task.or_else(|| {
                 (1..workers).find_map(|off| {
                     let victim = (me + off) % workers;
-                    let task = deques[victim].lock().expect("deque poisoned").pop_back();
-                    stolen += u64::from(task.is_some());
+                    let task = deques[victim]
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .pop_back();
+                    out.stolen += u64::from(task.is_some());
                     task
                 })
             });
             // No new jobs are ever produced, so one full empty
             // scan means the pool is drained for good.
             let Some(task) = task else { break };
-            let (_, pairs, _) = &layer_work[task.layer].phases[task.phase];
+            let Some(work) = layer_work[task.layer].as_ref() else {
+                continue;
+            };
+            let (phase, pairs, _) = &work.phases[task.phase];
             let pair = &pairs[task.pair];
-            partial[task.layer * 3 + task.phase].accumulate(&pe.simulate_conv_pair_scratch(
-                &pair.kernel,
-                &pair.image,
-                &pair.shape,
-                &mut scratch,
-            ));
-            executed += 1;
+            let job_started = budget_us.map(|_| {
+                watch[me]
+                    .task
+                    .store(encode_task(task), Ordering::Relaxed);
+                watch[me]
+                    .start_us
+                    .store(started.elapsed().as_micros() as u64 + 1, Ordering::Release);
+                Instant::now()
+            });
+            let fault = |attempt| {
+                chaos_cfg.and_then(|c| c.fault_for(task.layer, task.phase, task.pair, attempt))
+            };
+            let mut result = run_pair_job(pe, pair, fault(0), &mut scratch);
+            if result.is_err() {
+                out.retries += 1;
+                // The caught panic may have left the arena mid-mutation;
+                // retry on a fresh one (failure path only — the clean path
+                // stays allocation-free).
+                scratch = SimScratch::new();
+                result = run_pair_job(pe, pair, fault(1), &mut scratch);
+            }
+            if let Some(job_started) = job_started {
+                watch[me].start_us.store(0, Ordering::Release);
+                let wall_us = job_started.elapsed().as_micros() as u64;
+                if wall_us > budget_us.unwrap_or(u64::MAX) {
+                    out.slow.push(SlowJob {
+                        layer_index: task.layer,
+                        phase: task.phase,
+                        pair: task.pair,
+                        wall_us,
+                    });
+                }
+            }
+            match result {
+                Ok(stats) => out.partial[task.layer * 3 + task.phase].accumulate(&stats),
+                Err(error) => out.failures.push(PairFailure {
+                    layer_index: task.layer,
+                    layer: net.layers[task.layer].name.clone(),
+                    phase: *phase,
+                    pair: task.pair,
+                    machine: pe.name(),
+                    error,
+                }),
+            }
+            out.executed += 1;
         }
         if worker_span.is_recording() {
-            worker_span.record("jobs_executed", executed);
-            worker_span.record("jobs_stolen", stolen);
+            worker_span.record("jobs_executed", out.executed);
+            worker_span.record("jobs_stolen", out.stolen);
+            worker_span.record("jobs_failed", out.failures.len());
         }
-        (partial, executed, stolen)
+        out
     };
-    let partials: Vec<(Vec<SimStats>, u64, u64)> = if workers == 1 {
-        // Single worker: the deque drains front-to-back inline, identical
-        // to the spawned path minus the thread round-trip.
+    let outputs: Vec<WorkerOutput> = if workers == 1 && budget_us.is_none() {
+        // Single worker, no watchdog: the deque drains front-to-back
+        // inline, identical to the spawned path minus the thread round-trip.
         vec![worker_body(0)]
     } else {
-        std::thread::scope(|scope| {
+        std::thread::scope(|scope| -> Result<Vec<WorkerOutput>, AntError> {
             let worker_body = &worker_body;
+            if let Some(budget) = budget_us {
+                let watch = &watch;
+                let stop = &stop_watchdog;
+                let run_start = &started;
+                scope.spawn(move || watchdog_loop(stop, watch, run_start, budget));
+            }
             let handles: Vec<_> = (0..workers)
                 .map(|me| scope.spawn(move || worker_body(me)))
                 .collect();
-            handles
+            let joined: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+            stop_watchdog.store(true, Ordering::Release);
+            joined
                 .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
+                .map(|j| {
+                    j.map_err(|payload| {
+                        AntError::from_panic("steal worker", payload.as_ref())
+                    })
+                })
                 .collect()
-        })
+        })?
     };
+
+    // Deterministic failure report: worker attribution depends on steal
+    // order, but the set of failed jobs does not, so sorting by job
+    // coordinates makes the report reproducible for any thread count.
+    let mut report = FailureReport::default();
+    for out in &outputs {
+        report.failures.extend(out.failures.iter().cloned());
+        report.slow.extend(out.slow.iter().copied());
+        report.retries += out.retries;
+    }
+    report
+        .failures
+        .sort_by_key(|f| (f.layer_index, f.phase as usize, f.pair));
+    report.slow.sort_by_key(|s| (s.layer_index, s.phase, s.pair));
+    let failed_layers: std::collections::BTreeSet<usize> =
+        report.failures.iter().map(|f| f.layer_index).collect();
+    if ant_obs::enabled() {
+        for f in &report.failures {
+            ant_obs::event(
+                "pair_failure",
+                &[
+                    ("layer", f.layer.as_str().into()),
+                    ("layer_index", (f.layer_index as u64).into()),
+                    ("phase", f.phase.paper_name().into()),
+                    ("pair", (f.pair as u64).into()),
+                    ("machine", f.machine.into()),
+                    ("kind", f.error.kind().into()),
+                    ("error", f.error.to_string().as_str().into()),
+                ],
+            );
+        }
+    }
+    ant_obs::registry()
+        .counter("runner.pair_failures")
+        .add(report.failures.len() as u64);
+    ant_obs::registry()
+        .counter("runner.pair_retries")
+        .add(report.retries);
 
     // Stage 3: sum partials across workers, then finalize in serial layer
     // order so every downstream aggregate matches the serial runner.
     let mut merged = NetworkResult::empty(net.name, pe.name());
     merged.per_layer.reserve(net.layers.len());
     for (li, layer) in net.layers.iter().enumerate() {
-        let work = &layer_work[li];
+        let mut layer_total = SimStats::default();
+        if let Some(stored) = &prior[li] {
+            // Resumed layer: the stored stats are the finalized per-phase
+            // outputs of an identical earlier run.
+            for (pi, scaled) in stored.iter().enumerate() {
+                merged.total.accumulate(scaled);
+                merged.per_phase[pi].1.accumulate(scaled);
+                layer_total.accumulate(scaled);
+            }
+            merged.per_layer.push(LayerStats {
+                index: li,
+                name: layer.name.clone(),
+                stats: layer_total,
+            });
+            continue;
+        }
+        let Some(work) = &layer_work[li] else {
+            return Err(AntError::corrupt(
+                "runner",
+                format!("layer {li} neither synthesized nor resumed"),
+            ));
+        };
         let mut layer_span = ant_obs::span("layer");
         layer_span
             .record("layer", layer.name.as_str())
@@ -346,11 +812,15 @@ pub fn simulate_network_parallel_with_threads<S: ConvSim + Sync + ?Sized>(
             .record("network", net.name)
             .record("machine", pe.name())
             .record("channel_scale", work.channel_scale);
-        let mut layer_total = SimStats::default();
+        let mut scaled_phases = [
+            SimStats::default(),
+            SimStats::default(),
+            SimStats::default(),
+        ];
         for (pi, (phase, pairs, distinct_images)) in work.phases.iter().enumerate() {
             let mut phase_stats = SimStats::default();
-            for (partial, _, _) in &partials {
-                phase_stats.accumulate(&partial[li * 3 + pi]);
+            for out in &outputs {
+                phase_stats.accumulate(&out.partial[li * 3 + pi]);
             }
             let scaled = finalize_phase(phase_stats, *distinct_images, work.scale);
             // Same phase-delta contract as the serial runner's spans; the
@@ -367,14 +837,13 @@ pub fn simulate_network_parallel_with_threads<S: ConvSim + Sync + ?Sized>(
                 phase_span.record_all(stats_fields(&scaled));
             }
             merged.total.accumulate(&scaled);
-            merged
-                .per_phase
-                .iter_mut()
-                .find(|(p, _)| p == phase)
-                .expect("phase present")
-                .1
-                .accumulate(&scaled);
+            debug_assert_eq!(merged.per_phase[pi].0, *phase);
+            merged.per_phase[pi].1.accumulate(&scaled);
             layer_total.accumulate(&scaled);
+            scaled_phases[pi] = scaled;
+        }
+        if let Some(ckpt) = checkpoint.as_deref_mut() {
+            ckpt.record(li, &layer.name, &scaled_phases, !failed_layers.contains(&li));
         }
         merged.per_layer.push(LayerStats {
             index: li,
@@ -382,6 +851,8 @@ pub fn simulate_network_parallel_with_threads<S: ConvSim + Sync + ?Sized>(
             stats: layer_total,
         });
     }
+    merged.partial = !report.is_clean();
+    merged.failures = report;
     merged.wall_cycles = merged
         .total
         .total_cycles()
@@ -391,13 +862,48 @@ pub fn simulate_network_parallel_with_threads<S: ConvSim + Sync + ?Sized>(
     record_network_host_metrics(&merged);
     if span.is_recording() {
         span.record("layers", net.layers.len());
-        span.record("jobs_stolen", partials.iter().map(|(_, _, s)| *s).sum::<u64>());
+        span.record(
+            "jobs_stolen",
+            outputs.iter().map(|o| o.stolen).sum::<u64>(),
+        );
+        span.record("jobs_failed", merged.failures.failures.len());
+        span.record("job_retries", merged.failures.retries);
+        span.record("partial", merged.partial);
         span.record("wall_cycles", merged.wall_cycles);
         span.record_all(stats_fields(&merged.total));
         span.record("host_wall_us", merged.host_wall_us);
         span.record_all(throughput_fields(&merged.total, merged.host_wall_us));
     }
-    merged
+    Ok(merged)
+}
+
+/// The watchdog: samples every worker's in-flight job and warns (once per
+/// job) when one exceeds the wall budget. Jobs are flagged, not killed —
+/// a stuck job holds no cancellable resources, and the warning is the
+/// operator's cue to lower the workload or raise the budget.
+fn watchdog_loop(stop: &AtomicBool, watch: &[WatchSlot], run_start: &Instant, budget_us: u64) {
+    let mut warned: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    let tick = Duration::from_micros((budget_us / 4).clamp(1_000, 50_000));
+    while !stop.load(Ordering::Acquire) {
+        std::thread::sleep(tick);
+        let now_us = run_start.elapsed().as_micros() as u64;
+        for (w, slot) in watch.iter().enumerate() {
+            let start_plus_one = slot.start_us.load(Ordering::Acquire);
+            if start_plus_one == 0 {
+                continue;
+            }
+            let elapsed = now_us.saturating_sub(start_plus_one - 1);
+            let task = slot.task.load(Ordering::Relaxed);
+            if elapsed > budget_us && warned.insert(task) {
+                let (layer, phase, pair) = decode_task(task);
+                eprintln!(
+                    "ant-bench: watchdog: worker {w} pair job \
+                     layer={layer} phase={phase} pair={pair} \
+                     in flight {elapsed}us (budget {budget_us}us)"
+                );
+            }
+        }
+    }
 }
 
 /// One layer's synthesized sample plus the constants needed to reproduce
@@ -424,9 +930,28 @@ fn synthesize_layer_work(
     layer_index: usize,
     cfg: &ExperimentConfig,
 ) -> LayerWork {
+    try_synthesize_layer_work(layer, layer_index, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible twin of [`synthesize_layer_work`]: trace-extraction errors and
+/// panics inside synthesis come back as typed errors tagged with the layer.
+fn try_synthesize_layer_work(
+    layer: &ant_workloads::ConvLayerSpec,
+    layer_index: usize,
+    cfg: &ExperimentConfig,
+) -> Result<LayerWork, AntError> {
     let mut rng =
         StdRng::seed_from_u64(cfg.seed ^ (layer_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-    let synth = synthesize_layer(layer, &cfg.sparsity, cfg.max_channels, &mut rng);
+    let synth = catch_unwind(AssertUnwindSafe(|| {
+        synthesize_layer(layer, &cfg.sparsity, cfg.max_channels, &mut rng)
+    }))
+    .map_err(|payload| {
+        let inner = AntError::from_panic("layer synthesis", payload.as_ref());
+        AntError::corrupt(
+            "synthesis",
+            format!("layer {layer_index} ({:?}): {inner}", layer.name),
+        )
+    })?;
     // Image-stationary reuse (paper Sections 2.3 and 6.1): the resident
     // image plane is held while every kernel matrix streams past, so the
     // five-cycle pipeline start-up is paid once per *image*, not once per
@@ -436,27 +961,27 @@ fn synthesize_layer_work(
     // amortization applies equally.
     let in_images = synth.trace.in_channels() as u64;
     let out_images = synth.trace.out_channels() as u64;
-    LayerWork {
+    Ok(LayerWork {
         scale: synth.channel_scale * layer.count as f64,
         channel_scale: synth.channel_scale,
         phases: [
             (
                 TrainingPhase::Forward,
-                synth.trace.forward_pairs().expect("valid layer spec"),
+                synth.trace.forward_pairs()?,
                 in_images,
             ),
             (
                 TrainingPhase::Backward,
-                synth.trace.backward_pairs().expect("valid layer spec"),
+                synth.trace.backward_pairs()?,
                 out_images,
             ),
             (
                 TrainingPhase::Update,
-                synth.trace.update_pairs().expect("valid layer spec"),
+                synth.trace.update_pairs()?,
                 in_images,
             ),
         ],
-    }
+    })
 }
 
 /// Applies the per-phase start-up clamp and channel scaling to raw
@@ -492,7 +1017,7 @@ fn accumulate_layer<S: ConvSim + ?Sized>(
     let work = synthesize_layer_work(layer, layer_index, cfg);
     layer_span.record("channel_scale", work.channel_scale);
     let mut layer_total = SimStats::default();
-    for (phase, pairs, distinct_images) in &work.phases {
+    for (pi, (phase, pairs, distinct_images)) in work.phases.iter().enumerate() {
         let phase_started = Instant::now();
         let mut phase_span = ant_obs::span("phase");
         phase_span
@@ -517,12 +1042,10 @@ fn accumulate_layer<S: ConvSim + ?Sized>(
             phase_span.record_all(throughput_fields(&scaled, phase_wall_us));
         }
         out.total.accumulate(&scaled);
-        out.per_phase
-            .iter_mut()
-            .find(|(p, _)| p == phase)
-            .expect("phase present")
-            .1
-            .accumulate(&scaled);
+        // `per_phase` is built in `[Forward, Backward, Update]` order, the
+        // same order `LayerWork::phases` uses, so direct indexing holds.
+        debug_assert_eq!(out.per_phase[pi].0, *phase);
+        out.per_phase[pi].1.accumulate(&scaled);
         layer_total.accumulate(&scaled);
     }
     out.per_layer.push(LayerStats {

@@ -92,6 +92,24 @@ fn loading_corrupt_ledger_names_the_line() {
     std::fs::remove_file(&path).ok();
 }
 
+#[test]
+fn lenient_load_skips_corrupt_lines_and_counts_them() {
+    // A killed run can truncate the last line mid-write; the compare path
+    // must still see every intact entry rather than refusing the ledger.
+    let path = temp_ledger("lenient");
+    let good = history::record(WorkloadSet::Tiny, 1);
+    history::append(&path, &good).expect("append good");
+    let mut text = std::fs::read_to_string(&path).expect("read back");
+    text.push_str("not json at all\n");
+    text.push_str(&good.to_json_line()[..40]); // truncated mid-write
+    text.push('\n');
+    std::fs::write(&path, text).expect("corrupt");
+    let (entries, skipped) = history::load_lenient(&path).expect("lenient load");
+    assert_eq!(entries, vec![good]);
+    assert_eq!(skipped, 2);
+    std::fs::remove_file(&path).ok();
+}
+
 /// Acceptance: a recorded run compared against itself reports zero
 /// regressions, and the same run with a 10% injected cycle regression is
 /// flagged at the default 5% threshold.

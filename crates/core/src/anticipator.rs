@@ -207,9 +207,26 @@ impl Anticipator {
     /// # Panics
     ///
     /// Panics if either FNIR parameter (`config.n`, `config.k`) is zero.
+    /// Use [`Anticipator::try_new`] for a fallible constructor.
     pub fn new(config: AntConfig) -> Self {
-        let fnir = Fnir::new(config.n, config.k).expect("valid FNIR parameters");
-        Self { config, fnir }
+        Self::try_new(config).expect("valid FNIR parameters")
+    }
+
+    /// Creates an anticipator, rejecting unusable FNIR parameters with a
+    /// typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AntError::InvalidConfig`] when either FNIR parameter
+    /// (`config.n`, `config.k`) is zero.
+    pub fn try_new(config: AntConfig) -> Result<Self, crate::AntError> {
+        let fnir = Fnir::new(config.n, config.k).map_err(|e| {
+            crate::AntError::invalid_config(
+                "fnir",
+                format!("n={} k={}: {e}", config.n, config.k),
+            )
+        })?;
+        Ok(Self { config, fnir })
     }
 
     /// The configuration in use.

@@ -54,10 +54,12 @@
 pub mod anticipator;
 pub mod area;
 pub mod dataflow;
+pub mod error;
 pub mod fnir;
 pub mod range;
 pub mod rotate;
 pub mod scan;
 
 pub use anticipator::{AntConfig, AntScratch, Anticipator};
+pub use error::AntError;
 pub use fnir::{Fnir, FnirSelect};

@@ -46,5 +46,6 @@ pub mod sparse_train;
 pub mod tensor;
 pub mod trace;
 
+pub use ant_core::AntError;
 pub use tensor::Tensor4;
 pub use trace::ConvTrace;

@@ -9,6 +9,7 @@
 
 use ant_conv::dense as cdense;
 use ant_conv::{ConvError, ConvShape};
+use ant_core::AntError;
 use ant_sparse::{CsrMatrix, DenseMatrix};
 
 use crate::layers::Conv2d;
@@ -97,7 +98,8 @@ impl ConvTrace {
     ///
     /// # Panics
     ///
-    /// Panics if the plane collections are empty or ragged.
+    /// Panics if the plane collections are empty or ragged. Use
+    /// [`ConvTrace::try_from_planes`] for a fallible constructor.
     pub fn from_planes(
         name: &str,
         stride: usize,
@@ -105,26 +107,66 @@ impl ConvTrace {
         activations: Vec<DenseMatrix>,
         grad_out: Vec<DenseMatrix>,
     ) -> Self {
-        assert!(
-            !weights.is_empty() && !activations.is_empty() && !grad_out.is_empty(),
-            "trace planes must be non-empty"
-        );
-        assert_eq!(
-            weights.len(),
-            grad_out.len(),
-            "one weight row per output channel"
-        );
-        assert!(
-            weights.iter().all(|row| row.len() == activations.len()),
-            "one weight plane per (k, c) pair"
-        );
-        Self {
+        Self::try_from_planes(name, stride, weights, activations, grad_out)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds a trace directly from planes, rejecting empty or ragged
+    /// collections with a typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AntError::InvalidConfig`] when any plane collection is
+    /// empty, when the weight rows don't match the output-gradient channel
+    /// count, or when a weight row is ragged against the input channels.
+    pub fn try_from_planes(
+        name: &str,
+        stride: usize,
+        weights: Vec<Vec<DenseMatrix>>,
+        activations: Vec<DenseMatrix>,
+        grad_out: Vec<DenseMatrix>,
+    ) -> Result<Self, AntError> {
+        if weights.is_empty() || activations.is_empty() || grad_out.is_empty() {
+            return Err(AntError::invalid_config(
+                "trace_planes",
+                format!(
+                    "trace planes must be non-empty (layer {name:?}: \
+                     {} weight rows, {} activations, {} gradients)",
+                    weights.len(),
+                    activations.len(),
+                    grad_out.len()
+                ),
+            ));
+        }
+        if weights.len() != grad_out.len() {
+            return Err(AntError::invalid_config(
+                "trace_planes",
+                format!(
+                    "layer {name:?} needs one weight row per output channel \
+                     ({} weight rows, {} gradient planes)",
+                    weights.len(),
+                    grad_out.len()
+                ),
+            ));
+        }
+        if let Some(row) = weights.iter().position(|row| row.len() != activations.len()) {
+            return Err(AntError::invalid_config(
+                "trace_planes",
+                format!(
+                    "layer {name:?} weight row {row} has {} planes but there \
+                     are {} input channels",
+                    weights[row].len(),
+                    activations.len()
+                ),
+            ));
+        }
+        Ok(Self {
             name: name.to_string(),
             stride,
             weights,
             activations,
             grad_out,
-        }
+        })
     }
 
     /// Output channel count `K`.

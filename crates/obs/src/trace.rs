@@ -106,12 +106,12 @@ pub fn detail_enabled() -> bool {
 /// The file currently backing the sink, if it is file-backed.
 pub fn trace_file() -> Option<PathBuf> {
     ensure_init();
-    TRACE_FILE.lock().unwrap().clone()
+    TRACE_FILE.lock().unwrap_or_else(|p| p.into_inner()).clone()
 }
 
 fn install_inner(sink: Arc<Sink>, detail: bool, path: Option<PathBuf>) {
-    *SINK.lock().unwrap() = Some(sink);
-    *TRACE_FILE.lock().unwrap() = path;
+    *SINK.lock().unwrap_or_else(|p| p.into_inner()) = Some(sink);
+    *TRACE_FILE.lock().unwrap_or_else(|p| p.into_inner()) = path;
     DETAIL.store(detail, Ordering::Relaxed);
     ENABLED.store(true, Ordering::Relaxed);
 }
@@ -130,8 +130,8 @@ pub fn uninstall() {
     ensure_init();
     ENABLED.store(false, Ordering::Relaxed);
     DETAIL.store(false, Ordering::Relaxed);
-    let old = SINK.lock().unwrap().take();
-    *TRACE_FILE.lock().unwrap() = None;
+    let old = SINK.lock().unwrap_or_else(|p| p.into_inner()).take();
+    *TRACE_FILE.lock().unwrap_or_else(|p| p.into_inner()) = None;
     if let Some(sink) = old {
         sink.flush();
     }
@@ -140,7 +140,7 @@ pub fn uninstall() {
 /// Flushes the current sink, if any. File sinks write through on every
 /// line already; this exists for symmetry and future buffered sinks.
 pub fn flush() {
-    let sink = SINK.lock().unwrap().clone();
+    let sink = SINK.lock().unwrap_or_else(|p| p.into_inner()).clone();
     if let Some(sink) = sink {
         sink.flush();
     }
@@ -219,9 +219,14 @@ pub fn emit_at(event: &Event<'_>, ts_us: u64) {
     if !enabled() {
         return;
     }
-    let sink = SINK.lock().unwrap().clone();
+    let sink = SINK.lock().unwrap_or_else(|p| p.into_inner()).clone();
     if let Some(sink) = sink {
-        sink.write_line(&event.to_json_line(ts_us));
+        if let Err(err) = sink.write_line(&event.to_json_line(ts_us)) {
+            // One warning, then the sink is gone: the run keeps simulating,
+            // and tracing does not retry a dead file on every record.
+            eprintln!("[ant-obs] trace sink write failed ({err}); tracing disabled, run continues");
+            uninstall();
+        }
     }
 }
 
@@ -283,27 +288,35 @@ impl Sink {
     }
 
     /// Appends one record line (the newline is added here).
-    pub fn write_line(&self, line: &str) {
-        let mut target = self.target.lock().unwrap();
+    ///
+    /// # Errors
+    ///
+    /// Surfaces the underlying IO error for file-backed sinks so the
+    /// caller can disable tracing instead of retrying every record against
+    /// a dead file. Memory and stderr sinks never fail.
+    pub fn write_line(&self, line: &str) -> io::Result<()> {
+        let mut target = self.target.lock().unwrap_or_else(|p| p.into_inner());
         match &mut *target {
             SinkTarget::File(file) => {
-                let _ = file.write_all(line.as_bytes());
-                let _ = file.write_all(b"\n");
+                file.write_all(line.as_bytes())?;
+                file.write_all(b"\n")
             }
             SinkTarget::Memory(buffer) => {
-                let mut buffer = buffer.lock().unwrap();
+                let mut buffer = buffer.lock().unwrap_or_else(|p| p.into_inner());
                 buffer.push_str(line);
                 buffer.push('\n');
+                Ok(())
             }
             SinkTarget::Stderr => {
                 eprintln!("{line}");
+                Ok(())
             }
         }
     }
 
     /// Flushes the destination.
     pub fn flush(&self) {
-        let mut target = self.target.lock().unwrap();
+        let mut target = self.target.lock().unwrap_or_else(|p| p.into_inner());
         if let SinkTarget::File(file) = &mut *target {
             let _ = file.flush();
         }

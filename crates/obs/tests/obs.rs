@@ -451,3 +451,24 @@ fn spans_on_separate_threads_do_not_interfere() {
         assert!(path == "thread" || path == "thread/leaf", "bad path {path}");
     }
 }
+
+#[test]
+fn failing_file_sink_disables_tracing_and_keeps_running() {
+    // `/dev/full` accepts the open but fails every write with ENOSPC —
+    // exactly the mid-run disk-full case the sink must survive. Skip on
+    // platforms without it.
+    if !std::path::Path::new("/dev/full").exists() {
+        return;
+    }
+    let _guard = sink_guard().lock().unwrap_or_else(|e| e.into_inner());
+    let sink = ant_obs::Sink::to_path(std::path::Path::new("/dev/full")).expect("open /dev/full");
+    trace::install(Arc::new(sink), false);
+    assert!(ant_obs::enabled());
+    // First span emission hits the write failure; the sink uninstalls
+    // itself after one warning instead of panicking or retrying forever.
+    drop(ant_obs::span("doomed"));
+    assert!(!ant_obs::enabled(), "failed sink must disable tracing");
+    // Later spans are plain no-ops.
+    drop(ant_obs::span("after"));
+    trace::uninstall();
+}

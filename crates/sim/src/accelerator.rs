@@ -2,6 +2,7 @@
 
 use ant_conv::matmul::MatmulShape;
 use ant_conv::ConvShape;
+use ant_core::AntError;
 use ant_sparse::CsrMatrix;
 
 use crate::scratch::SimScratch;
@@ -34,6 +35,62 @@ pub(crate) fn trace_pair(
         fields.push((name, value.into()));
     }
     ant_obs::event("pair", &fields);
+}
+
+/// Checks that a convolution pair's operands agree with its shape before a
+/// machine touches them. O(1): only the CSR headers are inspected; the CSR
+/// invariants themselves (monotone row pointers, in-bounds columns, nnz
+/// consistency) are enforced by `CsrMatrix` construction.
+pub fn validate_conv_pair(
+    machine: &'static str,
+    kernel: &CsrMatrix,
+    image: &CsrMatrix,
+    shape: &ConvShape,
+) -> Result<(), AntError> {
+    let want = (shape.kernel_h(), shape.kernel_w());
+    if kernel.shape() != want {
+        return Err(AntError::invalid_operand(
+            machine,
+            "kernel",
+            format!("is {:?} but shape wants {want:?}", kernel.shape()),
+        ));
+    }
+    let want = (shape.image_h(), shape.image_w());
+    if image.shape() != want {
+        return Err(AntError::invalid_operand(
+            machine,
+            "image",
+            format!("is {:?} but shape wants {want:?}", image.shape()),
+        ));
+    }
+    Ok(())
+}
+
+/// Checks that a matmul pair's operands agree with its shape. O(1); see
+/// [`validate_conv_pair`].
+pub fn validate_matmul_pair(
+    machine: &'static str,
+    image: &CsrMatrix,
+    kernel: &CsrMatrix,
+    shape: &MatmulShape,
+) -> Result<(), AntError> {
+    let want = (shape.image_h(), shape.image_w());
+    if image.shape() != want {
+        return Err(AntError::invalid_operand(
+            machine,
+            "image",
+            format!("is {:?} but shape wants {want:?}", image.shape()),
+        ));
+    }
+    let want = (shape.kernel_r(), shape.kernel_s());
+    if kernel.shape() != want {
+        return Err(AntError::invalid_operand(
+            machine,
+            "kernel",
+            format!("is {:?} but shape wants {want:?}", kernel.shape()),
+        ));
+    }
+    Ok(())
 }
 
 /// A machine that can simulate one kernel/image convolution pair.
@@ -72,11 +129,33 @@ pub trait ConvSim {
         let _ = scratch;
         self.simulate_conv_pair(kernel, image, shape)
     }
+
+    /// Validated entry point: rejects operands that disagree with `shape`
+    /// with a typed [`AntError::InvalidOperand`] before simulating, instead
+    /// of panicking (or silently mis-simulating) inside the machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AntError::InvalidOperand`] naming this machine and the
+    /// offending operand.
+    fn try_simulate_conv_pair(
+        &self,
+        kernel: &CsrMatrix,
+        image: &CsrMatrix,
+        shape: &ConvShape,
+        scratch: &mut SimScratch,
+    ) -> Result<SimStats, AntError> {
+        validate_conv_pair(self.name(), kernel, image, shape)?;
+        Ok(self.simulate_conv_pair_scratch(kernel, image, shape, scratch))
+    }
 }
 
 /// A machine that can simulate a matrix-multiplication pair
 /// (paper Section 5).
 pub trait MatmulSim {
+    /// Short machine name for reports and error attribution.
+    fn name(&self) -> &'static str;
+
     /// Simulates `image x kernel`, returning operation and cycle counts.
     fn simulate_matmul_pair(
         &self,
@@ -98,6 +177,24 @@ pub trait MatmulSim {
         let _ = scratch;
         self.simulate_matmul_pair(image, kernel, shape)
     }
+
+    /// Validated entry point: rejects operands that disagree with `shape`
+    /// with a typed [`AntError::InvalidOperand`] before simulating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AntError::InvalidOperand`] naming this machine and the
+    /// offending operand.
+    fn try_simulate_matmul_pair(
+        &self,
+        image: &CsrMatrix,
+        kernel: &CsrMatrix,
+        shape: &MatmulShape,
+        scratch: &mut SimScratch,
+    ) -> Result<SimStats, AntError> {
+        validate_matmul_pair(self.name(), image, kernel, shape)?;
+        Ok(self.simulate_matmul_pair_scratch(image, kernel, shape, scratch))
+    }
 }
 
 /// A PE model replicated across `num_pes` processing elements with the
@@ -114,10 +211,25 @@ impl<S> Accelerator<S> {
     ///
     /// # Panics
     ///
-    /// Panics if `num_pes == 0`.
+    /// Panics if `num_pes == 0`. Use [`Accelerator::try_new`] for a
+    /// fallible constructor.
     pub fn new(sim: S, num_pes: usize) -> Self {
-        assert!(num_pes > 0, "accelerator needs at least one PE");
-        Self { sim, num_pes }
+        Self::try_new(sim, num_pes).expect("accelerator needs at least one PE")
+    }
+
+    /// Wraps a PE model, rejecting a zero PE count with a typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AntError::InvalidConfig`] when `num_pes == 0`.
+    pub fn try_new(sim: S, num_pes: usize) -> Result<Self, AntError> {
+        if num_pes == 0 {
+            return Err(AntError::invalid_config(
+                "num_pes",
+                "accelerator needs at least one PE (got 0)",
+            ));
+        }
+        Ok(Self { sim, num_pes })
     }
 
     /// The wrapped PE model.

@@ -147,12 +147,16 @@ impl ConvSim for AntAccelerator {
                 .expect("operands validated by caller"),
         };
         let stats = self.map_counters(&counters, accum_conflicts);
-        crate::accelerator::trace_pair(self.name(), "conv", kernel, image, &stats);
+        crate::accelerator::trace_pair(ConvSim::name(self), "conv", kernel, image, &stats);
         stats
     }
 }
 
 impl MatmulSim for AntAccelerator {
+    fn name(&self) -> &'static str {
+        ConvSim::name(self)
+    }
+
     fn simulate_matmul_pair(
         &self,
         image: &CsrMatrix,

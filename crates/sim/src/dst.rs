@@ -140,6 +140,10 @@ impl ConvSim for DstAccelerator {
 }
 
 impl MatmulSim for DstAccelerator {
+    fn name(&self) -> &'static str {
+        ConvSim::name(self)
+    }
+
     fn simulate_matmul_pair(
         &self,
         image: &CsrMatrix,

@@ -97,12 +97,16 @@ impl ConvSim for DenseInnerProduct {
             shape.direct_products(),
             shape.out_h() as u64 * shape.out_w() as u64,
         );
-        crate::accelerator::trace_pair(self.name(), "conv", kernel, image, &stats);
+        crate::accelerator::trace_pair(ConvSim::name(self), "conv", kernel, image, &stats);
         stats
     }
 }
 
 impl MatmulSim for DenseInnerProduct {
+    fn name(&self) -> &'static str {
+        ConvSim::name(self)
+    }
+
     fn simulate_matmul_pair(
         &self,
         image: &CsrMatrix,
@@ -224,12 +228,16 @@ impl ConvSim for TensorDash {
             rho,
             shape.out_h() as u64 * shape.out_w() as u64,
         );
-        crate::accelerator::trace_pair(self.name(), "conv", kernel, image, &stats);
+        crate::accelerator::trace_pair(ConvSim::name(self), "conv", kernel, image, &stats);
         stats
     }
 }
 
 impl MatmulSim for TensorDash {
+    fn name(&self) -> &'static str {
+        ConvSim::name(self)
+    }
+
     fn simulate_matmul_pair(
         &self,
         image: &CsrMatrix,

@@ -165,6 +165,10 @@ impl ConvSim for IntersectionAccelerator {
 }
 
 impl MatmulSim for IntersectionAccelerator {
+    fn name(&self) -> &'static str {
+        ConvSim::name(self)
+    }
+
     fn simulate_matmul_pair(
         &self,
         image: &CsrMatrix,

@@ -57,6 +57,7 @@ pub mod accelerator;
 pub mod accum;
 pub mod ant;
 pub mod breakdown;
+pub mod chaos;
 pub mod dst;
 pub mod energy;
 pub mod inner;
@@ -68,8 +69,12 @@ pub mod scratch;
 pub mod stats;
 pub mod tiling;
 
-pub use accelerator::{Accelerator, ConvSim, MatmulSim};
+pub use accelerator::{
+    validate_conv_pair, validate_matmul_pair, Accelerator, ConvSim, MatmulSim,
+};
+pub use ant_core::AntError;
 pub use breakdown::{CycleBreakdown, CycleCause};
+pub use chaos::{ChaosConfig, Fault};
 pub use energy::EnergyModel;
 pub use scratch::{with_thread_scratch, SimScratch};
 pub use stats::{EnergyBreakdown, SimStats, Throughput};

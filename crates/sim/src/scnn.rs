@@ -120,12 +120,16 @@ impl ConvSim for ScnnPlus {
         debug_assert_eq!(image.shape(), (shape.image_h(), shape.image_w()));
         let useful = count_useful_products_with(kernel, image, shape, &mut scratch.nz_counter);
         let stats = self.simulate_products(kernel.nnz(), image.nnz(), kernel.rows(), useful);
-        crate::accelerator::trace_pair(self.name(), "conv", kernel, image, &stats);
+        crate::accelerator::trace_pair(ConvSim::name(self), "conv", kernel, image, &stats);
         stats
     }
 }
 
 impl MatmulSim for ScnnPlus {
+    fn name(&self) -> &'static str {
+        ConvSim::name(self)
+    }
+
     fn simulate_matmul_pair(
         &self,
         image: &CsrMatrix,

@@ -258,6 +258,19 @@ impl SimStats {
         out
     }
 
+    /// Sets a named counter — the write-side inverse of
+    /// [`SimStats::fields`], used to reconstruct stats from serialized
+    /// form. Returns `false` (leaving `self` unchanged) for an unknown
+    /// name instead of panicking, so deserializers can surface a typed
+    /// error.
+    pub fn set_field(&mut self, name: &str, value: u64) -> bool {
+        if !SimStats::default().fields().iter().any(|(n, _)| *n == name) {
+            return false;
+        }
+        *self.field_mut(name) = value;
+        true
+    }
+
     fn field_mut(&mut self, name: &str) -> &mut u64 {
         match name {
             "pe_cycles" => &mut self.pe_cycles,

@@ -267,6 +267,105 @@ fn arb_stats() -> impl Strategy<Value = SimStats> {
     })
 }
 
+/// The three ways the chaos harness and real trace ingestion can corrupt a
+/// CSR plane's raw parts.
+#[derive(Debug, Clone, Copy)]
+enum CsrCorruption {
+    /// Row pointers lose monotonicity (or the wrong length).
+    BrokenRowPtr,
+    /// A column index lands outside `0..cols`.
+    OutOfBoundsIndex,
+    /// `col_idx`/`values` lengths disagree with `row_ptr`'s nnz.
+    NnzMismatch,
+}
+
+fn all_machines() -> Vec<Box<dyn ConvSim>> {
+    vec![
+        Box::new(ScnnPlus::paper_default()),
+        Box::new(AntAccelerator::paper_default()),
+        Box::new(DenseInnerProduct::paper_default()),
+        Box::new(TensorDash::paper_default()),
+        Box::new(IntersectionAccelerator::training_default()),
+        Box::new(DstAccelerator::paper_default()),
+    ]
+}
+
+proptest! {
+    /// Malformed CSR raw parts are rejected with a typed error at
+    /// construction — never a panic, never a silently-accepted matrix —
+    /// so no machine can ever be handed one.
+    #[test]
+    fn malformed_csr_is_rejected_with_typed_errors(
+        case in conv_case(),
+        corruption in prop_oneof![
+            Just(CsrCorruption::BrokenRowPtr),
+            Just(CsrCorruption::OutOfBoundsIndex),
+            Just(CsrCorruption::NnzMismatch),
+        ],
+    ) {
+        let valid = CsrMatrix::from_dense(&case.image);
+        let (rows, cols) = valid.shape();
+        let mut row_ptr = valid.row_ptr().to_vec();
+        let mut col_idx = valid.col_idx().to_vec();
+        let mut values = valid.values().to_vec();
+        match corruption {
+            CsrCorruption::BrokenRowPtr => {
+                if row_ptr.len() >= 2 && row_ptr[row_ptr.len() - 1] > 0 {
+                    let last = row_ptr.len() - 1;
+                    row_ptr.swap(0, last);
+                } else {
+                    row_ptr.pop();
+                }
+            }
+            CsrCorruption::OutOfBoundsIndex => {
+                if col_idx.is_empty() {
+                    col_idx.push(cols);
+                    values.push(1.0);
+                    *row_ptr.last_mut().unwrap() += 1;
+                } else {
+                    let last = col_idx.len() - 1;
+                    col_idx[last] = cols;
+                }
+            }
+            CsrCorruption::NnzMismatch => {
+                values.push(1.0);
+            }
+        }
+        let err = CsrMatrix::from_raw(rows, cols, row_ptr, col_idx, values);
+        prop_assert!(err.is_err(), "{corruption:?} validated");
+    }
+
+    /// Mismatched operand/shape combinations come back as typed errors from
+    /// every machine's `try_simulate_conv_pair` — no machine panics or
+    /// reads out of bounds on a shape that disagrees with its operands.
+    #[test]
+    fn shape_operand_mismatch_is_typed_on_all_machines(case in conv_case()) {
+        let kernel = CsrMatrix::from_dense(&case.kernel);
+        let image = CsrMatrix::from_dense(&case.image);
+        // A shape one column wider than the operands were built for.
+        let lying = ConvShape::new(
+            case.shape.kernel_h(),
+            case.shape.kernel_w() + 1,
+            case.shape.image_h(),
+            case.shape.image_w() + 1,
+            case.shape.stride(),
+        ).expect("valid in isolation");
+        let mut scratch = ant_sim::SimScratch::new();
+        for m in &all_machines() {
+            let err = m
+                .try_simulate_conv_pair(&kernel, &image, &lying, &mut scratch)
+                .expect_err(m.name());
+            prop_assert!(
+                matches!(err, ant_sim::AntError::InvalidOperand { .. }),
+                "{}: {err}", m.name()
+            );
+            // The honest shape still works through the same entry point.
+            let ok = m.try_simulate_conv_pair(&kernel, &image, &case.shape, &mut scratch);
+            prop_assert!(ok.is_ok(), "{}: {:?}", m.name(), ok.err());
+        }
+    }
+}
+
 /// A SimStats satisfying the attribution invariant by construction: the
 /// causes are drawn freely and the cycle totals derived from them, the way
 /// every machine builds its stats.

@@ -76,4 +76,31 @@ cargo run --release -q -p ant-bench --bin bench_history -- \
 echo "== steady-state allocation gate (warm worker must not touch the heap)"
 cargo test --release -q -p ant-bench --test steady_state_alloc
 
+echo "== chaos smoke (seeded fault injection: sweep must complete and quarantine)"
+# The deterministic harness first (exact expected quarantine set), then the
+# env-gated path end to end: a full fig09 sweep under ANT_CHAOS must exit 0
+# with every injected failure isolated, never abort.
+cargo test --release -q -p ant-bench --test chaos
+CHAOS_ERR="target/experiments/ci_chaos_smoke.err"
+ANT_CHAOS="seed=7,panic=0.02,truncate=0.01,shape=0.01" \
+  ./target/release/fig09_speedup_energy >/dev/null 2>"$CHAOS_ERR"
+echo "chaos smoke: fig09 sweep survived injection" \
+  "($(grep -c 'quarantined' "$CHAOS_ERR" || true) partial-run warning(s))"
+
+echo "== panic-site budget (non-test src/ lines with unwrap()/expect(/panic!)"
+# Robustness ratchet: the typed-error refactor drove non-test panic sites
+# down to this count; new code must not grow it. Lower the pin when you
+# remove sites; raising it needs a reviewed justification.
+MAX_PANIC_SITES=104
+PANIC_SITES=0
+for f in $(find crates -path '*/src/*.rs' | sort); do
+  n=$(awk '/#\[cfg\(test\)\]/{exit} /unwrap\(\)|expect\(|panic!/{n++} END{print n+0}' "$f")
+  PANIC_SITES=$((PANIC_SITES + n))
+done
+echo "panic sites: $PANIC_SITES (budget $MAX_PANIC_SITES)"
+if [ "$PANIC_SITES" -gt "$MAX_PANIC_SITES" ]; then
+  echo "panic-site budget exceeded: prefer typed AntError returns over unwrap()/expect()/panic!" >&2
+  exit 1
+fi
+
 echo "ci: all green"
