@@ -4,7 +4,7 @@
 //! ```text
 //! bench_history record  [--label fig09|tiny] [--repeats K] [--file PATH]
 //! bench_history compare [--file PATH] [--threshold T] [--window N]
-//!                       [--self] [--report PATH] [REF_A REF_B]
+//!                       [--self] [--report PATH] [--json PATH] [REF_A REF_B]
 //! bench_history list    [--file PATH]
 //! ```
 //!
@@ -20,6 +20,8 @@
 //! committed `BENCH_baseline.json` snapshot stands in; with nothing to
 //! compare against, it reports so and exits zero. `--self` compares the
 //! newest entry to itself (a CI smoke: must report zero regressions).
+//! `--json PATH` additionally writes the machine-readable report
+//! (schema `ant-bench-compare/1`) for CI steps to parse.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -185,6 +187,10 @@ fn cmd_compare(args: &[String]) -> ExitCode {
         Ok(v) => v.map(PathBuf::from),
         Err(e) => return fail(&e),
     };
+    let json_path = match take_flag(&mut args, "--json") {
+        Ok(v) => v.map(PathBuf::from),
+        Err(e) => return fail(&e),
+    };
     let entries = match history::load_lenient(&path) {
         Ok((entries, skipped)) => {
             if skipped > 0 {
@@ -243,10 +249,14 @@ fn cmd_compare(args: &[String]) -> ExitCode {
     };
 
     let report = history::compare(&baseline, &candidate, threshold);
-    finish_report(&report, report_path.as_deref())
+    finish_report(&report, report_path.as_deref(), json_path.as_deref())
 }
 
-fn finish_report(report: &CompareReport, report_path: Option<&Path>) -> ExitCode {
+fn finish_report(
+    report: &CompareReport,
+    report_path: Option<&Path>,
+    json_path: Option<&Path>,
+) -> ExitCode {
     let markdown = report.to_markdown();
     print!("{markdown}");
     let out = report_path.map(PathBuf::from).unwrap_or_else(|| {
@@ -260,6 +270,22 @@ fn finish_report(report: &CompareReport, report_path: Option<&Path>) -> ExitCode
     match std::fs::write(&out, &markdown) {
         Ok(()) => println!("report: {}", out.display()),
         Err(err) => eprintln!("report write failed ({}): {err}", out.display()),
+    }
+    if let Some(json_out) = json_path {
+        if let Some(parent) = json_out.parent() {
+            if !parent.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+        }
+        let mut body = report.to_json();
+        body.push('\n');
+        match std::fs::write(json_out, body) {
+            Ok(()) => println!("json report: {}", json_out.display()),
+            Err(err) => {
+                eprintln!("json report write failed ({}): {err}", json_out.display());
+                return ExitCode::FAILURE;
+            }
+        }
     }
     if report.has_regressions() {
         eprintln!("bench_history: {} regression(s) over gate", report.regressions().len());

@@ -140,12 +140,17 @@ fn main() {
     let mut energies = Vec::new();
     let mut sim_total = ant_sim::SimStats::default();
     let mut sim_wall_us = 0u64;
+    // Per-worker scheduler telemetry across the whole sweep (populated
+    // only under ANT_TELEMETRY; see docs/OBSERVABILITY.md).
+    let mut worker_table = ant_bench::telemetry::WorkerTable::new();
     for net in networks {
         let s = run(&scnn, &net, &cfg, checkpoint.as_mut());
         let a = run(&ant, &net, &cfg, checkpoint.as_mut());
         sim_total.accumulate(&s.total);
         sim_total.accumulate(&a.total);
         sim_wall_us += s.host_wall_us + a.host_wall_us;
+        worker_table.add(&s.workers);
+        worker_table.add(&a.workers);
         let sp = speedup(&s, &a);
         let er = energy_ratio(&s, &a, &energy);
         speedups.push(sp);
@@ -184,6 +189,11 @@ fn main() {
     let net = ant_workloads::models::resnet18_cifar();
     let s = run(&scnn, &net, &cfg, checkpoint.as_mut());
     let a = run(&ant, &net, &cfg, checkpoint.as_mut());
+    worker_table.add(&s.workers);
+    worker_table.add(&a.workers);
+    for (key, value) in worker_table.host_stats() {
+        exp.manifest().host_stat(key, value);
+    }
     println!("\nper-phase multiplications, {} (SCNN+ vs ANT):", net.name);
     for ((phase, ss), (_, aa)) in s.per_phase.iter().zip(a.per_phase.iter()) {
         println!(

@@ -20,6 +20,10 @@
 //!   the threshold, the recorded noise floor (`*_spread`, the relative
 //!   min-to-max spread over the entry's min-of-K repeats), and a static
 //!   floor ([`WALL_NOISE_FLOOR`] / [`ALLOC_NOISE_FLOOR`]).
+//! * `kernel/...` — per-kernel microbenchmark timings (the `microbench`
+//!   binary), gated like host metrics but with their own static floor
+//!   ([`KERNEL_NOISE_FLOOR`]): isolated nanosecond-scale loops are steadier
+//!   than whole-run wall time, so the gate can afford to be tighter.
 //! * `*_energy_uj` — reported but never gated (energy moves with cycles;
 //!   gating both double-counts one change).
 //! * `*_spread` / `*_per_sec` — informational only.
@@ -46,6 +50,10 @@ use crate::runner::{simulate_network_parallel, ExperimentConfig};
 /// Schema tag written into (and required of) every ledger line.
 pub const SCHEMA: &str = "ant-bench-history/1";
 
+/// Schema tag of the machine-readable compare report
+/// ([`CompareReport::to_json`], `bench_history compare --json`).
+pub const COMPARE_SCHEMA: &str = "ant-bench-compare/1";
+
 /// Default ledger file name, resolved relative to the working directory.
 pub const DEFAULT_LEDGER: &str = "BENCH_history.jsonl";
 
@@ -62,6 +70,14 @@ pub const ALLOC_NOISE_FLOOR: f64 = 0.10;
 /// magnitude host regressions, not single-digit drift (cycle metrics carry
 /// that burden deterministically).
 pub const WALL_NOISE_FLOOR: f64 = 0.35;
+
+/// Static allowance for per-kernel microbenchmark metrics (`kernel/...`).
+/// Min-of-K nanosecond loops over fixed inputs are far steadier than
+/// whole-experiment wall time, but still ride host frequency scaling and
+/// cache pressure; 25% catches real kernel regressions (the deliberate
+/// slowdowns these gates exist for are 2x and up) without tripping on
+/// scheduler noise.
+pub const KERNEL_NOISE_FLOOR: f64 = 0.25;
 
 /// One benchmark run in the ledger.
 #[derive(Debug, Clone, PartialEq)]
@@ -323,6 +339,9 @@ pub enum MetricClass {
     /// Host-performance metric — gated at the larger of the threshold and
     /// the recorded noise floor.
     Noisy,
+    /// Isolated per-kernel microbenchmark timing — gated like [`Noisy`] but
+    /// with the tighter [`KERNEL_NOISE_FLOOR`] static floor.
+    Kernel,
     /// Reported in the table but never gated.
     NoteOnly,
     /// Informational; omitted from regression accounting entirely.
@@ -335,6 +354,7 @@ impl MetricClass {
         match self {
             MetricClass::Deterministic => "cycles",
             MetricClass::Noisy => "host",
+            MetricClass::Kernel => "kernel",
             MetricClass::NoteOnly => "note",
             MetricClass::InfoOnly => "info",
         }
@@ -345,6 +365,8 @@ impl MetricClass {
 pub fn classify(name: &str) -> MetricClass {
     if name.ends_with("_spread") || name.ends_with("_per_sec") {
         MetricClass::InfoOnly
+    } else if name.starts_with("kernel/") {
+        MetricClass::Kernel
     } else if name.ends_with("_cycles") {
         MetricClass::Deterministic
     } else if name.ends_with("wall_us") || name.contains("alloc") {
@@ -459,6 +481,65 @@ impl CompareReport {
         }
         out
     }
+
+    /// Serializes the report as machine-readable JSON (schema
+    /// [`COMPARE_SCHEMA`]): identities, the base threshold, the overall
+    /// verdict, and one object per metric carrying the class, both values,
+    /// the relative change, the gate it was held to, and its status —
+    /// everything a CI step needs to gate or annotate without re-parsing
+    /// the markdown table.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.deltas.len() * 160);
+        out.push_str("{\"schema\":\"");
+        out.push_str(COMPARE_SCHEMA);
+        out.push_str("\",\"baseline\":");
+        write_json_string(&self.baseline, &mut out);
+        out.push_str(",\"candidate\":");
+        write_json_string(&self.candidate, &mut out);
+        let _ = write!(
+            out,
+            ",\"threshold\":{},\"regressed\":{},\"regressions\":{},\"improvements\":{},\"metrics\":[",
+            self.threshold,
+            self.has_regressions(),
+            self.regressions().len(),
+            self.deltas.iter().filter(|d| d.improved).count()
+        );
+        for (i, d) in self.deltas.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            write_json_string(&d.name, &mut out);
+            let status = if d.regressed {
+                "regressed"
+            } else if d.improved {
+                "improved"
+            } else if matches!(d.class, MetricClass::NoteOnly | MetricClass::InfoOnly) {
+                "ungated"
+            } else {
+                "ok"
+            };
+            let num = |v: f64| if v.is_finite() { format!("{v}") } else { "null".to_string() };
+            let _ = write!(
+                out,
+                ",\"class\":\"{}\",\"baseline\":{},\"candidate\":{},\"rel_change\":{},\"gate\":{},\"status\":\"{status}\"}}",
+                d.class.name(),
+                num(d.baseline),
+                num(d.candidate),
+                num(d.rel_change),
+                num(d.gate),
+            );
+        }
+        out.push_str("],\"missing\":[");
+        for (i, name) in self.missing.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(name, &mut out);
+        }
+        out.push_str("]}");
+        out
+    }
 }
 
 fn fmt_value(v: f64) -> String {
@@ -494,7 +575,7 @@ pub fn compare(baseline: &HistoryEntry, candidate: &HistoryEntry, threshold: f64
         };
         let gate = match class {
             MetricClass::Deterministic => threshold,
-            MetricClass::Noisy => {
+            MetricClass::Noisy | MetricClass::Kernel => {
                 let spread_key = format!("{name}_spread");
                 let floor = baseline
                     .metrics
@@ -502,7 +583,9 @@ pub fn compare(baseline: &HistoryEntry, candidate: &HistoryEntry, threshold: f64
                     .copied()
                     .unwrap_or(0.0)
                     .max(candidate.metrics.get(&spread_key).copied().unwrap_or(0.0));
-                let static_floor = if name.contains("alloc") {
+                let static_floor = if class == MetricClass::Kernel {
+                    KERNEL_NOISE_FLOOR
+                } else if name.contains("alloc") {
                     ALLOC_NOISE_FLOOR
                 } else {
                     WALL_NOISE_FLOOR
@@ -511,7 +594,10 @@ pub fn compare(baseline: &HistoryEntry, candidate: &HistoryEntry, threshold: f64
             }
             MetricClass::NoteOnly | MetricClass::InfoOnly => 0.0,
         };
-        let gated = matches!(class, MetricClass::Deterministic | MetricClass::Noisy);
+        let gated = matches!(
+            class,
+            MetricClass::Deterministic | MetricClass::Noisy | MetricClass::Kernel
+        );
         deltas.push(MetricDelta {
             name: name.clone(),
             class,
@@ -704,6 +790,84 @@ mod tests {
         assert_eq!(classify("net/ant_energy_uj"), MetricClass::NoteOnly);
         assert_eq!(classify("net/wall_us_spread"), MetricClass::InfoOnly);
         assert_eq!(classify("net/effectual_macs_per_sec"), MetricClass::InfoOnly);
+        assert_eq!(
+            classify("kernel/bitmask_and_count/s90/ns_per_op"),
+            MetricClass::Kernel
+        );
+        // A kernel metric's own spread stays informational.
+        assert_eq!(
+            classify("kernel/bitmask_and_count/s90/ns_per_op_spread"),
+            MetricClass::InfoOnly
+        );
+    }
+
+    #[test]
+    fn kernel_metrics_gate_at_the_kernel_floor() {
+        let name = "kernel/fnir_scan/s90/ns_per_op";
+        // +20% sits under the 25% kernel floor.
+        let base = entry(&[(name, 100.0)]);
+        let within = entry(&[(name, 120.0)]);
+        assert!(!compare(&base, &within, DEFAULT_THRESHOLD).has_regressions());
+        // +40% regresses, and the delta carries the kernel class.
+        let beyond = entry(&[(name, 140.0)]);
+        let report = compare(&base, &beyond, DEFAULT_THRESHOLD);
+        let regs = report.regressions();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].class, MetricClass::Kernel);
+        assert_eq!(regs[0].class.name(), "kernel");
+        // A recorded spread wider than the static floor widens the gate.
+        let noisy_base = entry(&[(name, 100.0), ("kernel/fnir_scan/s90/ns_per_op_spread", 0.50)]);
+        let noisy_cand = entry(&[(name, 140.0), ("kernel/fnir_scan/s90/ns_per_op_spread", 0.01)]);
+        assert!(!compare(&noisy_base, &noisy_cand, DEFAULT_THRESHOLD).has_regressions());
+    }
+
+    #[test]
+    fn compare_report_serializes_to_json() {
+        let base = entry(&[
+            ("vgg16/ant_cycles", 1_000_000.0),
+            ("kernel/fnir_scan/s90/ns_per_op", 100.0),
+            ("vgg16/ant_energy_uj", 10.0),
+        ]);
+        let mut cand = base.clone();
+        cand.metrics
+            .insert("vgg16/ant_cycles".to_string(), 1_100_000.0); // +10%: regressed
+        cand.metrics
+            .insert("vgg16/alloc_bytes".to_string(), 5e6); // only in candidate
+        let report = compare(&base, &cand, DEFAULT_THRESHOLD);
+        let json = ant_obs::parse_json(&report.to_json()).expect("valid JSON");
+        assert_eq!(
+            json.get("schema").and_then(|s| s.as_str()),
+            Some(COMPARE_SCHEMA)
+        );
+        assert_eq!(json.get("regressed").and_then(|b| b.as_bool()), Some(true));
+        assert_eq!(json.get("regressions").and_then(|n| n.as_u64()), Some(1));
+        let metrics = json
+            .get("metrics")
+            .and_then(|m| m.as_array())
+            .expect("metrics array");
+        assert_eq!(metrics.len(), 3);
+        let by_name = |name: &str| {
+            metrics
+                .iter()
+                .find(|m| m.get("name").and_then(|s| s.as_str()) == Some(name))
+                .expect("metric present")
+        };
+        let cycles = by_name("vgg16/ant_cycles");
+        assert_eq!(cycles.get("status").and_then(|s| s.as_str()), Some("regressed"));
+        assert_eq!(cycles.get("class").and_then(|s| s.as_str()), Some("cycles"));
+        assert_eq!(cycles.get("candidate").and_then(|v| v.as_f64()), Some(1_100_000.0));
+        let kern = by_name("kernel/fnir_scan/s90/ns_per_op");
+        assert_eq!(kern.get("class").and_then(|s| s.as_str()), Some("kernel"));
+        assert_eq!(kern.get("status").and_then(|s| s.as_str()), Some("ok"));
+        assert_eq!(kern.get("gate").and_then(|v| v.as_f64()), Some(KERNEL_NOISE_FLOOR));
+        let energy = by_name("vgg16/ant_energy_uj");
+        assert_eq!(energy.get("status").and_then(|s| s.as_str()), Some("ungated"));
+        let missing = json
+            .get("missing")
+            .and_then(|m| m.as_array())
+            .expect("missing array");
+        assert_eq!(missing.len(), 1);
+        assert_eq!(missing[0].as_str(), Some("vgg16/alloc_bytes"));
     }
 
     #[test]

@@ -1,0 +1,467 @@
+//! Per-kernel microbenchmark harness (`microbench` binary).
+//!
+//! Whole-run wall time in the bench-history ledger answers "did the build
+//! get slower?" but not "*which kernel* got slower?". This module times the
+//! simulator's hot kernels in isolation — the same functions the per-pair
+//! hot path leans on — over synthesized inputs spanning the sparsity grid,
+//! so a ledger regression can be attributed to one kernel instead of
+//! bisected by hand:
+//!
+//! * `bitmask_and_count` / `bitmask_and_assign` — the word-parallel
+//!   [`Bitmask`] intersection kernels behind pair pre-screening.
+//! * `fnir_scan` — the FNIR kernel-scan walk ([`scan_kernel_into`]) with
+//!   bounded ranges, reusing a [`KernelScan`] scratch like the simulator.
+//! * `accum_conflict` — banked-accumulator conflict accounting
+//!   ([`AccumulatorBanks::conflict_cycles_with`]) with a caller-owned
+//!   occupancy buffer.
+//! * `csr_compress` — once-per-layer CSR compression
+//!   ([`CsrMatrix::from_dense`]).
+//!
+//! Each bench takes min-of-K batch timings (`std::hint::black_box` on every
+//! checksum so nothing folds away) and lands in the ledger as
+//! `kernel/<name>/<case>/ns_per_op` plus an informational `_spread`, which
+//! `bench_history compare` gates as [`MetricClass::Kernel`] with the
+//! [`KERNEL_NOISE_FLOOR`] allowance.
+//!
+//! [`MetricClass::Kernel`]: crate::history::MetricClass::Kernel
+//! [`KERNEL_NOISE_FLOOR`]: crate::history::KERNEL_NOISE_FLOOR
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use ant_conv::rcp::IndexRange;
+use ant_core::fnir::Fnir;
+use ant_core::range::GroupRanges;
+use ant_core::scan::{scan_kernel_into, KernelScan};
+use ant_sim::accum::AccumulatorBanks;
+use ant_sparse::{sparsify, Bitmask, CsrMatrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::history::HistoryEntry;
+
+/// Ledger label every microbench entry carries (the rolling-median baseline
+/// in `bench_history compare` only mixes entries with the same label, so
+/// kernel timings never blend with fig09 runs).
+pub const LABEL: &str = "microbench";
+
+/// Which sparsity points the standard benches synthesize inputs at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Grid {
+    /// The tracked grid: 50%, 90%, and 99% sparse inputs.
+    Full,
+    /// One point (90%) — a seconds-scale smoke grid for CI.
+    Tiny,
+}
+
+impl Grid {
+    /// Parses a CLI label.
+    pub fn from_label(label: &str) -> Option<Grid> {
+        match label {
+            "full" => Some(Grid::Full),
+            "tiny" => Some(Grid::Tiny),
+            _ => None,
+        }
+    }
+
+    /// The CLI label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Grid::Full => "full",
+            Grid::Tiny => "tiny",
+        }
+    }
+
+    /// The sparsity points.
+    pub fn sparsities(self) -> &'static [f64] {
+        match self {
+            Grid::Full => &[0.5, 0.9, 0.99],
+            Grid::Tiny => &[0.9],
+        }
+    }
+}
+
+/// One isolated kernel benchmark: a name, a case label, and an operation
+/// closure returning a checksum (consumed via `black_box` so the work
+/// cannot fold away).
+pub struct KernelBench {
+    kernel: &'static str,
+    case: String,
+    iters_per_batch: u32,
+    runner: Box<dyn FnMut() -> u64>,
+}
+
+impl fmt::Debug for KernelBench {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("KernelBench")
+            .field("kernel", &self.kernel)
+            .field("case", &self.case)
+            .field("iters_per_batch", &self.iters_per_batch)
+            .finish_non_exhaustive()
+    }
+}
+
+/// One bench's timing outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelMeasurement {
+    /// Best (minimum over repeats) per-operation time in nanoseconds.
+    pub ns_per_op: f64,
+    /// Relative min-to-max spread over the repeats — the bench's own noise
+    /// estimate, recorded as the `_spread` metric.
+    pub spread: f64,
+    /// Wrapping sum of every operation's checksum (keeps the optimizer
+    /// honest; also a cheap cross-run sanity value for fixed seeds).
+    pub checksum: u64,
+}
+
+/// One bench's identity plus its measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelResult {
+    /// Kernel name (`bitmask_and_count`, `fnir_scan`, ...).
+    pub kernel: &'static str,
+    /// Case label (`s90`, ...).
+    pub case: String,
+    /// The timing.
+    pub measurement: KernelMeasurement,
+}
+
+impl KernelResult {
+    /// The ledger metric name: `kernel/<name>/<case>/ns_per_op`.
+    pub fn metric_name(&self) -> String {
+        format!("kernel/{}/{}/ns_per_op", self.kernel, self.case)
+    }
+}
+
+impl KernelBench {
+    /// Builds a bench. `iters_per_batch` operations are timed per batch so
+    /// sub-microsecond kernels still get a clean clock reading.
+    pub fn new(
+        kernel: &'static str,
+        case: impl Into<String>,
+        iters_per_batch: u32,
+        runner: Box<dyn FnMut() -> u64>,
+    ) -> Self {
+        Self {
+            kernel,
+            case: case.into(),
+            iters_per_batch: iters_per_batch.max(1),
+            runner,
+        }
+    }
+
+    /// Kernel name.
+    pub fn kernel(&self) -> &'static str {
+        self.kernel
+    }
+
+    /// Case label.
+    pub fn case(&self) -> &str {
+        &self.case
+    }
+
+    /// Runs one warm-up batch, then `repeats` timed batches, keeping the
+    /// minimum per-op time (min-of-K rejects one-sided scheduler noise) and
+    /// the min-to-max spread.
+    pub fn measure(&mut self, repeats: u32) -> KernelMeasurement {
+        let repeats = repeats.max(1);
+        let iters = self.iters_per_batch;
+        let mut checksum = 0u64;
+        let mut batch = |checksum: &mut u64| {
+            let started = Instant::now();
+            for _ in 0..iters {
+                *checksum = checksum.wrapping_add(std::hint::black_box((self.runner)()));
+            }
+            started.elapsed().as_nanos() as f64 / f64::from(iters)
+        };
+        // Warm-up: first-touch page faults and cache fills land here.
+        let _ = batch(&mut checksum);
+        let mut best = f64::INFINITY;
+        let mut worst = 0.0f64;
+        for _ in 0..repeats {
+            let ns = batch(&mut checksum);
+            best = best.min(ns);
+            worst = worst.max(ns);
+        }
+        let spread = if best > 0.0 { (worst - best) / best } else { 0.0 };
+        KernelMeasurement {
+            ns_per_op: best,
+            spread,
+            checksum,
+        }
+    }
+}
+
+/// Case label for a sparsity point (`0.9` -> `"s90"`).
+fn case_label(sparsity: f64) -> String {
+    format!("s{:02}", (sparsity * 100.0).round() as u32)
+}
+
+/// Deterministic per-(kernel, case) seed so recorded inputs are identical
+/// across runs and machines.
+fn seed_for(kernel: &str, sparsity: f64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+    for b in kernel
+        .bytes()
+        .chain(((sparsity * 100.0).round() as u32).to_le_bytes())
+    {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The standard bench set: every hot kernel at every grid sparsity.
+pub fn standard_benches(grid: Grid) -> Vec<KernelBench> {
+    let mut benches = Vec::new();
+    for &sparsity in grid.sparsities() {
+        let case = case_label(sparsity);
+
+        // Pair pre-screen: AND-popcount of two 128x128 role masks.
+        let mut rng = StdRng::seed_from_u64(seed_for("bitmask_and_count", sparsity));
+        let a = Bitmask::from_dense(&sparsify::random_with_sparsity(128, 128, sparsity, &mut rng));
+        let b = Bitmask::from_dense(&sparsify::random_with_sparsity(128, 128, sparsity, &mut rng));
+        benches.push(KernelBench::new(
+            "bitmask_and_count",
+            case.clone(),
+            256,
+            Box::new(move || a.and_count_ones(&b) as u64),
+        ));
+
+        // In-place mask intersection (idempotent after the warm-up batch,
+        // so the steady state times the word loop; the popcount checksum
+        // keeps the stores observable).
+        let mut rng = StdRng::seed_from_u64(seed_for("bitmask_and_assign", sparsity));
+        let mut scratch =
+            Bitmask::from_dense(&sparsify::random_with_sparsity(128, 128, sparsity, &mut rng));
+        let other =
+            Bitmask::from_dense(&sparsify::random_with_sparsity(128, 128, sparsity, &mut rng));
+        benches.push(KernelBench::new(
+            "bitmask_and_assign",
+            case.clone(),
+            256,
+            Box::new(move || {
+                scratch.and_assign(&other);
+                scratch.count_ones() as u64
+            }),
+        ));
+
+        // FNIR kernel scan with bounded ranges (middle half of a 64x64
+        // kernel), paper-default 4x4 array with a 16-wide window, reusing
+        // the KernelScan scratch exactly like the simulator hot path.
+        let mut rng = StdRng::seed_from_u64(seed_for("fnir_scan", sparsity));
+        let kernel = CsrMatrix::from_dense(&sparsify::random_with_sparsity(
+            64, 64, sparsity, &mut rng,
+        ));
+        let ranges = GroupRanges {
+            r: IndexRange { min: 16, max: 47 },
+            s: IndexRange { min: 16, max: 47 },
+            ops: Default::default(),
+        };
+        let fnir = Fnir::new(4, 16).unwrap_or_else(|_| unreachable!("non-zero parameters"));
+        let mut scan = KernelScan::default();
+        benches.push(KernelBench::new(
+            "fnir_scan",
+            case.clone(),
+            64,
+            Box::new(move || {
+                scan_kernel_into(&kernel, &ranges, &fnir, &mut scan);
+                scan.value_reads + scan.cycles + scan.colidx_reads
+            }),
+        ));
+
+        // Accumulator bank conflicts for one multiplier-array cycle: the
+        // valid-product count shrinks with sparsity (a 4x4 array emits up
+        // to 16 products per cycle when dense).
+        let mut rng = StdRng::seed_from_u64(seed_for("accum_conflict", sparsity));
+        let banks = AccumulatorBanks::scnn_provisioned(4);
+        let products = ((16.0 * (1.0 - sparsity)).round() as usize).max(1);
+        let indices: Vec<usize> = (0..products).map(|_| rng.gen_range(0..1024)).collect();
+        let mut counts: Vec<u32> = Vec::new();
+        benches.push(KernelBench::new(
+            "accum_conflict",
+            case.clone(),
+            512,
+            Box::new(move || banks.conflict_cycles_with(&indices, &mut counts)),
+        ));
+
+        // Once-per-layer CSR compression of a 64x64 plane.
+        let mut rng = StdRng::seed_from_u64(seed_for("csr_compress", sparsity));
+        let dense = sparsify::random_with_sparsity(64, 64, sparsity, &mut rng);
+        benches.push(KernelBench::new(
+            "csr_compress",
+            case,
+            64,
+            Box::new(move || CsrMatrix::from_dense(&dense).nnz() as u64),
+        ));
+    }
+    benches
+}
+
+/// Measures every bench (with an optional name filter applied first).
+pub fn run_benches(benches: Vec<KernelBench>, repeats: u32) -> Vec<KernelResult> {
+    benches
+        .into_iter()
+        .map(|mut bench| {
+            let measurement = bench.measure(repeats);
+            KernelResult {
+                kernel: bench.kernel,
+                case: bench.case,
+                measurement,
+            }
+        })
+        .collect()
+}
+
+/// Folds measured results into one ledger entry (label [`LABEL`]): a
+/// `.../ns_per_op` metric plus its informational `.../ns_per_op_spread`
+/// noise floor per bench.
+pub fn entry_from(results: &[KernelResult], repeats: u32) -> HistoryEntry {
+    let mut metrics = BTreeMap::new();
+    for r in results {
+        let name = r.metric_name();
+        metrics.insert(format!("{name}_spread"), r.measurement.spread);
+        metrics.insert(name, r.measurement.ns_per_op);
+    }
+    HistoryEntry {
+        label: LABEL.to_string(),
+        git_revision: ant_obs::git_revision(),
+        timestamp_unix_ms: SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0),
+        repeats: repeats.max(1),
+        metrics,
+    }
+}
+
+/// Runs the standard set at `grid` and builds its ledger entry — the
+/// `microbench` binary's record path.
+pub fn record(grid: Grid, repeats: u32) -> (Vec<KernelResult>, HistoryEntry) {
+    let results = run_benches(standard_benches(grid), repeats);
+    let entry = entry_from(&results, repeats);
+    (results, entry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::{self, compare, MetricClass, DEFAULT_THRESHOLD};
+
+    #[test]
+    fn standard_benches_cover_every_kernel_at_every_point() {
+        for (grid, points) in [(Grid::Full, 3), (Grid::Tiny, 1)] {
+            let benches = standard_benches(grid);
+            assert_eq!(benches.len(), 5 * points);
+            let names: std::collections::BTreeSet<String> = benches
+                .iter()
+                .map(|b| format!("{}/{}", b.kernel(), b.case()))
+                .collect();
+            assert_eq!(names.len(), benches.len(), "bench names must be unique");
+            for kernel in [
+                "bitmask_and_count",
+                "bitmask_and_assign",
+                "fnir_scan",
+                "accum_conflict",
+                "csr_compress",
+            ] {
+                assert_eq!(
+                    benches.iter().filter(|b| b.kernel() == kernel).count(),
+                    points,
+                    "{kernel} must appear once per grid point"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_grid_measures_and_builds_a_ledger_entry() {
+        let (results, entry) = record(Grid::Tiny, 2);
+        assert_eq!(results.len(), 5);
+        for r in &results {
+            assert!(
+                r.measurement.ns_per_op > 0.0,
+                "{} must take measurable time",
+                r.metric_name()
+            );
+            assert!(r.measurement.spread >= 0.0);
+        }
+        assert_eq!(entry.label, LABEL);
+        assert_eq!(entry.metrics.len(), 10); // ns_per_op + _spread per bench
+        for r in &results {
+            let name = r.metric_name();
+            assert_eq!(entry.metrics[&name], r.measurement.ns_per_op);
+            assert_eq!(history::classify(&name), MetricClass::Kernel);
+            assert_eq!(
+                history::classify(&format!("{name}_spread")),
+                MetricClass::InfoOnly
+            );
+        }
+        // The entry survives the ledger line format.
+        let parsed = HistoryEntry::parse(&entry.to_json_line()).expect("round trip");
+        assert_eq!(parsed, entry);
+    }
+
+    #[test]
+    fn fixed_seed_inputs_give_identical_checksums() {
+        let take = |grid| {
+            run_benches(standard_benches(grid), 1)
+                .into_iter()
+                .map(|r| (r.metric_name(), r.measurement.checksum))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(take(Grid::Tiny), take(Grid::Tiny));
+    }
+
+    /// A busy-wait bench: `spin` black-boxed additions per op. Scaling the
+    /// count scales the measured time near-linearly.
+    fn busy_bench(spin: u64) -> KernelBench {
+        KernelBench::new(
+            "busy_wait",
+            "x1",
+            8,
+            Box::new(move || {
+                let mut acc = 0u64;
+                for i in 0..spin {
+                    acc = std::hint::black_box(acc.wrapping_add(i));
+                }
+                acc
+            }),
+        )
+    }
+
+    #[test]
+    fn slowed_kernel_is_flagged_through_the_real_ledger_path() {
+        // Record a fast baseline and a ~20x-slowed candidate through the
+        // actual append/load/compare pipeline; the regression must surface
+        // under the "kernel" class, attributed by metric name.
+        let dir = std::env::temp_dir().join(format!("ant_microbench_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let ledger = dir.join("ledger.jsonl");
+
+        let base = entry_from(&run_benches(vec![busy_bench(2_000)], 3), 3);
+        let slow = entry_from(&run_benches(vec![busy_bench(40_000)], 3), 3);
+        history::append(&ledger, &base).expect("append baseline");
+        history::append(&ledger, &slow).expect("append candidate");
+
+        let entries = history::load(&ledger).expect("load ledger");
+        assert_eq!(entries.len(), 2);
+        let report = compare(&entries[0], &entries[1], DEFAULT_THRESHOLD);
+        let regs = report.regressions();
+        assert_eq!(regs.len(), 1, "exactly the slowed kernel regresses");
+        assert_eq!(regs[0].name, "kernel/busy_wait/x1/ns_per_op");
+        assert_eq!(regs[0].class, MetricClass::Kernel);
+        assert_eq!(regs[0].class.name(), "kernel");
+        assert!(regs[0].rel_change > history::KERNEL_NOISE_FLOOR);
+        // The machine-readable report carries the same verdict.
+        let json = ant_obs::parse_json(&report.to_json()).expect("valid JSON");
+        assert_eq!(json.get("regressed").and_then(|b| b.as_bool()), Some(true));
+
+        // The reverse direction is an improvement, not a regression.
+        let reversed = compare(&entries[1], &entries[0], DEFAULT_THRESHOLD);
+        assert!(!reversed.has_regressions());
+        assert!(reversed.deltas.iter().any(|d| d.improved));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

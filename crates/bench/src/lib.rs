@@ -18,6 +18,13 @@
 //! * [`history`] — the bench-history ledger (`BENCH_history.jsonl`):
 //!   append-only benchmark runs keyed by git revision, with trend-aware
 //!   regression comparison (`bench_history` binary, `scripts/bench_check.sh`).
+//! * [`kernels`] — the per-kernel microbenchmark harness (`microbench`
+//!   binary): hot kernels timed in isolation over the sparsity grid,
+//!   recorded as `kernel/...` ledger metrics with their own regression
+//!   gates, so a wall-time regression can be attributed to one kernel.
+//! * [`telemetry`] — scheduler-telemetry export: per-worker Perfetto
+//!   tracks (host time) and the manifest `host`-section worker
+//!   utilization table, fed by the runner's `ANT_TELEMETRY` counters.
 //!
 //! Every binary linking this crate gets the counting global allocator
 //! compiled in (below). It is **disabled** unless `ANT_ALLOC=1` is set or a
@@ -29,9 +36,11 @@
 
 pub mod checkpoint;
 pub mod history;
+pub mod kernels;
 pub mod obs;
 pub mod report;
 pub mod runner;
+pub mod telemetry;
 
 pub use obs::Experiment;
 pub use runner::{ExperimentConfig, NetworkResult};

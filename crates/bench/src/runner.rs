@@ -66,6 +66,22 @@ pub struct RunOptions {
     /// completed over-budget jobs are reported in
     /// [`FailureReport::slow`]. `None` falls back to `ANT_PAIR_BUDGET_US`.
     pub pair_budget_us: Option<u64>,
+    /// Per-worker scheduler telemetry (busy/idle timing, steal and deque
+    /// counters surfaced as `runner.worker.*` metrics and
+    /// [`NetworkResult::workers`]). `None` falls back to `ANT_TELEMETRY`.
+    /// The flag is resolved **once per run** into a plain bool captured by
+    /// the worker closures, so the disabled path costs zero atomic
+    /// operations per pair job — telemetry never perturbs the
+    /// steady-state-allocation or bit-identity gates.
+    pub telemetry: Option<bool>,
+    /// Live run-status reporting ([`ant_obs::StatusReporter`]): layers and
+    /// pairs completed, throughput, ETA, quarantine/watchdog counts, as
+    /// rate-limited stderr lines plus an atomically-rewritten JSON file.
+    /// `None` falls back to `ANT_PROGRESS` (file path from
+    /// `ANT_PROGRESS_FILE`). Like `telemetry`, resolved once per run;
+    /// status snapshots read shared counters that are only ever *written*
+    /// when reporting is on.
+    pub progress: Option<bool>,
 }
 
 /// One quarantined pair job: the job failed its first attempt and its
@@ -136,6 +152,69 @@ pub trait LayerCheckpoint {
     fn record(&mut self, layer_index: usize, layer_name: &str, phases: &[SimStats; 3], clean: bool);
 }
 
+/// Per-worker scheduler telemetry from one parallel run, collected when
+/// [`RunOptions::telemetry`] (or `ANT_TELEMETRY`) is on. Everything here is
+/// host-side bookkeeping — the simulated counters are untouched, so a run
+/// with telemetry on is byte-identical to one with it off.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerTelemetry {
+    /// Worker index (0-based, dense).
+    pub worker: usize,
+    /// Pair jobs this worker completed (own deque + stolen).
+    pub executed: u64,
+    /// Jobs this worker stole from other workers' deques.
+    pub stolen: u64,
+    /// Steal probes issued (a probe locks one victim deque and tries a
+    /// back-pop).
+    pub steal_attempts: u64,
+    /// Steal probes that found the victim's deque empty.
+    pub failed_steals: u64,
+    /// Jobs dealt to this worker's deque up front. Jobs are never pushed
+    /// after dealing, so this is also the deque's high-water mark.
+    pub dealt: u64,
+    /// Nanoseconds spent executing pair jobs (including retries).
+    pub busy_ns: u64,
+    /// Nanoseconds alive but not executing jobs: scheduling overhead, lock
+    /// waits, and the tail wait after the pool drains.
+    pub idle_ns: u64,
+    /// Total wall nanoseconds from worker start to exit.
+    pub wall_ns: u64,
+    /// Per-job wall-time slices, recorded only when `ANT_PROFILE` is also
+    /// on (they feed the Perfetto host-worker tracks); empty otherwise.
+    pub slices: Vec<JobSlice>,
+}
+
+impl WorkerTelemetry {
+    /// Busy fraction of this worker's wall time, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.busy_ns as f64 / self.wall_ns as f64
+        }
+    }
+}
+
+/// One executed pair job's host wall-time extent, for the Perfetto
+/// host-worker tracks (timestamps are microseconds since the run started).
+#[derive(Debug, Clone, Copy)]
+pub struct JobSlice {
+    /// Job start, µs since run start.
+    pub start_us: u64,
+    /// Job wall duration in µs.
+    pub dur_us: u64,
+    /// Index of the source layer in the network spec.
+    pub layer: usize,
+    /// Phase index (0 = forward, 1 = backward, 2 = update).
+    pub phase: usize,
+    /// Pair index within the phase.
+    pub pair: usize,
+    /// Whether the job was stolen from another worker's deque.
+    pub stolen: bool,
+    /// The worker's own deque length right after this job was claimed.
+    pub deque_len: u64,
+}
+
 /// Aggregated result of simulating one network on one machine.
 #[derive(Debug, Clone)]
 pub struct NetworkResult {
@@ -158,6 +237,10 @@ pub struct NetworkResult {
     pub failures: FailureReport,
     /// True when quarantined jobs left the stats incomplete.
     pub partial: bool,
+    /// Per-worker scheduler telemetry, populated by the parallel runners
+    /// when [`RunOptions::telemetry`] (or `ANT_TELEMETRY`) is on; empty
+    /// otherwise (and always empty from the serial runner).
+    pub workers: Vec<WorkerTelemetry>,
 }
 
 impl NetworkResult {
@@ -176,6 +259,7 @@ impl NetworkResult {
             host_wall_us: 0,
             failures: FailureReport::default(),
             partial: false,
+            workers: Vec::new(),
         }
     }
 
@@ -388,6 +472,83 @@ fn budget_from_env() -> Option<u64> {
     })
 }
 
+/// Whether `ANT_TELEMETRY` requests per-worker scheduler telemetry,
+/// resolved once. Truthiness matches `ANT_TRACE`.
+fn telemetry_from_env() -> bool {
+    static TELEMETRY: OnceLock<bool> = OnceLock::new();
+    *TELEMETRY.get_or_init(|| {
+        std::env::var("ANT_TELEMETRY")
+            .map(|v| !matches!(v.trim(), "" | "0" | "false" | "off" | "no"))
+            .unwrap_or(false)
+    })
+}
+
+/// Shared counters behind live progress reporting. Workers only touch these
+/// when progress is enabled for the run; the reporter thread reads them
+/// relaxed — approximate mid-run snapshots are fine, the final publish
+/// happens after every worker has joined.
+#[derive(Default)]
+struct ProgressShared {
+    pairs_done: AtomicU64,
+    layers_done: AtomicU64,
+    retries: AtomicU64,
+    failures: AtomicU64,
+    slow: AtomicU64,
+}
+
+/// The reporter thread: periodically snapshots [`ProgressShared`] into a
+/// [`ant_obs::RunStatus`] and lets the rate-limited reporter publish it.
+/// The final `"done"` status is published by the main thread after merge,
+/// not here, so the file always ends on post-join exact counts.
+fn progress_loop(
+    stop: &AtomicBool,
+    shared: &ProgressShared,
+    reporter: &mut ant_obs::StatusReporter,
+    base: &ant_obs::RunStatus,
+    run_start: &Instant,
+) {
+    while !stop.load(Ordering::Acquire) {
+        std::thread::sleep(Duration::from_millis(50));
+        reporter.maybe_publish(&snapshot_status(shared, base, run_start, "running"));
+    }
+}
+
+/// Builds one status snapshot from the shared counters.
+fn snapshot_status(
+    shared: &ProgressShared,
+    base: &ant_obs::RunStatus,
+    run_start: &Instant,
+    state: &'static str,
+) -> ant_obs::RunStatus {
+    let pairs_done = shared.pairs_done.load(Ordering::Relaxed);
+    let elapsed_s = run_start.elapsed().as_secs_f64();
+    let pairs_per_sec = if elapsed_s > 0.0 {
+        pairs_done as f64 / elapsed_s
+    } else {
+        0.0
+    };
+    let remaining = base.pairs_total.saturating_sub(pairs_done);
+    let eta_s = if state == "done" || remaining == 0 {
+        0.0
+    } else if pairs_per_sec > 0.0 {
+        remaining as f64 / pairs_per_sec
+    } else {
+        0.0
+    };
+    ant_obs::RunStatus {
+        state,
+        layers_done: shared.layers_done.load(Ordering::Relaxed),
+        pairs_done,
+        elapsed_s,
+        pairs_per_sec,
+        eta_s,
+        quarantined: shared.failures.load(Ordering::Relaxed),
+        retries: shared.retries.load(Ordering::Relaxed),
+        watchdog_slow: shared.slow.load(Ordering::Relaxed),
+        ..base.clone()
+    }
+}
+
 /// Encodes a [`PairTask`] into one word for the watchdog's atomic slots.
 fn encode_task(task: PairTask) -> u64 {
     ((task.layer as u64) << 40) | ((task.phase as u64) << 32) | (task.pair as u64 & 0xFFFF_FFFF)
@@ -469,6 +630,9 @@ struct WorkerOutput {
     failures: Vec<PairFailure>,
     slow: Vec<SlowJob>,
     retries: u64,
+    /// Scheduler telemetry; stays zeroed (and slice-free) when telemetry
+    /// is off for the run.
+    telemetry: WorkerTelemetry,
 }
 
 /// One pair-granularity unit for the work-stealing scheduler: indices into
@@ -536,6 +700,11 @@ fn run_network_parallel<S: ConvSim + Sync + ?Sized>(
         .or_else(|| std::thread::available_parallelism().map(|n| n.get()).ok())
         .unwrap_or(1);
     let budget_us = opts.pair_budget_us.or_else(budget_from_env);
+    // Both observability switches resolve to plain bools here, once per
+    // run: the worker loop captures them by value, so the disabled path
+    // adds no atomic operations per pair job.
+    let telemetry = opts.telemetry.unwrap_or_else(telemetry_from_env);
+    let progress = opts.progress.unwrap_or_else(ant_obs::progress::status_enabled);
     let chaos_cfg = chaos::active();
 
     // Resume: layers a previous run already completed merge from storage.
@@ -608,6 +777,33 @@ fn run_network_parallel<S: ConvSim + Sync + ?Sized>(
         .record("jobs", jobs.len())
         .record("resumed_layers", resumed);
 
+    // Live-progress state: per-layer outstanding-job counters (a layer is
+    // "done" when its last pair lands) plus the run-wide shared counters
+    // the reporter thread snapshots. Resumed layers count as done up front.
+    let progress_shared = progress.then(ProgressShared::default);
+    if let Some(shared) = &progress_shared {
+        shared.layers_done.store(resumed as u64, Ordering::Relaxed);
+    }
+    let layer_remaining: Vec<AtomicU64> = (0..net.layers.len())
+        .map(|_| AtomicU64::new(0))
+        .collect();
+    for task in &jobs {
+        layer_remaining[task.layer].fetch_add(1, Ordering::Relaxed);
+    }
+    let status_base = ant_obs::RunStatus {
+        name: net.name.to_string(),
+        network: net.name.to_string(),
+        machine: pe.name().to_string(),
+        state: "running",
+        threads: workers as u64,
+        layers_total: net.layers.len() as u64,
+        pairs_total: jobs.len() as u64,
+        ..ant_obs::RunStatus::default()
+    };
+    // Per-job Perfetto slices are only worth their memory when both the
+    // telemetry flag and the profiler sidecar are on.
+    let profile_slices = telemetry && ant_obs::timeline::enabled();
+
     // Stage 2: deal contiguous chunks, then run the stealing loop.
     let chunk = jobs.len().div_ceil(workers).max(1);
     let deques: Vec<Mutex<VecDeque<PairTask>>> = (0..workers)
@@ -617,9 +813,19 @@ fn run_network_parallel<S: ConvSim + Sync + ?Sized>(
             Mutex::new(jobs[lo..hi].iter().copied().collect())
         })
         .collect();
+    // Jobs are only ever dealt once (nothing is pushed later), so the
+    // initial deal is each deque's high-water mark.
+    let dealt: Vec<u64> = (0..workers)
+        .map(|w| {
+            let lo = (w * chunk).min(jobs.len());
+            let hi = ((w + 1) * chunk).min(jobs.len());
+            (hi - lo) as u64
+        })
+        .collect();
     let watch: Vec<WatchSlot> = (0..workers).map(|_| WatchSlot::default()).collect();
-    let stop_watchdog = AtomicBool::new(false);
+    let stop_helpers = AtomicBool::new(false);
     let worker_body = |me: usize| -> WorkerOutput {
+        let worker_started = Instant::now();
         let mut worker_span = ant_obs::span("steal_worker");
         worker_span.record("worker", me);
         let mut scratch = SimScratch::new();
@@ -630,15 +836,21 @@ fn run_network_parallel<S: ConvSim + Sync + ?Sized>(
             failures: Vec::new(),
             slow: Vec::new(),
             retries: 0,
+            telemetry: WorkerTelemetry {
+                worker: me,
+                dealt: dealt[me],
+                ..WorkerTelemetry::default()
+            },
         };
         loop {
             // A worker that caught a panic may have poisoned a deque lock
             // mid-pop on older toolchains; the deque holds Copy tasks, so
             // recovering the guard is always safe.
-            let task = deques[me]
-                .lock()
-                .unwrap_or_else(|p| p.into_inner())
-                .pop_front();
+            let (task, own_len) = {
+                let mut deque = deques[me].lock().unwrap_or_else(|p| p.into_inner());
+                (deque.pop_front(), deque.len() as u64)
+            };
+            let mut was_stolen = false;
             let task = task.or_else(|| {
                 (1..workers).find_map(|off| {
                     let victim = (me + off) % workers;
@@ -646,6 +858,9 @@ fn run_network_parallel<S: ConvSim + Sync + ?Sized>(
                         .lock()
                         .unwrap_or_else(|p| p.into_inner())
                         .pop_back();
+                    out.telemetry.steal_attempts += 1;
+                    out.telemetry.failed_steals += u64::from(task.is_none());
+                    was_stolen = task.is_some();
                     out.stolen += u64::from(task.is_some());
                     task
                 })
@@ -667,17 +882,38 @@ fn run_network_parallel<S: ConvSim + Sync + ?Sized>(
                     .store(started.elapsed().as_micros() as u64 + 1, Ordering::Release);
                 Instant::now()
             });
+            // Telemetry timing is separate from the watchdog's so neither
+            // flag changes the other's behaviour.
+            let telemetry_started = telemetry.then(|| (started.elapsed(), Instant::now()));
             let fault = |attempt| {
                 chaos_cfg.and_then(|c| c.fault_for(task.layer, task.phase, task.pair, attempt))
             };
             let mut result = run_pair_job(pe, pair, fault(0), &mut scratch);
             if result.is_err() {
                 out.retries += 1;
+                if let Some(shared) = &progress_shared {
+                    shared.retries.fetch_add(1, Ordering::Relaxed);
+                }
                 // The caught panic may have left the arena mid-mutation;
                 // retry on a fresh one (failure path only — the clean path
                 // stays allocation-free).
                 scratch = SimScratch::new();
                 result = run_pair_job(pe, pair, fault(1), &mut scratch);
+            }
+            if let Some((since_run_start, job_t0)) = telemetry_started {
+                let dur = job_t0.elapsed();
+                out.telemetry.busy_ns += dur.as_nanos() as u64;
+                if profile_slices {
+                    out.telemetry.slices.push(JobSlice {
+                        start_us: since_run_start.as_micros() as u64,
+                        dur_us: dur.as_micros() as u64,
+                        layer: task.layer,
+                        phase: task.phase,
+                        pair: task.pair,
+                        stolen: was_stolen,
+                        deque_len: if was_stolen { 0 } else { own_len },
+                    });
+                }
             }
             if let Some(job_started) = job_started {
                 watch[me].start_us.store(0, Ordering::Release);
@@ -689,46 +925,84 @@ fn run_network_parallel<S: ConvSim + Sync + ?Sized>(
                         pair: task.pair,
                         wall_us,
                     });
+                    if let Some(shared) = &progress_shared {
+                        shared.slow.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             }
             match result {
                 Ok(stats) => out.partial[task.layer * 3 + task.phase].accumulate(&stats),
-                Err(error) => out.failures.push(PairFailure {
-                    layer_index: task.layer,
-                    layer: net.layers[task.layer].name.clone(),
-                    phase: *phase,
-                    pair: task.pair,
-                    machine: pe.name(),
-                    error,
-                }),
+                Err(error) => {
+                    out.failures.push(PairFailure {
+                        layer_index: task.layer,
+                        layer: net.layers[task.layer].name.clone(),
+                        phase: *phase,
+                        pair: task.pair,
+                        machine: pe.name(),
+                        error,
+                    });
+                    if let Some(shared) = &progress_shared {
+                        shared.failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
             }
             out.executed += 1;
+            if let Some(shared) = &progress_shared {
+                shared.pairs_done.fetch_add(1, Ordering::Relaxed);
+                if layer_remaining[task.layer].fetch_sub(1, Ordering::Relaxed) == 1 {
+                    shared.layers_done.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        if telemetry {
+            out.telemetry.executed = out.executed;
+            out.telemetry.stolen = out.stolen;
+            out.telemetry.wall_ns = worker_started.elapsed().as_nanos() as u64;
+            out.telemetry.idle_ns = out.telemetry.wall_ns.saturating_sub(out.telemetry.busy_ns);
         }
         if worker_span.is_recording() {
             worker_span.record("jobs_executed", out.executed);
             worker_span.record("jobs_stolen", out.stolen);
             worker_span.record("jobs_failed", out.failures.len());
+            if telemetry {
+                worker_span.record("busy_ns", out.telemetry.busy_ns);
+                worker_span.record("idle_ns", out.telemetry.idle_ns);
+                worker_span.record("steal_attempts", out.telemetry.steal_attempts);
+                worker_span.record("failed_steals", out.telemetry.failed_steals);
+            }
         }
         out
     };
-    let outputs: Vec<WorkerOutput> = if workers == 1 && budget_us.is_none() {
-        // Single worker, no watchdog: the deque drains front-to-back
-        // inline, identical to the spawned path minus the thread round-trip.
+    let outputs: Vec<WorkerOutput> = if workers == 1 && budget_us.is_none() && !progress {
+        // Single worker, no watchdog, no live reporter: the deque drains
+        // front-to-back inline, identical to the spawned path minus the
+        // thread round-trip.
         vec![worker_body(0)]
     } else {
         std::thread::scope(|scope| -> Result<Vec<WorkerOutput>, AntError> {
             let worker_body = &worker_body;
             if let Some(budget) = budget_us {
                 let watch = &watch;
-                let stop = &stop_watchdog;
+                let stop = &stop_helpers;
                 let run_start = &started;
                 scope.spawn(move || watchdog_loop(stop, watch, run_start, budget));
+            }
+            if let Some(shared) = &progress_shared {
+                let stop = &stop_helpers;
+                let base = &status_base;
+                let run_start = &started;
+                scope.spawn(move || {
+                    let mut reporter = ant_obs::StatusReporter::new(
+                        ant_obs::progress::status_file(),
+                    );
+                    progress_loop(stop, shared, &mut reporter, base, run_start);
+                });
             }
             let handles: Vec<_> = (0..workers)
                 .map(|me| scope.spawn(move || worker_body(me)))
                 .collect();
             let joined: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
-            stop_watchdog.store(true, Ordering::Release);
+            stop_helpers.store(true, Ordering::Release);
             joined
                 .into_iter()
                 .map(|j| {
@@ -860,12 +1134,23 @@ fn run_network_parallel<S: ConvSim + Sync + ?Sized>(
         .max(1);
     merged.host_wall_us = started.elapsed().as_micros() as u64;
     record_network_host_metrics(&merged);
+    let jobs_stolen: u64 = outputs.iter().map(|o| o.stolen).sum();
+    if telemetry {
+        merged.workers = outputs.into_iter().map(|o| o.telemetry).collect();
+        record_worker_metrics(&merged.workers);
+    }
+    if let Some(shared) = &progress_shared {
+        // The final publish happens after every worker joined, so its
+        // counts are exact (mid-run snapshots are relaxed approximations).
+        let mut status = snapshot_status(shared, &status_base, &started, "done");
+        status.quarantined = merged.failures.failures.len() as u64;
+        status.retries = merged.failures.retries;
+        status.watchdog_slow = merged.failures.slow.len() as u64;
+        ant_obs::StatusReporter::new(ant_obs::progress::status_file()).publish(&status);
+    }
     if span.is_recording() {
         span.record("layers", net.layers.len());
-        span.record(
-            "jobs_stolen",
-            outputs.iter().map(|o| o.stolen).sum::<u64>(),
-        );
+        span.record("jobs_stolen", jobs_stolen);
         span.record("jobs_failed", merged.failures.failures.len());
         span.record("job_retries", merged.failures.retries);
         span.record("partial", merged.partial);
@@ -875,6 +1160,39 @@ fn run_network_parallel<S: ConvSim + Sync + ?Sized>(
         span.record_all(throughput_fields(&merged.total, merged.host_wall_us));
     }
     Ok(merged)
+}
+
+/// Feeds one run's per-worker telemetry into the process-wide registry.
+/// Instrument names are worker-count-independent (histograms over the
+/// worker population plus run-wide counters), so manifests that snapshot
+/// the registry stay key-stable across thread counts.
+fn record_worker_metrics(workers: &[WorkerTelemetry]) {
+    let registry = ant_obs::registry();
+    registry.gauge("runner.worker.count").set(workers.len() as f64);
+    for t in workers {
+        registry
+            .histogram("runner.worker.executed")
+            .record(t.executed as f64);
+        registry
+            .histogram("runner.worker.busy_us")
+            .record(t.busy_ns as f64 / 1e3);
+        registry
+            .histogram("runner.worker.idle_us")
+            .record(t.idle_ns as f64 / 1e3);
+        registry
+            .histogram("runner.worker.utilization")
+            .record(t.utilization());
+        registry
+            .histogram("runner.worker.deque_hwm")
+            .record(t.dealt as f64);
+        registry.counter("runner.worker.steals").add(t.stolen);
+        registry
+            .counter("runner.worker.steal_attempts")
+            .add(t.steal_attempts);
+        registry
+            .counter("runner.worker.steal_failures")
+            .add(t.failed_steals);
+    }
 }
 
 /// The watchdog: samples every worker's in-flight job and warns (once per
@@ -1277,6 +1595,120 @@ mod tests {
             let default_entry = super::simulate_network_parallel(pe, &net, &cfg);
             assert_matches(&default_entry, &format!("{} default", pe.name()));
         }
+    }
+
+    #[test]
+    fn telemetry_and_progress_do_not_change_results() {
+        // Acceptance gate: with scheduler telemetry and live progress both
+        // forced on, cycles/energy stay byte-identical to the serial run
+        // for any thread count.
+        let cfg = ExperimentConfig {
+            max_channels: 2,
+            ..ExperimentConfig::paper_default()
+        };
+        let net = models::resnet18_cifar();
+        let pe = AntAccelerator::paper_default();
+        let serial = simulate_network(&pe, &net, &cfg);
+        let energy = ant_sim::EnergyModel::paper_7nm();
+        for threads in [1, 2, 3, 7, 64] {
+            let opts = RunOptions {
+                threads: Some(threads),
+                telemetry: Some(true),
+                progress: Some(true),
+                ..RunOptions::default()
+            };
+            let parallel = try_simulate_network_parallel(&pe, &net, &cfg, &opts).unwrap();
+            assert_eq!(serial.total, parallel.total, "threads={threads}");
+            assert_eq!(serial.wall_cycles, parallel.wall_cycles, "threads={threads}");
+            assert_eq!(
+                serial.total.energy_pj(&energy),
+                parallel.total.energy_pj(&energy),
+                "threads={threads}"
+            );
+            for ((_, a), (_, b)) in serial.per_phase.iter().zip(parallel.per_phase.iter()) {
+                assert_eq!(a, b, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn worker_telemetry_accounts_for_every_job() {
+        let cfg = ExperimentConfig {
+            max_channels: 2,
+            ..ExperimentConfig::paper_default()
+        };
+        let net = tiny_net();
+        // 2 layers x 3 phases x (2x2 sampled pairs) = 24 jobs.
+        let expected_jobs = 24u64;
+        for threads in [1usize, 3, 16] {
+            let opts = RunOptions {
+                threads: Some(threads),
+                telemetry: Some(true),
+                ..RunOptions::default()
+            };
+            let result =
+                try_simulate_network_parallel(&ScnnPlus::paper_default(), &net, &cfg, &opts)
+                    .unwrap();
+            let workers = &result.workers;
+            assert_eq!(workers.len(), threads.min(expected_jobs as usize));
+            // Worker indices are dense and ordered.
+            for (i, t) in workers.iter().enumerate() {
+                assert_eq!(t.worker, i);
+                assert!(t.wall_ns > 0, "worker {i} wall time");
+                assert!(t.busy_ns <= t.wall_ns, "worker {i} busy <= wall");
+                assert_eq!(t.idle_ns, t.wall_ns - t.busy_ns, "worker {i} idle");
+                assert!(t.utilization() >= 0.0 && t.utilization() <= 1.0);
+                // A successful steal is an attempt; failures are the rest.
+                assert!(t.stolen + t.failed_steals == t.steal_attempts, "worker {i}");
+                // ANT_PROFILE is not on in tests, so no slices are kept.
+                assert!(t.slices.is_empty(), "worker {i} slices");
+            }
+            // Every job is executed exactly once, and the deal covers the
+            // whole pool.
+            assert_eq!(workers.iter().map(|t| t.executed).sum::<u64>(), expected_jobs);
+            assert_eq!(workers.iter().map(|t| t.dealt).sum::<u64>(), expected_jobs);
+            // Executed = dealt kept + stolen (globally).
+            let stolen: u64 = workers.iter().map(|t| t.stolen).sum();
+            assert!(stolen <= expected_jobs);
+        }
+        // Telemetry off: no worker records at all.
+        let off = try_simulate_network_parallel(
+            &ScnnPlus::paper_default(),
+            &net,
+            &cfg,
+            &RunOptions {
+                threads: Some(3),
+                telemetry: Some(false),
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(off.workers.is_empty());
+    }
+
+    #[test]
+    fn worker_metrics_reach_the_registry() {
+        let cfg = ExperimentConfig::paper_default();
+        let net = tiny_net();
+        let opts = RunOptions {
+            threads: Some(2),
+            telemetry: Some(true),
+            ..RunOptions::default()
+        };
+        let _ = try_simulate_network_parallel(&ScnnPlus::paper_default(), &net, &cfg, &opts)
+            .unwrap();
+        let registry = ant_obs::registry();
+        assert!(registry.histogram("runner.worker.executed").count() >= 2);
+        assert!(registry.histogram("runner.worker.busy_us").count() >= 2);
+        assert!(registry.histogram("runner.worker.utilization").count() >= 2);
+        assert!(registry.gauge("runner.worker.count").get() >= 1.0);
+        // Snapshot keys are stable regardless of worker count: worker
+        // attribution lives in histogram percentiles, not per-worker keys.
+        let snapshot = registry.snapshot();
+        assert!(snapshot
+            .iter()
+            .any(|(k, _)| k == "runner.worker.deque_hwm.count"));
+        assert!(!snapshot.iter().any(|(k, _)| k.contains("worker.0.")));
     }
 
     #[test]

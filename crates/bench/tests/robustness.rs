@@ -105,6 +105,7 @@ fn watchdog_budget_leaves_results_bit_identical() {
     let opts = RunOptions {
         threads: Some(2),
         pair_budget_us: Some(60_000_000),
+        ..RunOptions::default()
     };
     let watched = try_simulate_network_parallel(&pe, &net, &cfg, &opts).expect("watched run");
     assert_same_result(&serial, &watched, "watchdog");

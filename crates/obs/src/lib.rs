@@ -51,7 +51,7 @@ pub use flame::SpanStat;
 pub use json::{parse as parse_json, Json, Value};
 pub use manifest::{git_revision, RunManifest};
 pub use metrics::{registry, Counter, Gauge, Histogram, Registry};
-pub use progress::{banner, note, Progress};
+pub use progress::{banner, note, Progress, RunStatus, StatusReporter};
 pub use span::{current_span_id, event, span, Span};
 pub use timeline::Timeline;
 pub use trace::{detail_enabled, enabled, trace_file, MemorySink, Sink};

@@ -168,15 +168,24 @@ impl RunManifest {
             Some(path) => write_json_string(&path.display().to_string(), &mut out),
             None => out.push_str("null"),
         }
-        for (section, entries) in [
-            ("config", &self.config),
-            ("stats", &self.stats),
-            ("host", &self.host),
+        // `config` keeps insertion order (it narrates the run setup);
+        // `stats` and `host` are emitted in sorted key order so sidecars are
+        // byte-diffable across runs that record the same entries in a
+        // different order (e.g. different thread counts or registry timing).
+        for (section, entries, sort) in [
+            ("config", &self.config, false),
+            ("stats", &self.stats, true),
+            ("host", &self.host, true),
         ] {
             out.push(',');
             write_json_string(section, &mut out);
             out.push_str(":{");
-            for (i, (key, value)) in entries.iter().enumerate() {
+            let mut ordered: Vec<&(String, Value)> = entries.iter().collect();
+            if sort {
+                // Stable: duplicate keys keep their insertion order.
+                ordered.sort_by(|a, b| a.0.cmp(&b.0));
+            }
+            for (i, (key, value)) in ordered.into_iter().enumerate() {
                 if i > 0 {
                     out.push(',');
                 }

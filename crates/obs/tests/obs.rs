@@ -314,6 +314,59 @@ fn manifest_host_section_carries_host_stats_and_alloc_flag() {
 }
 
 #[test]
+fn manifest_stats_and_host_sections_are_key_sorted() {
+    // Entries recorded in scrambled order (as different thread counts or
+    // registry timings would produce) must serialize identically: `stats`
+    // and `host` are sorted at write time, `config` keeps insertion order.
+    let mut a = RunManifest::new("sorted");
+    a.config("zeta", 1u64).config("alpha", 2u64);
+    a.stat("worker.01.busy_us", 10u64)
+        .stat("runner.pairs", 4u64)
+        .stat("worker.00.busy_us", 9u64);
+    a.host_stat("sim_wall_us", 100u64).host_stat("alloc_counting", false);
+
+    let json = a.to_json();
+    let stats_section = json
+        .split("\"stats\":{")
+        .nth(1)
+        .and_then(|s| s.split('}').next())
+        .expect("stats section");
+    let keys: Vec<&str> = stats_section
+        .split(',')
+        .filter_map(|kv| kv.split(':').next())
+        .map(|k| k.trim_matches('"'))
+        .collect();
+    assert_eq!(keys, ["runner.pairs", "worker.00.busy_us", "worker.01.busy_us"]);
+    let host_section = json
+        .split("\"host\":{")
+        .nth(1)
+        .and_then(|s| s.split('}').next())
+        .expect("host section");
+    assert!(host_section.find("alloc_counting").unwrap() < host_section.find("sim_wall_us").unwrap());
+    // Config order is untouched.
+    let config_section = json.split("\"config\":{").nth(1).unwrap();
+    assert!(config_section.find("zeta").unwrap() < config_section.find("alpha").unwrap());
+
+    // A second manifest with the same entries recorded in another order
+    // serializes the same sections byte-for-byte.
+    let mut b = RunManifest::new("sorted");
+    b.config("zeta", 1u64).config("alpha", 2u64);
+    b.stat("worker.00.busy_us", 9u64)
+        .stat("worker.01.busy_us", 10u64)
+        .stat("runner.pairs", 4u64);
+    b.host_stat("alloc_counting", false).host_stat("sim_wall_us", 100u64);
+    let section = |text: &str, name: &str| {
+        text.split(&format!("\"{name}\":{{"))
+            .nth(1)
+            .and_then(|s| s.split('}').next())
+            .map(str::to_string)
+    };
+    let other = b.to_json();
+    assert_eq!(section(&json, "stats"), section(&other, "stats"));
+    assert_eq!(section(&json, "host"), section(&other, "host"));
+}
+
+#[test]
 fn span_records_alloc_delta_fields_when_counting_enabled() {
     ant_obs::alloc::enable();
     let records = with_sink(false, || {

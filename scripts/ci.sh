@@ -12,9 +12,11 @@ cargo test -q
 echo "== cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
-echo "== profile smoke (tiny workload + Perfetto JSON validation)"
+echo "== profile smoke (tiny workload + Perfetto JSON validation, telemetry on)"
+# ANT_TELEMETRY + ANT_PROFILE also exercises the per-worker host tracks
+# (pair/steal spans and deque-depth counters) in the same sidecar.
 PROFILE_JSON="target/experiments/ci_profile_smoke.perfetto.json"
-ANT_PROFILE_FILE="$PROFILE_JSON" \
+ANT_PROFILE=1 ANT_TELEMETRY=1 ANT_PROFILE_FILE="$PROFILE_JSON" \
   cargo run --release -p ant-bench --bin profile -- tiny >/dev/null
 python3 - "$PROFILE_JSON" <<'PY'
 import json, sys
@@ -22,12 +24,18 @@ import json, sys
 events = json.load(open(sys.argv[1]))["traceEvents"]
 assert events, "empty timeline"
 for e in events:
-    assert e["ph"] in ("M", "X"), f"unexpected phase {e['ph']!r}"
+    assert e["ph"] in ("M", "X", "C"), f"unexpected phase {e['ph']!r}"
     for key in ("name", "pid", "tid"):
         assert key in e, f"event missing {key!r}: {e}"
     if e["ph"] == "X":
         assert "ts" in e and "dur" in e and e["args"]["cycles"] == e["dur"], e
-print(f"profile smoke: {len(events)} trace events ok")
+    if e["ph"] == "C":
+        assert "ts" in e and "value" in e["args"], e
+procs = [e["args"]["name"] for e in events if e["name"] == "process_name"]
+assert any("host workers" in p for p in procs), f"no worker tracks in {procs}"
+counters = sum(1 for e in events if e["ph"] == "C")
+assert counters > 0, "telemetry on but no deque-depth counter events"
+print(f"profile smoke: {len(events)} trace events ok ({counters} counters)")
 PY
 
 echo "== flamegraph smoke (collapsed-stack grammar under ANT_FLAME)"
@@ -58,6 +66,55 @@ cargo run --release -q -p ant-bench --bin bench_history -- \
 cargo run --release -q -p ant-bench --bin bench_history -- \
   compare --self --file "$HISTORY_SMOKE" \
   --report target/experiments/ci_bench_history_smoke.md
+
+echo "== microbench smoke (tiny kernel grid record + clean self-compare --json)"
+MICRO_SMOKE="target/experiments/ci_microbench_smoke.jsonl"
+MICRO_JSON="target/experiments/ci_microbench_compare.json"
+rm -f "$MICRO_SMOKE" "$MICRO_JSON"
+cargo run --release -q -p ant-bench --bin microbench -- \
+  --grid tiny --repeats 2 --file "$MICRO_SMOKE"
+cargo run --release -q -p ant-bench --bin bench_history -- \
+  compare --self --file "$MICRO_SMOKE" --json "$MICRO_JSON" \
+  --report target/experiments/ci_microbench_compare.md
+python3 - "$MICRO_JSON" <<'PY'
+import json, sys
+
+report = json.load(open(sys.argv[1]))
+assert report["schema"] == "ant-bench-compare/1", report["schema"]
+assert report["regressed"] is False, "self-compare must be clean"
+kernel = [m for m in report["metrics"] if m["class"] == "kernel"]
+assert kernel, "no kernel-class metrics in the microbench compare"
+for m in kernel:
+    assert m["name"].startswith("kernel/") and m["name"].endswith("/ns_per_op"), m
+    assert m["gate"] >= 0.25, f"kernel gate below the static floor: {m}"
+print(f"microbench smoke: {len(kernel)} kernel metrics gated ok")
+PY
+
+echo "== progress status-file schema (ANT_PROGRESS sidecar must parse and finish done)"
+STATUS_JSON="target/experiments/ci_progress_status.json"
+rm -f "$STATUS_JSON"
+ANT_PROGRESS=1 ANT_PROGRESS_FILE="$STATUS_JSON" \
+  cargo run --release -q -p ant-bench --bin profile -- tiny >/dev/null 2>&1
+python3 - "$STATUS_JSON" <<'PY'
+import json, sys
+
+status = json.load(open(sys.argv[1]))
+assert status["schema"] == "ant-status/1", status["schema"]
+assert status["state"] == "done", status["state"]
+required = {
+    "elapsed_s", "eta_s", "layers_done", "layers_total", "machine", "name",
+    "network", "pairs_done", "pairs_per_sec", "pairs_total", "quarantined",
+    "retries", "state", "threads", "updated_at_unix_ms", "watchdog_slow",
+}
+missing = required - set(status)
+assert not missing, f"status file missing keys: {sorted(missing)}"
+assert status["pairs_done"] == status["pairs_total"], status
+assert status["layers_done"] == status["layers_total"], status
+keys = [k for k in status if k != "schema"]
+assert keys == sorted(keys), "status keys must be sorted for stable diffs"
+print(f"progress status: schema ok ({status['pairs_done']} pairs, "
+      f"state {status['state']!r})")
+PY
 
 echo "== bench_history gate (HEAD tiny vs rolling median of the committed ledger)"
 # Record a fresh tiny entry on top of a copy of the committed ledger and
