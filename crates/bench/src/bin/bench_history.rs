@@ -5,7 +5,7 @@
 //! bench_history record  [--label fig09|tiny] [--repeats K] [--file PATH]
 //! bench_history compare [--file PATH] [--threshold T] [--window N]
 //!                       [--self] [--report PATH] [--json PATH] [REF_A REF_B]
-//! bench_history list    [--file PATH]
+//! bench_history list    [--file PATH] [--json]
 //! ```
 //!
 //! `record` reruns the workload set in-process (min-of-K wall repeats,
@@ -22,6 +22,9 @@
 //! newest entry to itself (a CI smoke: must report zero regressions).
 //! `--json PATH` additionally writes the machine-readable report
 //! (schema `ant-bench-compare/1`) for CI steps to parse.
+//!
+//! `list` prints one line per ledger entry; `--json` emits the
+//! machine-readable listing instead (schema `ant-bench-list/1`).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -301,10 +304,11 @@ fn cmd_list(args: &[String]) -> ExitCode {
         Ok(p) => p,
         Err(e) => return fail(&e),
     };
+    let json = take_switch(&mut args, "--json");
     if !args.is_empty() {
         return fail(&format!("unexpected arguments: {args:?}"));
     }
-    let entries = match history::load_lenient(&path) {
+    let (entries, skipped) = match history::load_lenient(&path) {
         Ok((entries, skipped)) => {
             if skipped > 0 {
                 eprintln!(
@@ -312,10 +316,14 @@ fn cmd_list(args: &[String]) -> ExitCode {
                     path.display()
                 );
             }
-            entries
+            (entries, skipped)
         }
         Err(err) => return fail(&format!("cannot load {}: {err}", path.display())),
     };
+    if json {
+        println!("{}", history::list_json(&entries, skipped));
+        return ExitCode::SUCCESS;
+    }
     if entries.is_empty() {
         println!("ledger {} is empty", path.display());
         return ExitCode::SUCCESS;

@@ -112,11 +112,14 @@ fn main() {
     });
     if let Some(file) = &checkpoint {
         if cli.resume {
+            let path = cli.checkpoint.as_deref().unwrap_or_default();
             println!(
-                "(resuming from {}: {} layer(s) checkpointed)",
-                cli.checkpoint.as_deref().unwrap_or_default(),
+                "(resuming from {path}: {} layer(s) checkpointed)",
                 file.resumable_layers()
             );
+            // Surfaced as `resumed_from` in every `ant-status/1` publish
+            // and in the manifest's host section.
+            ant_obs::progress::set_resumed_from(path);
         }
     }
     println!(

@@ -54,6 +54,10 @@ pub const SCHEMA: &str = "ant-bench-history/1";
 /// ([`CompareReport::to_json`], `bench_history compare --json`).
 pub const COMPARE_SCHEMA: &str = "ant-bench-compare/1";
 
+/// Schema tag of the machine-readable ledger listing
+/// ([`list_json`], `bench_history list --json`).
+pub const LIST_SCHEMA: &str = "ant-bench-list/1";
+
 /// Default ledger file name, resolved relative to the working directory.
 pub const DEFAULT_LEDGER: &str = "BENCH_history.jsonl";
 
@@ -261,6 +265,40 @@ pub fn load_lenient(path: &Path) -> io::Result<(Vec<HistoryEntry>, usize)> {
         }
     }
     Ok((out, skipped))
+}
+
+/// Serializes a ledger listing under the [`LIST_SCHEMA`] JSON schema
+/// (`bench_history list --json`): entry index, identity, and metric count
+/// per entry — the machine-readable face of the human `list` lines.
+/// `skipped` is the unusable-line count from [`load_lenient`].
+pub fn list_json(entries: &[HistoryEntry], skipped: usize) -> String {
+    let mut out = String::with_capacity(64 + entries.len() * 128);
+    let _ = write!(
+        out,
+        "{{\"schema\":\"{LIST_SCHEMA}\",\"entries\":{},\"lines_skipped\":{skipped},\"runs\":[",
+        entries.len()
+    );
+    for (i, entry) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"index\":{i},\"label\":");
+        write_json_string(&entry.label, &mut out);
+        out.push_str(",\"git_revision\":");
+        match &entry.git_revision {
+            Some(rev) => write_json_string(rev, &mut out),
+            None => out.push_str("null"),
+        }
+        let _ = write!(
+            out,
+            ",\"timestamp_unix_ms\":{},\"repeats\":{},\"metric_count\":{}}}",
+            entry.timestamp_unix_ms,
+            entry.repeats,
+            entry.metrics.len()
+        );
+    }
+    out.push_str("]}");
+    out
 }
 
 /// A synthetic baseline: the metric-wise median over `entries` (a metric
@@ -772,6 +810,30 @@ mod tests {
         ]);
         let parsed = HistoryEntry::parse(&e.to_json_line()).expect("round trip");
         assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn list_json_is_schema_tagged_and_indexed() {
+        let mut second = entry(&[("vgg16/ant_cycles", 2.0)]);
+        second.git_revision = None;
+        second.label = "tiny".to_string();
+        let listing = list_json(&[entry(&[("vgg16/ant_cycles", 1.0)]), second], 1);
+        let json = ant_obs::parse_json(&listing).expect("valid JSON");
+        let s = |j: &ant_obs::json::Json, k: &str| {
+            j.get(k).and_then(|v| v.as_str().map(str::to_string))
+        };
+        assert_eq!(s(&json, "schema").as_deref(), Some(LIST_SCHEMA));
+        assert_eq!(json.get("entries").and_then(|v| v.as_u64()), Some(2));
+        assert_eq!(json.get("lines_skipped").and_then(|v| v.as_u64()), Some(1));
+        let runs = json.get("runs").and_then(|v| v.as_array()).expect("runs");
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].get("index").and_then(|v| v.as_u64()), Some(0));
+        assert_eq!(s(&runs[0], "git_revision").as_deref(), Some("deadbeef0123"));
+        assert_eq!(runs[1].get("index").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(s(&runs[1], "label").as_deref(), Some("tiny"));
+        assert!(runs[1].get("git_revision").is_some(), "null revision key kept");
+        assert_eq!(s(&runs[1], "git_revision"), None);
+        assert_eq!(runs[1].get("metric_count").and_then(|v| v.as_u64()), Some(1));
     }
 
     #[test]

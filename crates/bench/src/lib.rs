@@ -25,6 +25,9 @@
 //! * [`telemetry`] — scheduler-telemetry export: per-worker Perfetto
 //!   tracks (host time) and the manifest `host`-section worker
 //!   utilization table, fed by the runner's `ANT_TELEMETRY` counters.
+//! * [`obsctl`] — the unified offline analysis CLI (`obsctl` binary) over
+//!   the observability sidecars: trace JSONL aggregation, folded-flamegraph
+//!   diffing, bench-history trend reports, and live status pretty-printing.
 //!
 //! Every binary linking this crate gets the counting global allocator
 //! compiled in (below). It is **disabled** unless `ANT_ALLOC=1` is set or a
@@ -38,6 +41,7 @@ pub mod checkpoint;
 pub mod history;
 pub mod kernels;
 pub mod obs;
+pub mod obsctl;
 pub mod report;
 pub mod runner;
 pub mod telemetry;

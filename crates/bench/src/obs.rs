@@ -40,6 +40,9 @@ impl Experiment {
     /// span, and begins the run manifest.
     pub fn start(name: &'static str, title: &str) -> Self {
         ant_obs::banner(title);
+        // Bring up the embedded /metrics exporter when ANT_METRICS_ADDR
+        // asks for one (no-op, zero-cost otherwise).
+        ant_obs::export::init_from_env();
         let mut span = ant_obs::span("experiment");
         span.record("experiment", name);
         Self {
@@ -154,9 +157,21 @@ fn finalize(name: &'static str, mut manifest: RunManifest, span: Span) {
             manifest.host_stat(key, value);
         }
     }
+    // Build identity in the host section: which revision produced these
+    // host-side numbers, and (on resumed sweeps) which checkpoint seeded
+    // them — mirrors the same fields in the live `ant-status/1`.
+    if let Some(rev) = ant_obs::manifest::git_revision_cached() {
+        manifest.host_stat("git_revision", rev);
+    }
+    if let Some(resumed) = ant_obs::progress::resumed_from() {
+        manifest.host_stat("resumed_from", resumed);
+    }
     match manifest.write_to_dir(&experiments_dir()) {
         Ok(path) => println!("manifest: {}", path.display()),
         Err(err) => eprintln!("manifest write failed: {err}"),
     }
     ant_obs::trace::flush();
+    // Keep short-lived runs scrapeable: ANT_METRICS_LINGER_MS holds the
+    // process open after the run when the exporter is serving.
+    ant_obs::export::linger_from_env();
 }

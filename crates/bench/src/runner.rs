@@ -704,7 +704,13 @@ fn run_network_parallel<S: ConvSim + Sync + ?Sized>(
     // run: the worker loop captures them by value, so the disabled path
     // adds no atomic operations per pair job.
     let telemetry = opts.telemetry.unwrap_or_else(telemetry_from_env);
-    let progress = opts.progress.unwrap_or_else(ant_obs::progress::status_enabled);
+    // Status snapshots publish when explicitly requested (ANT_PROGRESS or
+    // `RunOptions::progress`) *or* when the embedded metrics exporter is up
+    // — `/status` should be live on any scrapeable run. The stderr progress
+    // line stays tied to the explicit request so the exporter alone never
+    // changes console output.
+    let progress_requested = opts.progress.unwrap_or_else(ant_obs::progress::status_enabled);
+    let progress = progress_requested || ant_obs::export::active();
     let chaos_cfg = chaos::active();
 
     // Resume: layers a previous run already completed merge from storage.
@@ -798,6 +804,14 @@ fn run_network_parallel<S: ConvSim + Sync + ?Sized>(
         threads: workers as u64,
         layers_total: net.layers.len() as u64,
         pairs_total: jobs.len() as u64,
+        // Build identity: resolved once per process, and only when a
+        // status will actually be published.
+        git_revision: if progress {
+            ant_obs::manifest::git_revision_cached()
+        } else {
+            None
+        },
+        resumed_from: ant_obs::progress::resumed_from(),
         ..ant_obs::RunStatus::default()
     };
     // Per-job Perfetto slices are only worth their memory when both the
@@ -995,6 +1009,7 @@ fn run_network_parallel<S: ConvSim + Sync + ?Sized>(
                     let mut reporter = ant_obs::StatusReporter::new(
                         ant_obs::progress::status_file(),
                     );
+                    reporter.set_console(progress_requested);
                     progress_loop(stop, shared, &mut reporter, base, run_start);
                 });
             }
@@ -1146,7 +1161,9 @@ fn run_network_parallel<S: ConvSim + Sync + ?Sized>(
         status.quarantined = merged.failures.failures.len() as u64;
         status.retries = merged.failures.retries;
         status.watchdog_slow = merged.failures.slow.len() as u64;
-        ant_obs::StatusReporter::new(ant_obs::progress::status_file()).publish(&status);
+        let mut reporter = ant_obs::StatusReporter::new(ant_obs::progress::status_file());
+        reporter.set_console(progress_requested);
+        reporter.publish(&status);
     }
     if span.is_recording() {
         span.record("layers", net.layers.len());

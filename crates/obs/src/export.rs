@@ -1,0 +1,432 @@
+//! Embedded `/metrics` HTTP exporter (`ANT_METRICS_ADDR`).
+//!
+//! A zero-dependency, std-only monitoring surface: when `ANT_METRICS_ADDR`
+//! names a `host:port`, [`init_from_env`] binds a TCP listener there and a
+//! background thread serves three endpoints for the lifetime of the process:
+//!
+//! - `GET /metrics` — the process-wide [`Registry`](crate::metrics::Registry)
+//!   rendered as Prometheus text exposition (format 0.0.4). Counters render
+//!   as `counter` families, gauges as `gauge`, and each histogram expands to
+//!   `_count` (counter) plus `_min`/`_mean`/`_p50`/`_p95`/`_max` gauges.
+//!   Names are sanitized to the exposition grammar by [`sanitize_metric_name`].
+//! - `GET /status` — the most recent `ant-status/1` JSON published by any
+//!   [`StatusReporter`](crate::progress::StatusReporter) in this process,
+//!   straight from memory (no file read). `503` until the first publish.
+//! - `GET /healthz` — liveness: always `200 ok`.
+//!
+//! Everything is off by default: with `ANT_METRICS_ADDR` unset the only cost
+//! is one cached environment lookup, no thread, no socket, no allocation on
+//! any hot path. Binding to port `0` picks a free port; the resolved address
+//! is written to `ANT_METRICS_ADDR_FILE` (default
+//! `target/experiments/metrics.addr`) so a harness that requested port `0`
+//! can discover where to scrape.
+//!
+//! The exporter is strictly read-only over shared state the run already
+//! maintains — serving a scrape never touches simulated state, so the
+//! byte-identity and steady-state-allocation gates hold with it enabled.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use crate::metrics::{registry, InstrumentSnapshot};
+use crate::progress::latest_status_json;
+
+/// Per-connection socket timeout: a stalled scraper must never wedge the
+/// exporter thread for long.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Largest request head the exporter will buffer before answering.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// The `ANT_METRICS_ADDR` value, or `None` when unset/falsy. Truthiness
+/// matches the other `ANT_*` switches: `""`, `0`, `false`, `off`, and `no`
+/// all mean disabled.
+pub fn metrics_addr() -> Option<String> {
+    let value = std::env::var("ANT_METRICS_ADDR").ok()?;
+    let trimmed = value.trim();
+    if matches!(trimmed, "" | "0" | "false" | "off" | "no") {
+        return None;
+    }
+    Some(trimmed.to_string())
+}
+
+/// Where the resolved bind address is written: `ANT_METRICS_ADDR_FILE` if
+/// set, else `target/experiments/metrics.addr` (honouring
+/// `CARGO_TARGET_DIR`).
+pub fn metrics_addr_file() -> PathBuf {
+    if let Ok(path) = std::env::var("ANT_METRICS_ADDR_FILE") {
+        if !path.trim().is_empty() {
+            return PathBuf::from(path);
+        }
+    }
+    let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string());
+    Path::new(&target).join("experiments").join("metrics.addr")
+}
+
+/// Starts the exporter if `ANT_METRICS_ADDR` is set, once per process.
+///
+/// Returns the bound address (useful when the variable requested port `0`),
+/// or `None` when the exporter is disabled or failed to bind. Idempotent:
+/// every call after the first returns the cached outcome, so runner and
+/// harness code can call it freely.
+pub fn init_from_env() -> Option<SocketAddr> {
+    static STATE: OnceLock<Option<SocketAddr>> = OnceLock::new();
+    *STATE.get_or_init(|| {
+        let addr = metrics_addr()?;
+        match serve(&addr) {
+            Ok(bound) => {
+                write_addr_file(&bound);
+                eprintln!("[ant-obs] metrics exporter listening on http://{bound}");
+                Some(bound)
+            }
+            Err(err) => {
+                eprintln!("[ant-obs] metrics exporter failed to bind {addr}: {err}");
+                None
+            }
+        }
+    })
+}
+
+/// Whether the exporter is (now) running. Starts it if `ANT_METRICS_ADDR`
+/// asks for one and it has not started yet.
+pub fn active() -> bool {
+    init_from_env().is_some()
+}
+
+/// Sleeps for `ANT_METRICS_LINGER_MS` milliseconds when the exporter is
+/// active, keeping short-lived experiment processes scrapeable after their
+/// run completes. No-op when the exporter is off or the variable is
+/// unset/zero/unparsable.
+pub fn linger_from_env() {
+    if !active() {
+        return;
+    }
+    let ms = std::env::var("ANT_METRICS_LINGER_MS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(0);
+    if ms == 0 {
+        return;
+    }
+    eprintln!("[ant-obs] lingering {ms}ms for final scrapes (ANT_METRICS_LINGER_MS)");
+    std::thread::sleep(Duration::from_millis(ms));
+}
+
+/// Binds `addr` and spawns the serving thread. Public so tests (and tools
+/// that manage their own lifecycle) can run an exporter without touching
+/// the environment; production code should go through [`init_from_env`].
+pub fn serve(addr: &str) -> std::io::Result<SocketAddr> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    std::thread::Builder::new()
+        .name("ant-metrics".to_string())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { continue };
+                // One short-lived connection at a time: scrapes are tiny and
+                // serialized handling keeps the exporter allocation-bounded.
+                handle_connection(stream);
+            }
+        })?;
+    Ok(bound)
+}
+
+/// Best-effort write of the bound address for port-0 discovery.
+fn write_addr_file(bound: &SocketAddr) {
+    let path = metrics_addr_file();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() && std::fs::create_dir_all(parent).is_err() {
+            return;
+        }
+    }
+    let _ = std::fs::write(&path, format!("{bound}\n"));
+}
+
+/// Reads one request head, routes it, writes one response, closes.
+fn handle_connection(mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let mut head = Vec::with_capacity(256);
+    let mut buf = [0u8; 512];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() >= MAX_REQUEST_BYTES {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&head);
+    let mut request_line = head.lines().next().unwrap_or("").split_whitespace();
+    let method = request_line.next().unwrap_or("");
+    let target = request_line.next().unwrap_or("");
+    // Ignore any query string; routing is by path only.
+    let path = target.split('?').next().unwrap_or(target);
+    let (status, content_type, body) = route(method, path);
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Maps `(method, path)` to `(status line, content type, body)`.
+fn route(method: &str, path: &str) -> (&'static str, &'static str, String) {
+    if method != "GET" {
+        return (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "only GET is supported\n".to_string(),
+        );
+    }
+    match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            render_prometheus(&registry().snapshot_instruments()),
+        ),
+        "/status" => match latest_status_json() {
+            Some(json) => ("200 OK", "application/json", json + "\n"),
+            None => (
+                "503 Service Unavailable",
+                "application/json",
+                "{\"error\":\"no status published yet\"}\n".to_string(),
+            ),
+        },
+        "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "unknown path; try /metrics, /status, /healthz\n".to_string(),
+        ),
+    }
+}
+
+/// Rewrites `name` into the Prometheus metric-name grammar
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): an `ant_` namespace prefix, with every
+/// character outside `[a-zA-Z0-9_]` replaced by `_`. The prefix both
+/// namespaces the export and guarantees a legal leading character for raw
+/// names that start with a digit.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("ant_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Formats a sample value per the exposition grammar (Go-style floats;
+/// `NaN`, `+Inf`, `-Inf` spelled exactly so).
+fn format_sample(value: f64) -> String {
+    if value.is_nan() {
+        "NaN".to_string()
+    } else if value.is_infinite() {
+        if value > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{value}")
+    }
+}
+
+/// Renders a typed registry snapshot as Prometheus text exposition.
+///
+/// Each instrument becomes one metric family with a `# TYPE` line. Raw
+/// names that sanitize to the same family name are disambiguated with a
+/// numeric suffix (`_2`, `_3`, …) in snapshot (sorted-name) order, so the
+/// output never declares one family twice.
+pub fn render_prometheus(snapshot: &[(String, InstrumentSnapshot)]) -> String {
+    let mut used: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    let mut unique_name = |raw: &str| -> String {
+        let base = sanitize_metric_name(raw);
+        let mut candidate = base.clone();
+        let mut n = 2;
+        while !used.insert(candidate.clone()) {
+            candidate = format!("{base}_{n}");
+            n += 1;
+        }
+        candidate
+    };
+    let mut out = String::with_capacity(64 * snapshot.len() + 64);
+    for (raw, instrument) in snapshot {
+        let family = unique_name(raw);
+        match instrument {
+            InstrumentSnapshot::Counter(value) => {
+                out.push_str(&format!("# TYPE {family} counter\n{family} {value}\n"));
+            }
+            InstrumentSnapshot::Gauge(value) => {
+                out.push_str(&format!(
+                    "# TYPE {family} gauge\n{family} {}\n",
+                    format_sample(*value)
+                ));
+            }
+            InstrumentSnapshot::Histogram(hist) => {
+                for (suffix, value) in hist.series() {
+                    let series = format!("{family}_{suffix}");
+                    let kind = if suffix == "count" { "counter" } else { "gauge" };
+                    out.push_str(&format!(
+                        "# TYPE {series} {kind}\n{series} {}\n",
+                        format_sample(value)
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A minimal `http://host:port/path` GET client for the exporter's own
+/// endpoints (used by `obsctl status` against a live run). Returns the
+/// status code and body.
+pub fn http_get(url: &str) -> std::io::Result<(u16, String)> {
+    let rest = url.strip_prefix("http://").unwrap_or(url);
+    let (host_port, path) = match rest.find('/') {
+        Some(idx) => (&rest[..idx], &rest[idx..]),
+        None => (rest, "/"),
+    };
+    let mut stream = TcpStream::connect(host_port)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    stream.write_all(
+        format!("GET {path} HTTP/1.1\r\nHost: {host_port}\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let mut parts = response.splitn(2, "\r\n\r\n");
+    let head = parts.next().unwrap_or("");
+    let body = parts.next().unwrap_or("").to_string();
+    let code = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse::<u16>().ok())
+        .unwrap_or(0);
+    Ok((code, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::HistogramSnapshot;
+
+    #[test]
+    fn sanitize_covers_existing_metric_name_shapes() {
+        assert_eq!(
+            sanitize_metric_name("runner.pairs_done"),
+            "ant_runner_pairs_done"
+        );
+        assert_eq!(
+            sanitize_metric_name("runner.worker.00.executed"),
+            "ant_runner_worker_00_executed"
+        );
+        assert_eq!(
+            sanitize_metric_name("kernel/bitmask_and/min_us"),
+            "ant_kernel_bitmask_and_min_us"
+        );
+        assert_eq!(sanitize_metric_name("0weird"), "ant_0weird");
+        assert_eq!(sanitize_metric_name(""), "ant_");
+    }
+
+    #[test]
+    fn sanitized_names_match_exposition_grammar() {
+        for raw in [
+            "runner.pairs_done",
+            "kernel/fnir_scan/p50_us",
+            "a b\tc",
+            "Ünïcode-→-name",
+        ] {
+            let name = sanitize_metric_name(raw);
+            let mut chars = name.chars();
+            let first = chars.next().expect("non-empty");
+            assert!(first.is_ascii_alphabetic() || first == '_' || first == ':');
+            assert!(chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'));
+        }
+    }
+
+    #[test]
+    fn render_emits_typed_families() {
+        let snapshot = vec![
+            ("runner.pairs_done".to_string(), InstrumentSnapshot::Counter(42)),
+            ("runner.util".to_string(), InstrumentSnapshot::Gauge(0.5)),
+        ];
+        let text = render_prometheus(&snapshot);
+        assert!(text.contains("# TYPE ant_runner_pairs_done counter\n"));
+        assert!(text.contains("ant_runner_pairs_done 42\n"));
+        assert!(text.contains("# TYPE ant_runner_util gauge\n"));
+        assert!(text.contains("ant_runner_util 0.5\n"));
+    }
+
+    #[test]
+    fn render_expands_histograms_and_skips_missing_stats() {
+        let empty = HistogramSnapshot {
+            count: 0,
+            min: None,
+            mean: None,
+            p50: None,
+            p95: None,
+            max: None,
+        };
+        let text = render_prometheus(&[(
+            "pair_us".to_string(),
+            InstrumentSnapshot::Histogram(empty),
+        )]);
+        assert!(text.contains("# TYPE ant_pair_us_count counter\nant_pair_us_count 0\n"));
+        assert!(!text.contains("ant_pair_us_min"), "empty histogram has no stats: {text}");
+
+        let full = HistogramSnapshot {
+            count: 3,
+            min: Some(1.0),
+            mean: Some(2.0),
+            p50: Some(2.0),
+            p95: Some(3.0),
+            max: Some(3.0),
+        };
+        let text = render_prometheus(&[(
+            "pair_us".to_string(),
+            InstrumentSnapshot::Histogram(full),
+        )]);
+        for series in [
+            "ant_pair_us_count 3",
+            "ant_pair_us_min 1",
+            "ant_pair_us_mean 2",
+            "ant_pair_us_p50 2",
+            "ant_pair_us_p95 3",
+            "ant_pair_us_max 3",
+        ] {
+            assert!(text.contains(series), "missing `{series}` in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn render_disambiguates_sanitized_collisions() {
+        let snapshot = vec![
+            ("a.b".to_string(), InstrumentSnapshot::Counter(1)),
+            ("a/b".to_string(), InstrumentSnapshot::Counter(2)),
+        ];
+        let text = render_prometheus(&snapshot);
+        assert!(text.contains("ant_a_b 1\n"));
+        assert!(text.contains("ant_a_b_2 2\n"));
+        // Exactly one TYPE line per family.
+        assert_eq!(text.matches("# TYPE ant_a_b counter").count(), 1);
+        assert_eq!(text.matches("# TYPE ant_a_b_2 counter").count(), 1);
+    }
+
+    #[test]
+    fn non_finite_samples_use_exposition_spellings() {
+        assert_eq!(format_sample(f64::NAN), "NaN");
+        assert_eq!(format_sample(f64::INFINITY), "+Inf");
+        assert_eq!(format_sample(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(format_sample(1.5), "1.5");
+        assert_eq!(format_sample(7.0), "7");
+    }
+}

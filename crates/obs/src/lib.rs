@@ -28,6 +28,10 @@
 //! * **Flamegraphs** ([`flame`]) — span-tree rollup of self/total wall
 //!   time per span path, exported as collapsed stacks
 //!   (inferno/speedscope-compatible) under `ANT_FLAME` / `ANT_FLAME_FILE`.
+//! * **Metrics exporter** ([`export`]) — an embedded std-only HTTP server
+//!   (`ANT_METRICS_ADDR=host:port`) serving `GET /metrics` (Prometheus text
+//!   exposition of the process registry), `GET /status` (live `ant-status/1`
+//!   JSON), and `GET /healthz`. Off by default with zero overhead.
 //!
 //! See `docs/OBSERVABILITY.md` for the full event schema and workflows.
 
@@ -37,6 +41,7 @@
 #![deny(unsafe_code)]
 
 pub mod alloc;
+pub mod export;
 pub mod flame;
 pub mod json;
 pub mod manifest;
@@ -47,10 +52,11 @@ pub mod timeline;
 pub mod trace;
 
 pub use alloc::{AllocDelta, AllocStats, CountingAlloc};
+pub use export::{render_prometheus, sanitize_metric_name};
 pub use flame::SpanStat;
 pub use json::{parse as parse_json, Json, Value};
 pub use manifest::{git_revision, RunManifest};
-pub use metrics::{registry, Counter, Gauge, Histogram, Registry};
+pub use metrics::{registry, Counter, Gauge, Histogram, InstrumentSnapshot, Registry};
 pub use progress::{banner, note, Progress, RunStatus, StatusReporter};
 pub use span::{current_span_id, event, span, Span};
 pub use timeline::Timeline;

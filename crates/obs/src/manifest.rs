@@ -59,6 +59,14 @@ pub fn git_revision() -> Option<String> {
     }
 }
 
+/// [`git_revision`], resolved once per process. Status publishing calls
+/// this on every run; caching keeps repeated runs from shelling out to
+/// `git` each time.
+pub fn git_revision_cached() -> Option<String> {
+    static REV: std::sync::OnceLock<Option<String>> = std::sync::OnceLock::new();
+    REV.get_or_init(git_revision).clone()
+}
+
 /// A manifest under construction. Create at experiment start, attach config
 /// and stats as they become known, then [`RunManifest::write_to_dir`] at the
 /// end (duration is measured from creation to write).

@@ -129,6 +129,56 @@ impl Histogram {
     }
 }
 
+/// One instrument's state in a typed [`Registry::snapshot_instruments`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum InstrumentSnapshot {
+    /// A counter's current value.
+    Counter(u64),
+    /// A gauge's current value.
+    Gauge(f64),
+    /// A histogram's summary statistics.
+    Histogram(HistogramSnapshot),
+}
+
+/// Summary statistics of one histogram at snapshot time. The stats are
+/// `None` when no samples were recorded (`count == 0`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Smallest sample.
+    pub min: Option<f64>,
+    /// Arithmetic mean.
+    pub mean: Option<f64>,
+    /// Nearest-rank median.
+    pub p50: Option<f64>,
+    /// Nearest-rank 95th percentile.
+    pub p95: Option<f64>,
+    /// Largest sample.
+    pub max: Option<f64>,
+}
+
+impl HistogramSnapshot {
+    /// The `(suffix, value)` series this snapshot expands to in exposition
+    /// order: `count` always, then `min`/`mean`/`p50`/`p95`/`max` when
+    /// samples exist.
+    pub fn series(&self) -> Vec<(&'static str, f64)> {
+        let mut out = vec![("count", self.count as f64)];
+        for (suffix, value) in [
+            ("min", self.min),
+            ("mean", self.mean),
+            ("p50", self.p50),
+            ("p95", self.p95),
+            ("max", self.max),
+        ] {
+            if let Some(v) = value {
+                out.push((suffix, v));
+            }
+        }
+        out
+    }
+}
+
 /// A named collection of instruments.
 #[derive(Debug, Default)]
 pub struct Registry {
@@ -174,6 +224,42 @@ impl Registry {
                 .entry(name.to_string())
                 .or_default(),
         )
+    }
+
+    /// A typed, name-sorted snapshot of every instrument. Unlike
+    /// [`Registry::snapshot`] (which flattens histograms into scalar
+    /// entries), this keeps each instrument's kind — the Prometheus
+    /// exposition renderer ([`crate::export`]) needs it to emit the right
+    /// `# TYPE` line per metric family.
+    pub fn snapshot_instruments(&self) -> Vec<(String, InstrumentSnapshot)> {
+        let mut out: Vec<(String, InstrumentSnapshot)> = Vec::new();
+        let counters = self.counters.lock().unwrap_or_else(|p| p.into_inner());
+        for (name, counter) in counters.iter() {
+            out.push((name.clone(), InstrumentSnapshot::Counter(counter.get())));
+        }
+        drop(counters);
+        let gauges = self.gauges.lock().unwrap_or_else(|p| p.into_inner());
+        for (name, gauge) in gauges.iter() {
+            out.push((name.clone(), InstrumentSnapshot::Gauge(gauge.get())));
+        }
+        drop(gauges);
+        let histograms = self.histograms.lock().unwrap_or_else(|p| p.into_inner());
+        for (name, hist) in histograms.iter() {
+            out.push((
+                name.clone(),
+                InstrumentSnapshot::Histogram(HistogramSnapshot {
+                    count: hist.count() as u64,
+                    min: hist.min(),
+                    mean: hist.mean(),
+                    p50: hist.percentile(50.0),
+                    p95: hist.percentile(95.0),
+                    max: hist.max(),
+                }),
+            ));
+        }
+        drop(histograms);
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
     }
 
     /// A flat, sorted snapshot of every instrument. Histograms expand to

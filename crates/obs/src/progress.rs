@@ -14,10 +14,52 @@
 //! (see `docs/OBSERVABILITY.md`).
 
 use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use crate::json::{write_json_string, Value};
 use crate::span;
+
+/// The most recently published `ant-status/1` JSON, process-wide. The
+/// embedded metrics exporter ([`crate::export`]) serves this on
+/// `GET /status` so a poller never has to race the status file on disk.
+fn latest_status() -> &'static Mutex<Option<String>> {
+    static LATEST: OnceLock<Mutex<Option<String>>> = OnceLock::new();
+    LATEST.get_or_init(|| Mutex::new(None))
+}
+
+/// The last `ant-status/1` JSON any [`StatusReporter`] published in this
+/// process, or `None` before the first publish.
+pub fn latest_status_json() -> Option<String> {
+    latest_status()
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .clone()
+}
+
+/// Context a resumed run carries into its status: the checkpoint path the
+/// sweep was resumed from. Set once by the binary that parsed `--resume`;
+/// the runner folds it into every [`RunStatus`] it publishes.
+fn resumed_from_slot() -> &'static Mutex<Option<String>> {
+    static RESUMED: OnceLock<Mutex<Option<String>>> = OnceLock::new();
+    RESUMED.get_or_init(|| Mutex::new(None))
+}
+
+/// Declares that this process resumed from the checkpoint at `path`
+/// (surfaced as `resumed_from` in every subsequent `ant-status/1`).
+pub fn set_resumed_from(path: impl Into<String>) {
+    *resumed_from_slot()
+        .lock()
+        .unwrap_or_else(|p| p.into_inner()) = Some(path.into());
+}
+
+/// The checkpoint path declared via [`set_resumed_from`], if any.
+pub fn resumed_from() -> Option<String> {
+    resumed_from_slot()
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .clone()
+}
 
 /// Prints the experiment banner (title plus underline) to stdout, matching
 /// the look the experiment binaries had before they shared a helper.
@@ -148,6 +190,12 @@ pub struct RunStatus {
     pub retries: u64,
     /// Pair jobs the watchdog flagged as over the per-pair budget.
     pub watchdog_slow: u64,
+    /// Git revision of the build publishing this status (`None` when the
+    /// revision could not be determined; serialized as JSON `null`).
+    pub git_revision: Option<String>,
+    /// Checkpoint path this run resumed from. Omitted from the JSON when
+    /// the run started fresh.
+    pub resumed_from: Option<String>,
 }
 
 impl RunStatus {
@@ -171,29 +219,41 @@ impl RunStatus {
             .duration_since(UNIX_EPOCH)
             .map(|d| d.as_millis() as u64)
             .unwrap_or(0);
-        let entries: [(&str, Value); 16] = [
-            ("elapsed_s", Value::F64(finite(self.elapsed_s))),
-            ("eta_s", Value::F64(finite(self.eta_s))),
-            ("layers_done", Value::U64(self.layers_done)),
-            ("layers_total", Value::U64(self.layers_total)),
-            ("machine", Value::Str(self.machine.clone())),
-            ("name", Value::Str(self.name.clone())),
-            ("network", Value::Str(self.network.clone())),
-            ("pairs_done", Value::U64(self.pairs_done)),
-            ("pairs_per_sec", Value::F64(finite(self.pairs_per_sec))),
-            ("pairs_total", Value::U64(self.pairs_total)),
-            ("quarantined", Value::U64(self.quarantined)),
-            ("retries", Value::U64(self.retries)),
-            ("state", Value::Str(self.state.to_string())),
-            ("threads", Value::U64(self.threads)),
-            ("updated_at_unix_ms", Value::U64(unix_ms)),
-            ("watchdog_slow", Value::U64(self.watchdog_slow)),
+        // `None` serializes as JSON `null` (our `Value` enum has no null
+        // variant); keys stay in sorted order, with `resumed_from` present
+        // only on resumed runs.
+        let mut entries: Vec<(&str, Option<Value>)> = vec![
+            ("elapsed_s", Some(Value::F64(finite(self.elapsed_s)))),
+            ("eta_s", Some(Value::F64(finite(self.eta_s)))),
+            ("git_revision", self.git_revision.clone().map(Value::Str)),
+            ("layers_done", Some(Value::U64(self.layers_done))),
+            ("layers_total", Some(Value::U64(self.layers_total))),
+            ("machine", Some(Value::Str(self.machine.clone()))),
+            ("name", Some(Value::Str(self.name.clone()))),
+            ("network", Some(Value::Str(self.network.clone()))),
+            ("pairs_done", Some(Value::U64(self.pairs_done))),
+            ("pairs_per_sec", Some(Value::F64(finite(self.pairs_per_sec)))),
+            ("pairs_total", Some(Value::U64(self.pairs_total))),
+            ("quarantined", Some(Value::U64(self.quarantined))),
         ];
+        if let Some(resumed) = &self.resumed_from {
+            entries.push(("resumed_from", Some(Value::Str(resumed.clone()))));
+        }
+        entries.extend([
+            ("retries", Some(Value::U64(self.retries))),
+            ("state", Some(Value::Str(self.state.to_string()))),
+            ("threads", Some(Value::U64(self.threads))),
+            ("updated_at_unix_ms", Some(Value::U64(unix_ms))),
+            ("watchdog_slow", Some(Value::U64(self.watchdog_slow))),
+        ]);
         for (key, value) in &entries {
             out.push(',');
             write_json_string(key, &mut out);
             out.push(':');
-            value.write_json(&mut out);
+            match value {
+                Some(v) => v.write_json(&mut out),
+                None => out.push_str("null"),
+            }
         }
         out.push('}');
         out
@@ -229,6 +289,7 @@ pub struct StatusReporter {
     path: PathBuf,
     min_interval: Duration,
     last_publish: Option<Instant>,
+    console: bool,
 }
 
 impl StatusReporter {
@@ -247,7 +308,17 @@ impl StatusReporter {
             path: path.into(),
             min_interval,
             last_publish: None,
+            console: true,
         }
+    }
+
+    /// Enables or disables the stderr line per publish. The JSON file, the
+    /// trace event, and the in-process [`latest_status_json`] slot are
+    /// unaffected — a run driven only by the metrics exporter stays silent
+    /// on the console while `/status` keeps serving live data.
+    pub fn set_console(&mut self, console: bool) -> &mut Self {
+        self.console = console;
+        self
     }
 
     /// The status-file path this reporter writes.
@@ -271,7 +342,13 @@ impl StatusReporter {
     /// file rewrite. Use for the final `"done"` status.
     pub fn publish(&mut self, status: &RunStatus) {
         self.last_publish = Some(Instant::now());
-        eprintln!("{}", status.console_line());
+        let json = status.to_json();
+        *latest_status()
+            .lock()
+            .unwrap_or_else(|p| p.into_inner()) = Some(json.clone());
+        if self.console {
+            eprintln!("{}", status.console_line());
+        }
         span::event(
             "status",
             &[
@@ -283,13 +360,13 @@ impl StatusReporter {
                 ("quarantined", Value::U64(status.quarantined)),
             ],
         );
-        self.rewrite_file(status);
+        self.rewrite_file(&json);
     }
 
     /// Write-temp-then-rename so the file is replaced atomically: a reader
     /// sees either the previous complete status or the new one, never a
     /// partial write.
-    fn rewrite_file(&self, status: &RunStatus) {
+    fn rewrite_file(&self, json: &str) {
         let Some(parent) = self.path.parent() else {
             return;
         };
@@ -299,7 +376,7 @@ impl StatusReporter {
         let mut tmp = self.path.as_os_str().to_owned();
         tmp.push(".tmp");
         let tmp = PathBuf::from(tmp);
-        if std::fs::write(&tmp, status.to_json() + "\n").is_ok() {
+        if std::fs::write(&tmp, format!("{json}\n")).is_ok() {
             let _ = std::fs::rename(&tmp, &self.path);
         }
     }
@@ -309,6 +386,12 @@ impl StatusReporter {
 mod tests {
     use super::*;
     use crate::json::{parse, Json};
+
+    /// Serializes tests that publish (the latest-status slot is global).
+    fn publish_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
 
     fn sample_status() -> RunStatus {
         RunStatus {
@@ -327,6 +410,8 @@ mod tests {
             quarantined: 1,
             retries: 2,
             watchdog_slow: 3,
+            git_revision: None,
+            resumed_from: None,
         }
     }
 
@@ -358,6 +443,64 @@ mod tests {
     }
 
     #[test]
+    fn git_revision_and_resumed_from_render_per_schema() {
+        // Fresh run, unknown revision: git_revision is null, resumed_from
+        // is omitted entirely.
+        let fresh = sample_status().to_json();
+        assert!(fresh.contains("\"git_revision\":null"), "null revision: {fresh}");
+        assert!(!fresh.contains("resumed_from"), "fresh run omits resumed_from");
+
+        // Resumed run with a known revision: both appear, keys stay sorted.
+        let status = RunStatus {
+            git_revision: Some("abc1234".to_string()),
+            resumed_from: Some("ckpt/fig09.ckpt".to_string()),
+            ..sample_status()
+        };
+        let text = status.to_json();
+        let json = parse(&text).expect("parses");
+        assert_eq!(json.get("git_revision").and_then(Json::as_str), Some("abc1234"));
+        assert_eq!(
+            json.get("resumed_from").and_then(Json::as_str),
+            Some("ckpt/fig09.ckpt")
+        );
+        let body = text.trim_start_matches("{\"schema\":\"ant-status/1\",");
+        let keys: Vec<&str> = body
+            .split(',')
+            .filter_map(|kv| kv.split(':').next())
+            .map(|k| k.trim_matches(|c| c == '"' || c == '}' || c == '{'))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted, "status keys must stay sorted");
+    }
+
+    #[test]
+    fn latest_status_slot_tracks_publishes() {
+        let _guard = publish_lock();
+        let dir = std::env::temp_dir().join(format!("ant_obs_latest_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut reporter = StatusReporter::new(dir.join("status.json"));
+        reporter.set_console(false);
+        let mut status = sample_status();
+        status.pairs_done = 321;
+        reporter.publish(&status);
+        let latest = latest_status_json().expect("slot filled after publish");
+        let json = parse(&latest).expect("slot holds valid JSON");
+        assert_eq!(json.get("schema").and_then(Json::as_str), Some("ant-status/1"));
+        assert_eq!(json.get("pairs_done").and_then(Json::as_u64), Some(321));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resumed_from_global_round_trips() {
+        assert_eq!(resumed_from(), None);
+        set_resumed_from("ckpt/a.jsonl");
+        assert_eq!(resumed_from(), Some("ckpt/a.jsonl".to_string()));
+        // Reset so other tests in this process see a clean slate.
+        *resumed_from_slot().lock().unwrap_or_else(|p| p.into_inner()) = None;
+    }
+
+    #[test]
     fn non_finite_rates_serialize_as_zero() {
         let status = RunStatus {
             pairs_per_sec: f64::INFINITY,
@@ -379,6 +522,7 @@ mod tests {
 
     #[test]
     fn reporter_rewrites_file_atomically_and_rate_limits() {
+        let _guard = publish_lock();
         let dir = std::env::temp_dir().join(format!("ant_obs_status_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let path = dir.join("nested/status.json");

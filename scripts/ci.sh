@@ -102,9 +102,10 @@ status = json.load(open(sys.argv[1]))
 assert status["schema"] == "ant-status/1", status["schema"]
 assert status["state"] == "done", status["state"]
 required = {
-    "elapsed_s", "eta_s", "layers_done", "layers_total", "machine", "name",
-    "network", "pairs_done", "pairs_per_sec", "pairs_total", "quarantined",
-    "retries", "state", "threads", "updated_at_unix_ms", "watchdog_slow",
+    "elapsed_s", "eta_s", "git_revision", "layers_done", "layers_total",
+    "machine", "name", "network", "pairs_done", "pairs_per_sec",
+    "pairs_total", "quarantined", "retries", "state", "threads",
+    "updated_at_unix_ms", "watchdog_slow",
 }
 missing = required - set(status)
 assert not missing, f"status file missing keys: {sorted(missing)}"
@@ -129,6 +130,127 @@ cargo run --release -q -p ant-bench --bin bench_history -- \
 cargo run --release -q -p ant-bench --bin bench_history -- \
   compare --file "$HISTORY_GATE" \
   --report target/experiments/ci_bench_history_gate.md
+
+echo "== metrics exporter smoke (fig09 under ANT_METRICS_ADDR: /metrics grammar, /status schema)"
+# Bind port 0, discover the resolved address through ANT_METRICS_ADDR_FILE,
+# and scrape the endpoints while the process lingers for final scrapes.
+# The same run records the trace JSONL the obsctl smoke below analyzes.
+METRICS_ADDR_FILE="target/experiments/ci_metrics.addr"
+OBSCTL_TRACE="target/experiments/ci_obsctl_trace.jsonl"
+rm -f "$METRICS_ADDR_FILE" "$OBSCTL_TRACE"
+ANT_METRICS_ADDR=127.0.0.1:0 ANT_METRICS_ADDR_FILE="$METRICS_ADDR_FILE" \
+ANT_METRICS_LINGER_MS=30000 ANT_TRACE=1 ANT_TRACE_FILE="$OBSCTL_TRACE" \
+  ./target/release/fig09_speedup_energy >/dev/null 2>&1 &
+EXPORTER_PID=$!
+for _ in $(seq 1 100); do
+  [[ -s "$METRICS_ADDR_FILE" ]] && break
+  sleep 0.1
+done
+[[ -s "$METRICS_ADDR_FILE" ]] || { echo "exporter never wrote $METRICS_ADDR_FILE" >&2; exit 1; }
+python3 - "$(cat "$METRICS_ADDR_FILE")" <<'PY'
+import json, re, sys, time, urllib.request
+
+addr = sys.argv[1].strip()
+def fetch(path):
+    with urllib.request.urlopen(f"http://{addr}{path}", timeout=5) as r:
+        return r.status, r.read().decode()
+
+# Wait for the run to finish so every runner.* family is present.
+body = "{}"
+for _ in range(200):
+    code, body = fetch("/status")
+    if code == 200 and json.loads(body).get("state") == "done":
+        break
+    time.sleep(0.1)
+status = json.loads(body)
+assert status["schema"] == "ant-status/1", status
+assert status["state"] == "done", status
+assert "git_revision" in status, "live /status must carry git_revision"
+
+code, body = fetch("/healthz")
+assert code == 200 and body == "ok\n", (code, body)
+
+# Line-by-line Prometheus text-exposition (0.0.4) grammar check: every
+# sample after its family's single TYPE line, names legal, values floats.
+code, text = fetch("/metrics")
+assert code == 200, code
+name_re = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+declared, seen = {}, set()
+for line in text.splitlines():
+    assert line and not line[0].isspace(), f"blank/indented line {line!r}"
+    if line.startswith("#"):
+        m = re.fullmatch(r"# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge)", line)
+        assert m, f"bad comment line {line!r}"
+        assert m.group(1) not in declared, f"duplicate TYPE for {m.group(1)}"
+        declared[m.group(1)] = m.group(2)
+        continue
+    name, sep, value = line.partition(" ")
+    assert sep and name_re.fullmatch(name), f"bad sample line {line!r}"
+    assert name in declared, f"sample {name!r} before its TYPE line"
+    assert name not in seen, f"duplicate sample for {name!r}"
+    seen.add(name)
+    if value not in ("NaN", "+Inf", "-Inf"):
+        float(value)
+assert seen == set(declared), f"TYPEd families without samples: {sorted(set(declared) - seen)}"
+counters = [n for n in seen if declared[n] == "counter" and n.startswith("ant_runner_")]
+assert counters, f"no runner.* counters exposed in {sorted(seen)[:10]}"
+print(f"metrics exporter: {len(seen)} samples grammar-ok "
+      f"({len(counters)} runner.* counters)")
+PY
+kill "$EXPORTER_PID" 2>/dev/null || true
+wait "$EXPORTER_PID" 2>/dev/null || true
+
+echo "== obsctl smoke (trace stats, flame diff fixtures, ledger trend == compare verdicts)"
+OBSCTL=./target/release/obsctl
+"$OBSCTL" trace "$OBSCTL_TRACE" --json > target/experiments/ci_obsctl_trace.json
+FLAME_A="target/experiments/ci_flame_a.folded"
+FLAME_B="target/experiments/ci_flame_b.folded"
+printf 'exp;net;layer 100\nexp;net;layer;phase 40\nexp;gone 10\n' > "$FLAME_A"
+printf 'exp;net;layer 150\nexp;net;layer;phase 40\nexp;new 5\n' > "$FLAME_B"
+"$OBSCTL" flame diff "$FLAME_A" "$FLAME_B" --json > target/experiments/ci_obsctl_flame.json
+# Trend must reproduce compare's per-metric verdicts over the same ledger
+# (the gate stage above already proved this compare is clean).
+cargo run --release -q -p ant-bench --bin bench_history -- \
+  compare --file "$HISTORY_GATE" \
+  --report target/experiments/ci_obsctl_compare.md \
+  --json target/experiments/ci_obsctl_compare.json
+"$OBSCTL" ledger trend --file "$HISTORY_GATE" --json > target/experiments/ci_obsctl_trend.json
+cargo run --release -q -p ant-bench --bin bench_history -- \
+  list --file "$HISTORY_GATE" --json > target/experiments/ci_obsctl_list.json
+python3 - <<'PY'
+import json
+
+trace = json.load(open("target/experiments/ci_obsctl_trace.json"))
+assert trace["schema"] == "ant-trace-stats/1", trace["schema"]
+assert trace["records_matched"] > 0 and trace["spans"], "empty trace analysis"
+assert trace["lines_skipped"] == 0, trace["lines_skipped"]
+
+flame = json.load(open("target/experiments/ci_obsctl_flame.json"))
+assert flame["schema"] == "ant-flame-diff/1", flame["schema"]
+deltas = {p["path"]: p for p in flame["paths"]}
+assert deltas["exp;net;layer"]["self_delta_us"] == 50, deltas
+assert deltas["exp"]["total_delta_us"] == 45, deltas
+assert deltas["exp;gone"]["self_delta_us"] == -10, deltas
+
+cmp_doc = json.load(open("target/experiments/ci_obsctl_compare.json"))
+trend = json.load(open("target/experiments/ci_obsctl_trend.json"))
+assert trend["schema"] == "ant-ledger-trend/1", trend["schema"]
+cmp_status = {m["name"]: m["status"] for m in cmp_doc["metrics"]}
+trend_status = {m["name"]: m["status"] for m in trend["metrics"]}
+assert cmp_status == trend_status, (cmp_status, trend_status)
+assert trend["regressed"] == cmp_doc["regressed"]
+assert sorted(trend["missing"]) == sorted(cmp_doc["missing"])
+for m in trend["metrics"]:
+    assert m["history"], f"metric {m['name']} has no trend history"
+    assert m["history"][-1]["value"] == m["candidate"], m["name"]
+
+listing = json.load(open("target/experiments/ci_obsctl_list.json"))
+assert listing["schema"] == "ant-bench-list/1", listing["schema"]
+assert listing["entries"] == len(listing["runs"]) > 0, listing["entries"]
+print(f"obsctl: {len(trace['spans'])} trace paths, "
+      f"{len(trend_status)} trend verdicts == compare, "
+      f"{listing['entries']} ledger entries listed")
+PY
 
 echo "== steady-state allocation gate (warm worker must not touch the heap)"
 cargo test --release -q -p ant-bench --test steady_state_alloc
