@@ -146,9 +146,14 @@ fn main() {
     // Per-worker scheduler telemetry across the whole sweep (populated
     // only under ANT_TELEMETRY; see docs/OBSERVABILITY.md).
     let mut worker_table = ant_bench::telemetry::WorkerTable::new();
+    // Per-(layer, phase, machine) RCP attribution for the whole sweep —
+    // the `ant-redundancy/1` sidecar `obsctl redundancy` analyzes.
+    let mut ledger = ant_bench::redundancy::RedundancyLedger::new();
     for net in networks {
         let s = run(&scnn, &net, &cfg, checkpoint.as_mut());
         let a = run(&ant, &net, &cfg, checkpoint.as_mut());
+        ledger.add_network(&s, &net);
+        ledger.add_network(&a, &net);
         sim_total.accumulate(&s.total);
         sim_total.accumulate(&a.total);
         sim_wall_us += s.host_wall_us + a.host_wall_us;
@@ -206,6 +211,18 @@ fn main() {
             aa.mults,
             percent(1.0 - aa.mults as f64 / ss.mults.max(1) as f64)
         );
+    }
+    // Redundancy observatory outputs: the per-(layer, phase, machine)
+    // sidecar, the manifest's aggregate RCP counters (CI cross-checks them
+    // against `obsctl redundancy --json`), and the live-exporter gauges.
+    ledger.record_metrics();
+    ledger.record_manifest_stats(exp.manifest());
+    match ledger.write(exp.name()) {
+        Ok(path) => {
+            exp.manifest().output(path.display().to_string());
+            println!("redundancy: {}", path.display());
+        }
+        Err(err) => eprintln!("redundancy sidecar write failed: {err}"),
     }
     exp.finish(&table);
 }

@@ -1,31 +1,36 @@
 //! `obsctl`: unified offline analysis over the observability sidecars.
 //!
 //! ```text
-//! obsctl trace  FILE [--name N] [--layer L] [--phase P] [--network NET]
-//!                    [--machine M] [--top K] [--json]
-//! obsctl flame  diff A.folded B.folded [--top K] [--json]
-//! obsctl ledger trend [--file PATH] [--label L] [--metric SUBSTR]
-//!                     [--window N] [--threshold T] [--json]
-//! obsctl status [PATH|URL] [--follow] [--interval-ms N]
+//! obsctl trace      FILE [--name N] [--layer L] [--phase P] [--network NET]
+//!                        [--machine M] [--top K] [--json]
+//! obsctl flame      diff A.folded B.folded [--top K] [--json]
+//! obsctl ledger     trend [--file PATH] [--label L] [--metric SUBSTR]
+//!                         [--window N] [--threshold T] [--json]
+//! obsctl status     [PATH|URL] [--follow] [--interval-ms N]
+//! obsctl redundancy FILE [--network NET] [--machine M] [--layer L]
+//!                        [--phase P] [--top K] [--json]
 //! ```
 //!
 //! Analysis only — every subcommand exits zero unless its input is
 //! unusable; regression *gating* stays with `bench_history compare`. The
 //! `--json` reports carry stable schemas (`ant-trace-stats/1`,
-//! `ant-flame-diff/1`, `ant-ledger-trend/1`); see `docs/OBSERVABILITY.md`
-//! for a walkthrough.
+//! `ant-flame-diff/1`, `ant-ledger-trend/1`, `ant-redundancy-stats/1`);
+//! see `docs/OBSERVABILITY.md` for a walkthrough.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use ant_bench::history::{self, DEFAULT_LEDGER, DEFAULT_THRESHOLD};
-use ant_bench::obsctl::{flame, status, take_flag, take_parsed, take_switch, trace, trend};
+use ant_bench::obsctl::{
+    flame, redundancy, status, take_flag, take_parsed, take_switch, trace, trend,
+};
 
-const USAGE: &str = "usage: obsctl <trace|flame|ledger|status> [options]
-  trace  FILE [--name N] [--layer L] [--phase P] [--network NET] [--machine M] [--top K] [--json]
-  flame  diff A.folded B.folded [--top K] [--json]
-  ledger trend [--file PATH] [--label L] [--metric SUBSTR] [--window N] [--threshold T] [--json]
-  status [PATH|URL] [--follow] [--interval-ms N]";
+const USAGE: &str = "usage: obsctl <trace|flame|ledger|status|redundancy> [options]
+  trace      FILE [--name N] [--layer L] [--phase P] [--network NET] [--machine M] [--top K] [--json]
+  flame      diff A.folded B.folded [--top K] [--json]
+  ledger     trend [--file PATH] [--label L] [--metric SUBSTR] [--window N] [--threshold T] [--json]
+  status     [PATH|URL] [--follow] [--interval-ms N]
+  redundancy FILE [--network NET] [--machine M] [--layer L] [--phase P] [--top K] [--json]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,6 +43,7 @@ fn main() -> ExitCode {
         "flame" => cmd_flame(rest),
         "ledger" => cmd_ledger(rest),
         "status" => cmd_status(rest),
+        "redundancy" => cmd_redundancy(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -79,7 +85,7 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
         std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
     let report = trace::analyze(&text, &filter);
     if json {
-        println!("{}", trace::to_json(&report));
+        println!("{}", trace::to_json(&report, top));
     } else {
         print!("{}", trace::to_markdown(&report, top));
     }
@@ -149,6 +155,36 @@ fn cmd_ledger(args: &[String]) -> Result<(), String> {
         // Analysis tool, not a gate: an empty or one-entry ledger is a
         // report ("nothing to compare"), not a failure.
         trend::TrendOutcome::Nothing(reason) => println!("{reason}"),
+    }
+    Ok(())
+}
+
+fn cmd_redundancy(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let filter = redundancy::RedundancyFilter {
+        network: take_flag(&mut args, "--network")?,
+        machine: take_flag(&mut args, "--machine")?,
+        layer: take_flag(&mut args, "--layer")?,
+        phase: take_flag(&mut args, "--phase")?,
+    };
+    let top = take_parsed(&mut args, "--top", 30usize)?;
+    let json = take_switch(&mut args, "--json");
+    let [file] = args.as_slice() else {
+        return Err(format!("redundancy wants exactly one FILE, got {args:?}"));
+    };
+    let text =
+        std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    let report = redundancy::analyze(&text, &filter);
+    if report.rows_matched == 0 && report.lines_skipped > 0 {
+        return Err(format!(
+            "{file} holds no ant-redundancy/1 rows ({} unusable line(s))",
+            report.lines_skipped
+        ));
+    }
+    if json {
+        println!("{}", redundancy::to_json(&report, top));
+    } else {
+        print!("{}", redundancy::to_markdown(&report, top));
     }
     Ok(())
 }

@@ -5,6 +5,7 @@
 //! WRN-16-8 94.8%, ResNet50 91.9% — average 90.3%.
 
 use ant_bench::obs::Experiment;
+use ant_bench::redundancy::RedundancyLedger;
 use ant_bench::report::{percent, Table};
 use ant_bench::runner::{simulate_network_parallel, ExperimentConfig};
 use ant_sim::ant::AntAccelerator;
@@ -23,9 +24,11 @@ fn main() {
     let mut table = Table::new(&["network", "RCPs avoided", "paper"]);
     let mut sum = 0.0;
     let nets = figure9_networks();
+    let mut ledger = RedundancyLedger::new();
     let mut progress = exp.progress(nets.len());
     for (net, paper_pct) in nets.iter().zip(paper.iter()) {
         let result = simulate_network_parallel(&ant, net, &cfg);
+        ledger.add_network(&result, net);
         let avoided = result.total.rcps_avoided_fraction();
         sum += avoided;
         table.push_row(vec![
@@ -41,5 +44,17 @@ fn main() {
     println!("\naverage: {}   (paper average: 90.3%)", percent(average));
     exp.stat("average_rcps_avoided", average)
         .stat("networks", nets.len() as u64);
+    // Table 5 is *the* RCP table, so it carries the full per-layer
+    // attribution sidecar too; CI equates `obsctl redundancy --json`
+    // totals over it with the aggregate counters mirrored here.
+    ledger.record_metrics();
+    ledger.record_manifest_stats(exp.manifest());
+    match ledger.write(exp.name()) {
+        Ok(path) => {
+            exp.manifest().output(path.display().to_string());
+            println!("redundancy: {}", path.display());
+        }
+        Err(err) => eprintln!("redundancy sidecar write failed: {err}"),
+    }
     exp.finish(&table);
 }

@@ -42,6 +42,7 @@ pub mod history;
 pub mod kernels;
 pub mod obs;
 pub mod obsctl;
+pub mod redundancy;
 pub mod report;
 pub mod runner;
 pub mod telemetry;

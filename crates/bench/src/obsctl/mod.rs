@@ -1,18 +1,21 @@
 //! `obsctl`: unified offline analysis over the observability artifacts.
 //!
-//! The stack writes five sidecar formats — span traces (JSONL), collapsed
+//! The stack writes six sidecar formats — span traces (JSONL), collapsed
 //! flamegraph stacks (`.folded`), Perfetto timelines, the bench-history
-//! ledger (`BENCH_history.jsonl`), and the live `ant-status/1` file. Each
-//! had its own ad-hoc consumer; this module is the one query tool over all
-//! of them, exposed by the `obsctl` binary:
+//! ledger (`BENCH_history.jsonl`), the live `ant-status/1` file, and the
+//! per-(layer, phase, machine) `ant-redundancy/1` RCP-attribution ledger.
+//! Each had its own ad-hoc consumer; this module is the one query tool over
+//! all of them, exposed by the `obsctl` binary:
 //!
 //! ```text
-//! obsctl trace  FILE [--name N] [--layer L] [--phase P] [--network NET]
-//!                    [--machine M] [--top K] [--json]
-//! obsctl flame  diff A.folded B.folded [--top K] [--json]
-//! obsctl ledger trend [--file PATH] [--label L] [--metric SUBSTR]
-//!                     [--window N] [--threshold T] [--json]
-//! obsctl status [PATH|URL] [--follow] [--interval-ms N]
+//! obsctl trace      FILE [--name N] [--layer L] [--phase P] [--network NET]
+//!                        [--machine M] [--top K] [--json]
+//! obsctl flame      diff A.folded B.folded [--top K] [--json]
+//! obsctl ledger     trend [--file PATH] [--label L] [--metric SUBSTR]
+//!                         [--window N] [--threshold T] [--json]
+//! obsctl status     [PATH|URL] [--follow] [--interval-ms N]
+//! obsctl redundancy FILE [--network NET] [--machine M] [--layer L]
+//!                        [--phase P] [--top K] [--json]
 //! ```
 //!
 //! Every subcommand is an *analysis* tool: it renders a report (markdown
@@ -23,6 +26,7 @@
 //! the gate's.
 
 pub mod flame;
+pub mod redundancy;
 pub mod status;
 pub mod trace;
 pub mod trend;

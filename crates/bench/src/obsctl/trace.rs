@@ -192,16 +192,19 @@ pub fn to_markdown(report: &TraceReport, top: usize) -> String {
     out
 }
 
-/// Serializes the report under the [`SCHEMA`] JSON schema (all paths, not
-/// capped by `--top`).
-pub fn to_json(report: &TraceReport) -> String {
-    let mut out = String::with_capacity(128 + report.spans.len() * 160);
+/// Serializes the report under the [`SCHEMA`] JSON schema. Like the
+/// markdown view, the `spans` array is bounded by `top` (heaviest paths
+/// first); the number of paths dropped is reported as `truncated` so a
+/// consumer can tell a short report from a short trace. The headline
+/// `records_*` counts always cover every record.
+pub fn to_json(report: &TraceReport, top: usize) -> String {
+    let mut out = String::with_capacity(128 + report.spans.len().min(top) * 160);
     let _ = write!(
         out,
         "{{\"schema\":\"{SCHEMA}\",\"records_matched\":{},\"records_filtered\":{},\"lines_skipped\":{},\"spans\":[",
         report.records_matched, report.records_filtered, report.lines_skipped
     );
-    for (i, s) in report.spans.iter().enumerate() {
+    for (i, s) in report.spans.iter().take(top).enumerate() {
         if i > 0 {
             out.push(',');
         }
@@ -215,7 +218,8 @@ pub fn to_json(report: &TraceReport) -> String {
             s.count, s.total_us, s.mean_us, s.p50_us, s.p95_us, s.max_us
         );
     }
-    out.push_str("]}");
+    let truncated = report.spans.len().saturating_sub(top);
+    let _ = write!(out, "],\"truncated\":{truncated}}}");
     out
 }
 
@@ -274,7 +278,7 @@ mod tests {
     #[test]
     fn json_rendering_is_schema_tagged_and_parseable() {
         let report = analyze(&sample_trace(), &TraceFilter::default());
-        let json = ant_obs::parse_json(&to_json(&report)).expect("valid JSON");
+        let json = ant_obs::parse_json(&to_json(&report, 30)).expect("valid JSON");
         assert_eq!(json.get("schema").and_then(Json::as_str), Some(SCHEMA));
         let spans = json.get("spans").and_then(Json::as_array).expect("spans");
         assert_eq!(spans.len(), 2);
@@ -282,8 +286,25 @@ mod tests {
             spans[0].get("path").and_then(Json::as_str),
             Some("experiment/network/layer")
         );
+        assert_eq!(json.get("truncated").and_then(Json::as_u64), Some(0));
         let markdown = to_markdown(&report, 1);
         assert!(markdown.contains("| experiment/network/layer |"));
         assert!(markdown.contains("1 more path(s)"));
+    }
+
+    #[test]
+    fn json_spans_are_bounded_by_top_with_truncated_count() {
+        let report = analyze(&sample_trace(), &TraceFilter::default());
+        let json = ant_obs::parse_json(&to_json(&report, 1)).expect("valid JSON");
+        let spans = json.get("spans").and_then(Json::as_array).expect("spans");
+        // Only the heaviest path survives the bound...
+        assert_eq!(spans.len(), 1);
+        assert_eq!(
+            spans[0].get("path").and_then(Json::as_str),
+            Some("experiment/network/layer")
+        );
+        assert_eq!(json.get("truncated").and_then(Json::as_u64), Some(1));
+        // ...but the headline record counts still cover the whole trace.
+        assert_eq!(json.get("records_matched").and_then(Json::as_u64), Some(3));
     }
 }

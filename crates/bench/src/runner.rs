@@ -279,6 +279,13 @@ pub struct LayerStats {
     pub name: String,
     /// Scaled counters summed over the layer's three training phases.
     pub stats: SimStats,
+    /// Finalized (scaled) counters of each training phase, in
+    /// `[Forward, Backward, Update]` order. `stats` is exactly their sum;
+    /// both runners produce them through the shared [`finalize_phase`]
+    /// accounting, so serial and parallel runs stay bit-identical. The
+    /// redundancy observatory attributes per-(layer, phase) rows from
+    /// these.
+    pub phases: [SimStats; 3],
 }
 
 /// Simulates a full network (all layers, all three training phases) on one
@@ -1085,6 +1092,7 @@ fn run_network_parallel<S: ConvSim + Sync + ?Sized>(
                 index: li,
                 name: layer.name.clone(),
                 stats: layer_total,
+                phases: *stored,
             });
             continue;
         }
@@ -1138,6 +1146,7 @@ fn run_network_parallel<S: ConvSim + Sync + ?Sized>(
             index: li,
             name: layer.name.clone(),
             stats: layer_total,
+            phases: scaled_phases,
         });
     }
     merged.partial = !report.is_clean();
@@ -1352,6 +1361,11 @@ fn accumulate_layer<S: ConvSim + ?Sized>(
     let work = synthesize_layer_work(layer, layer_index, cfg);
     layer_span.record("channel_scale", work.channel_scale);
     let mut layer_total = SimStats::default();
+    let mut scaled_phases = [
+        SimStats::default(),
+        SimStats::default(),
+        SimStats::default(),
+    ];
     for (pi, (phase, pairs, distinct_images)) in work.phases.iter().enumerate() {
         let phase_started = Instant::now();
         let mut phase_span = ant_obs::span("phase");
@@ -1382,11 +1396,13 @@ fn accumulate_layer<S: ConvSim + ?Sized>(
         debug_assert_eq!(out.per_phase[pi].0, *phase);
         out.per_phase[pi].1.accumulate(&scaled);
         layer_total.accumulate(&scaled);
+        scaled_phases[pi] = scaled;
     }
     out.per_layer.push(LayerStats {
         index: layer_index,
         name: layer.name.clone(),
         stats: layer_total,
+        phases: scaled_phases,
     });
 }
 
@@ -1511,6 +1527,25 @@ mod tests {
     }
 
     #[test]
+    fn layer_phase_stats_sum_to_layer_and_network() {
+        let cfg = ExperimentConfig::paper_default();
+        let net = tiny_net();
+        let result = simulate_network(&AntAccelerator::paper_default(), &net, &cfg);
+        let mut phase_sums = [SimStats::default(); 3];
+        for layer in &result.per_layer {
+            let mut layer_sum = SimStats::default();
+            for (pi, phase) in layer.phases.iter().enumerate() {
+                layer_sum.accumulate(phase);
+                phase_sums[pi].accumulate(phase);
+            }
+            assert_eq!(layer_sum, layer.stats, "layer {}", layer.name);
+        }
+        for (sum, (_, network_phase)) in phase_sums.iter().zip(result.per_phase.iter()) {
+            assert_eq!(sum, network_phase);
+        }
+    }
+
+    #[test]
     fn update_phase_dominates_scnn_multiplications() {
         // The paper's core observation: under sparse training, G_A * A
         // dominates the outer-product work on an SCNN-like machine.
@@ -1599,6 +1634,7 @@ mod tests {
                     assert_eq!(a.index, b.index, "{label}");
                     assert_eq!(a.name, b.name, "{label}");
                     assert_eq!(a.stats, b.stats, "{label} layer {}", a.name);
+                    assert_eq!(a.phases, b.phases, "{label} layer {}", a.name);
                 }
             };
             // The work-stealing scheduler must be bit-identical for one

@@ -12,6 +12,7 @@
 
 use std::collections::{BTreeSet, HashMap};
 
+use ant_bench::redundancy::RedundancyLedger;
 use ant_bench::runner::{
     pair_jobs, simulate_network, try_simulate_network_parallel, ExperimentConfig, RunOptions,
 };
@@ -167,6 +168,47 @@ fn seeded_chaos_quarantines_exactly_the_injected_failures() {
         }
     }
     assert_ne!(clean_serial.total, run_a.total);
+
+    // The redundancy ledger reflects the quarantine deterministically:
+    // rows for fault-hit layers are flagged partial and never count the
+    // quarantined pairs' products, clean-layer rows are byte-identical to
+    // the clean serial run's rows, and a rerun under the same injection
+    // produces the identical ledger.
+    let mut clean_ledger = RedundancyLedger::new();
+    clean_ledger.add_network(&clean_serial, &net);
+    let mut ledger_a = RedundancyLedger::new();
+    ledger_a.add_network(&run_a, &net);
+    let mut ledger_b = RedundancyLedger::new();
+    ledger_b.add_network(&run_b, &net);
+    assert_eq!(ledger_a.rows(), ledger_b.rows(), "ledger not deterministic");
+    assert_eq!(ledger_a.len(), clean_ledger.len());
+    for (clean_row, chaos_row) in clean_ledger.rows().iter().zip(ledger_a.rows()) {
+        assert_eq!(clean_row.layer_index, chaos_row.layer_index);
+        assert_eq!(clean_row.phase, chaos_row.phase);
+        if hit_layers.contains(&chaos_row.layer_index) {
+            assert!(chaos_row.partial, "fault-hit layer row not flagged partial");
+            assert!(
+                chaos_row.record.pairs_total <= clean_row.record.pairs_total,
+                "quarantined pairs leaked into the ledger: {chaos_row:?}"
+            );
+        } else {
+            assert!(!chaos_row.partial, "clean layer row flagged partial");
+            assert_eq!(
+                clean_row, chaos_row,
+                "clean-layer ledger row diverged under chaos"
+            );
+        }
+    }
+    // At least one phase row actually lost quarantined products.
+    assert!(
+        clean_ledger
+            .rows()
+            .iter()
+            .zip(ledger_a.rows())
+            .any(|(c, a)| c.record.pairs_total > a.record.pairs_total),
+        "quarantine removed no products from the ledger"
+    );
+    assert_ne!(clean_ledger.totals(), ledger_a.totals());
 
     // With chaos cleared the same entry point is clean and byte-identical
     // to the serial baseline again.

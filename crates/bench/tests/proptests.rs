@@ -1,12 +1,37 @@
 //! Property-based tests for the experiment runner: arbitrary tiny network
 //! specs must simulate cleanly and uphold the cross-machine invariants.
 
-use ant_bench::runner::{simulate_network, ExperimentConfig};
+use ant_bench::redundancy::RedundancyLedger;
+use ant_bench::runner::{simulate_network, ExperimentConfig, NetworkResult};
+use ant_conv::efficiency::TrainingPhases;
 use ant_sim::ant::AntAccelerator;
+use ant_sim::dst::DstAccelerator;
+use ant_sim::inner::{DenseInnerProduct, TensorDash};
+use ant_sim::intersection::IntersectionAccelerator;
 use ant_sim::scnn::ScnnPlus;
+use ant_sim::{ConvSim, RedundancyRecord};
 use ant_workloads::models::{ConvLayerSpec, NetworkModel};
 use ant_workloads::synth::LayerSparsity;
 use proptest::prelude::*;
+
+/// All six paper machines (Section 6 comparison set).
+fn six_machines() -> Vec<Box<dyn ConvSim>> {
+    vec![
+        Box::new(AntAccelerator::paper_default()),
+        Box::new(ScnnPlus::paper_default()),
+        Box::new(DenseInnerProduct::paper_default()),
+        Box::new(TensorDash::paper_default()),
+        Box::new(DstAccelerator::paper_default()),
+        Box::new(IntersectionAccelerator::training_default()),
+    ]
+}
+
+/// Builds the redundancy ledger for one simulated network result.
+fn ledger_for(result: &NetworkResult, net: &NetworkModel) -> RedundancyLedger {
+    let mut ledger = RedundancyLedger::new();
+    ledger.add_network(result, net);
+    ledger
+}
 
 fn layer_spec() -> impl Strategy<Value = ConvLayerSpec> {
     (
@@ -56,6 +81,116 @@ proptest! {
             let phase_mults: u64 = r.per_phase.iter().map(|(_, st)| st.mults).sum();
             prop_assert_eq!(phase_mults, r.total.mults);
         }
+    }
+
+    /// On every one of the six machines, the redundancy ledger's per-layer
+    /// rows are an exact partition of the network-level [`ant_sim::SimStats`]
+    /// counters: each row keeps `executed + skipped == total`, rows for a
+    /// layer sum to that layer's stats, and the whole ledger sums to the
+    /// network totals (RCPs and SRAM alike).
+    #[test]
+    fn redundancy_rows_sum_to_network_counters(net in network(), sparsity in 0.0f64..0.95) {
+        let cfg = ExperimentConfig {
+            sparsity: LayerSparsity::uniform(sparsity),
+            max_channels: 2,
+            num_pes: 64,
+            seed: 11,
+        };
+        for machine in six_machines() {
+            let result = simulate_network(machine.as_ref(), &net, &cfg);
+            let ledger = ledger_for(&result, &net);
+            prop_assert_eq!(ledger.len(), net.layers.len() * 3, "machine {}", machine.name());
+            for row in ledger.rows() {
+                prop_assert_eq!(
+                    row.record.rcps_executed + row.record.rcps_skipped,
+                    row.record.rcps_total(),
+                    "machine {}", machine.name()
+                );
+                prop_assert!(!row.partial);
+            }
+            for layer in &result.per_layer {
+                let mut sum = RedundancyRecord::default();
+                for row in ledger.rows().iter().filter(|r| r.layer_index == layer.index) {
+                    sum.accumulate(&row.record);
+                }
+                prop_assert_eq!(
+                    sum,
+                    RedundancyRecord::from_stats(&layer.stats),
+                    "layer {} rows drifted from its stats on {}",
+                    layer.index, machine.name()
+                );
+            }
+            prop_assert_eq!(
+                ledger.totals(),
+                RedundancyRecord::from_stats(&result.total),
+                "ledger totals drifted from network stats on {}",
+                machine.name()
+            );
+        }
+    }
+
+    /// On the outer-product machines (ANT, SCNN+) every product is either
+    /// effectual or an RCP, so the measured Eq. 6 efficiency and the
+    /// avoided fraction are two views of the same integers:
+    /// `(1 - efficiency) * pairs == rcps_total` and
+    /// `avoided_fraction * rcps_total == rcps_skipped`, exactly. The
+    /// analytic `eq6_efficiency` mirrors the phase shape's value.
+    ///
+    /// `max_channels` covers every generated `in_c`, because channel
+    /// sampling rounds each scaled counter independently (±1 per counter),
+    /// which would smear the exact integer partition this test pins.
+    #[test]
+    fn eq6_efficiency_matches_avoided_fraction_algebra(net in network(), sparsity in 0.0f64..0.95) {
+        let cfg = ExperimentConfig {
+            sparsity: LayerSparsity::uniform(sparsity),
+            max_channels: 8,
+            num_pes: 64,
+            seed: 13,
+        };
+        let ant = simulate_network(&AntAccelerator::paper_default(), &net, &cfg);
+        let scnn = simulate_network(&ScnnPlus::paper_default(), &net, &cfg);
+        for result in [&ant, &scnn] {
+            let ledger = ledger_for(result, &net);
+            for row in ledger.rows() {
+                let r = &row.record;
+                // Outer-product partition (Eq. 6's denominator split).
+                prop_assert_eq!(r.pairs_total, r.effectual_macs + r.rcps_total());
+                // Integer-exact fraction algebra on the derived views.
+                let pairs = r.pairs_total as f64;
+                let ineffectual = (1.0 - r.efficiency()) * pairs;
+                prop_assert!(
+                    (ineffectual - r.rcps_total() as f64).abs() <= 1e-9 * pairs.max(1.0),
+                    "(1-eff)*pairs = {ineffectual} != rcps_total {}", r.rcps_total()
+                );
+                let skipped = r.rcps_avoided_fraction() * r.rcps_total() as f64;
+                prop_assert!(
+                    (skipped - r.rcps_skipped as f64).abs() <= 1e-9 * pairs.max(1.0),
+                    "avoided*total = {skipped} != rcps_skipped {}", r.rcps_skipped
+                );
+                // The analytic Eq. 6 value is the phase shape's efficiency.
+                let spec = &net.layers[row.layer_index];
+                let expected = TrainingPhases::for_layer(
+                    spec.kernel_h, spec.kernel_w, spec.input_h, spec.input_w,
+                    spec.stride, spec.padding,
+                )
+                .ok()
+                .map(|phases| phases.shape(row.phase).outer_product_efficiency());
+                prop_assert_eq!(row.eq6_efficiency, expected);
+            }
+            // Both views agree at the network level too.
+            let totals = ledger.totals();
+            prop_assert_eq!(totals.rcps_total(), result.total.rcps_total());
+            prop_assert_eq!(
+                totals.pairs_total - totals.effectual_macs,
+                totals.rcps_total()
+            );
+        }
+        // ANT anticipates; SCNN+ executes every RCP it meets.
+        let ant_totals = ledger_for(&ant, &net).totals();
+        let scnn_totals = ledger_for(&scnn, &net).totals();
+        prop_assert_eq!(ant_totals.rcps_total(), scnn_totals.rcps_total());
+        prop_assert_eq!(scnn_totals.rcps_skipped, 0);
+        prop_assert!(ant_totals.rcps_executed <= scnn_totals.rcps_executed);
     }
 
     /// Doubling every layer's multiplicity exactly doubles the counters.

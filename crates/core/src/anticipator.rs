@@ -114,6 +114,19 @@ impl AntCounters {
         }
     }
 
+    /// The anticipation-efficacy view of these counters: how tight the
+    /// conservative vector ranges (Alg. 2) came to the ideal per-element
+    /// anticipation (Alg. 1), expressed in products admitted to the
+    /// multiplier array. See [`AnticipationEfficacy`].
+    pub fn efficacy(&self) -> AnticipationEfficacy {
+        AnticipationEfficacy {
+            conservative_window: self.multiplications,
+            ideal_window: self.useful,
+            false_negatives: self.rcps_executed,
+            anticipated: self.rcps_skipped,
+        }
+    }
+
     /// Merges another run's counters into this one.
     pub fn accumulate(&mut self, other: &AntCounters) {
         self.groups += other.groups;
@@ -132,6 +145,46 @@ impl AntCounters {
         self.range_ops += other.range_ops;
         self.output_index_ops += other.output_index_ops;
         self.accumulator_writes += other.accumulator_writes;
+    }
+}
+
+/// How close the conservative group ranges (paper Alg. 2) came to ideal
+/// per-element anticipation (paper Alg. 1), measured in products admitted
+/// to the multiplier array.
+///
+/// Alg. 1 would admit exactly the useful products; the n-element group
+/// ranges are conservative, so the FNIR scan admits a superset — the
+/// difference is the RCPs that slip through (`false_negatives` of the
+/// anticipation test) and still execute. Every product the workload
+/// contains is accounted for exactly once:
+/// `conservative_window + anticipated == pairs_total` and
+/// `conservative_window == ideal_window + false_negatives`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AnticipationEfficacy {
+    /// Products the conservative Alg. 2 window admitted (multiplications
+    /// executed).
+    pub conservative_window: u64,
+    /// Products the ideal Alg. 1 window would admit (useful
+    /// multiplications).
+    pub ideal_window: u64,
+    /// RCPs the conservative window failed to anticipate (admitted and
+    /// executed anyway).
+    pub false_negatives: u64,
+    /// Non-zero products anticipated as redundant and never executed.
+    pub anticipated: u64,
+}
+
+impl AnticipationEfficacy {
+    /// Ideal-to-conservative window ratio in `[0, 1]`: 1.0 means the
+    /// conservative ranges admitted only useful products (as tight as
+    /// Alg. 1); lower values mean more false negatives executed. 1.0 when
+    /// nothing was admitted.
+    pub fn tightness(&self) -> f64 {
+        if self.conservative_window == 0 {
+            1.0
+        } else {
+            self.ideal_window as f64 / self.conservative_window as f64
+        }
     }
 }
 
@@ -738,6 +791,31 @@ mod tests {
         assert_eq!(c.multiplications, c.output_index_ops);
         assert_eq!(c.useful, c.accumulator_writes);
         assert!(c.mult_cycles <= c.scan_cycles);
+    }
+
+    #[test]
+    fn efficacy_view_partitions_every_product() {
+        let shape = ConvShape::new(5, 5, 10, 10, 1).unwrap();
+        let (kernel, image) = random_pair(&shape, 0.8, 5);
+        let ant = Anticipator::new(AntConfig::default());
+        let c = ant.run_conv(&kernel, &image, &shape).unwrap().counters;
+        let e = c.efficacy();
+        assert_eq!(e.conservative_window + e.anticipated, c.pairs_total);
+        assert_eq!(e.conservative_window, e.ideal_window + e.false_negatives);
+        assert!(e.tightness() >= 0.0 && e.tightness() <= 1.0);
+        // An Alg. 1-ideal window (no false negatives) has tightness 1.
+        assert_eq!(
+            AnticipationEfficacy {
+                conservative_window: 7,
+                ideal_window: 7,
+                false_negatives: 0,
+                anticipated: 3,
+            }
+            .tightness(),
+            1.0
+        );
+        // Nothing admitted: tightness is 1 by convention, not NaN.
+        assert_eq!(AnticipationEfficacy::default().tightness(), 1.0);
     }
 
     #[test]

@@ -60,6 +60,6 @@ pub mod range;
 pub mod rotate;
 pub mod scan;
 
-pub use anticipator::{AntConfig, AntScratch, Anticipator};
+pub use anticipator::{AntConfig, AntScratch, AnticipationEfficacy, Anticipator};
 pub use error::AntError;
 pub use fnir::{Fnir, FnirSelect};

@@ -188,11 +188,11 @@ fn route(method: &str, path: &str) -> (&'static str, &'static str, String) {
         );
     }
     match path {
-        "/metrics" => (
-            "200 OK",
-            "text/plain; version=0.0.4; charset=utf-8",
-            render_prometheus(&registry().snapshot_instruments()),
-        ),
+        "/metrics" => {
+            let mut body = render_build_info();
+            body.push_str(&render_prometheus(&registry().snapshot_instruments()));
+            ("200 OK", "text/plain; version=0.0.4; charset=utf-8", body)
+        }
         "/status" => match latest_status_json() {
             Some(json) => ("200 OK", "application/json", json + "\n"),
             None => (
@@ -208,6 +208,34 @@ fn route(method: &str, path: &str) -> (&'static str, &'static str, String) {
             "unknown path; try /metrics, /status, /healthz\n".to_string(),
         ),
     }
+}
+
+/// Escapes a Prometheus label value (`\` → `\\`, `"` → `\"`, newline →
+/// `\n` per the exposition grammar).
+fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// The constant `ant_build_info` family: a gauge fixed at 1 whose
+/// `git_revision` label identifies the build serving the scrape — the same
+/// revision every run manifest records in its host section, so a scraped
+/// series can be joined back to the manifests it was produced by. The label
+/// is empty when the revision cannot be resolved (e.g. no `.git`).
+pub fn render_build_info() -> String {
+    let revision = crate::manifest::git_revision_cached().unwrap_or_default();
+    format!(
+        "# TYPE ant_build_info gauge\nant_build_info{{git_revision=\"{}\"}} 1\n",
+        escape_label_value(&revision)
+    )
 }
 
 /// Rewrites `name` into the Prometheus metric-name grammar
@@ -419,6 +447,27 @@ mod tests {
         // Exactly one TYPE line per family.
         assert_eq!(text.matches("# TYPE ant_a_b counter").count(), 1);
         assert_eq!(text.matches("# TYPE ant_a_b_2 counter").count(), 1);
+    }
+
+    #[test]
+    fn build_info_gauge_carries_the_manifest_git_revision() {
+        let line = render_build_info();
+        assert!(line.starts_with("# TYPE ant_build_info gauge\n"));
+        let revision = crate::manifest::git_revision_cached().unwrap_or_default();
+        assert!(
+            line.contains(&format!("ant_build_info{{git_revision=\"{revision}\"}} 1\n")),
+            "unexpected build info: {line}"
+        );
+        // The /metrics body leads with the build-info family.
+        let (status, _, body) = route("GET", "/metrics");
+        assert_eq!(status, "200 OK");
+        assert!(body.starts_with("# TYPE ant_build_info gauge\n"), "{body}");
+    }
+
+    #[test]
+    fn label_values_escape_exposition_metacharacters() {
+        assert_eq!(escape_label_value("abc123"), "abc123");
+        assert_eq!(escape_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
     }
 
     #[test]

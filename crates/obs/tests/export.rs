@@ -44,15 +44,26 @@ fn assert_grammar_valid(text: &str) {
             assert!(parts.next().is_none(), "trailing tokens in `{line}`");
         } else {
             assert!(!line.starts_with('#'), "only TYPE comments are emitted: `{line}`");
-            let mut parts = line.split_whitespace();
-            let name = parts.next().expect("sample line has a name");
-            let value = parts.next().expect("sample line has a value");
+            let (series, value) = line.rsplit_once(' ').expect("sample line has a value");
+            // A sample may carry a label set: `name{key="value",...}`.
+            let name = match series.split_once('{') {
+                Some((name, labels)) => {
+                    let labels = labels.strip_suffix('}').expect("unclosed label set");
+                    for label in labels.split("\",") {
+                        let label = label.strip_suffix('"').unwrap_or(label);
+                        let (key, val) = label.split_once("=\"").expect("label has =\"");
+                        assert!(name_ok(key), "bad label name in `{line}`");
+                        assert!(!val.contains('"'), "unescaped quote in `{line}`");
+                    }
+                    name
+                }
+                None => series,
+            };
             assert!(name_ok(name), "bad metric name in `{line}`");
             assert!(
                 value.parse::<f64>().is_ok() || matches!(value, "NaN" | "+Inf" | "-Inf"),
                 "bad sample value in `{line}`"
             );
-            assert!(parts.next().is_none(), "trailing tokens in `{line}`");
         }
     }
 }
@@ -72,6 +83,11 @@ fn metrics_endpoint_serves_grammar_valid_exposition() {
     assert_grammar_valid(&body);
     assert!(body.contains("# TYPE ant_runner_pairs_done counter"));
     assert!(body.contains("ant_runner_util 0.625"));
+    // The body leads with the build-info gauge, labeled with the same
+    // revision the run manifests record.
+    assert!(body.starts_with("# TYPE ant_build_info gauge\n"), "{body}");
+    let revision = ant_obs::manifest::git_revision_cached().unwrap_or_default();
+    assert!(body.contains(&format!("ant_build_info{{git_revision=\"{revision}\"}} 1\n")));
     assert!(body.contains("ant_export_test_pair_us_count 2"));
     assert!(body.contains("ant_export_test_pair_us_min 10"));
     assert!(body.contains("ant_export_test_pair_us_max 30"));

@@ -63,6 +63,7 @@ pub mod energy;
 pub mod inner;
 pub mod intersection;
 pub mod partition;
+pub mod redundancy;
 pub mod schedule;
 pub mod scnn;
 pub mod scratch;
@@ -76,5 +77,6 @@ pub use ant_core::AntError;
 pub use breakdown::{CycleBreakdown, CycleCause};
 pub use chaos::{ChaosConfig, Fault};
 pub use energy::EnergyModel;
+pub use redundancy::RedundancyRecord;
 pub use scratch::{with_thread_scratch, SimScratch};
 pub use stats::{EnergyBreakdown, SimStats, Throughput};

@@ -1,0 +1,206 @@
+//! Derived redundancy attribution over [`SimStats`] counters.
+//!
+//! The paper's thesis is that redundant cartesian products (RCPs) dominate
+//! sparse-training cost (Section 3) and that conservative-range
+//! anticipation eliminates nearly all of them (Table 5). The simulators
+//! already count every piece of that story — executed/skipped RCPs,
+//! useful multiplications, SRAM traffic — so the redundancy observatory is
+//! a pure *view* over [`SimStats`]: no new hot-path counters, which is
+//! what keeps the byte-identity and steady-state-allocation gates intact
+//! with the observatory enabled.
+//!
+//! A [`RedundancyRecord`] snapshots one scope (a pair, a phase, a layer,
+//! a network) and derives:
+//!
+//! * `rcps_avoided_fraction` — paper Table 5's headline metric,
+//! * `efficiency` — the measured outer-product efficiency (the fraction
+//!   of non-zero products that were useful; on dense operands this equals
+//!   paper Eq. 6's analytic `H_out*W_out / (H*W)`),
+//! * `window_tightness` — conservative Alg. 2 window vs the ideal Alg. 1
+//!   window (products admitted to the multiplier vs products that were
+//!   useful; the gap is the anticipation false-negatives that slipped
+//!   through, [`RedundancyRecord::false_negatives`]).
+
+use crate::stats::SimStats;
+
+/// Redundancy counters and SRAM traffic for one scope, derived entirely
+/// from a [`SimStats`] snapshot. Counters accumulate exactly (integer
+/// sums), so per-layer records sum to the network record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RedundancyRecord {
+    /// All non-zero kernel/image pairs of the scope (the outer-product
+    /// cartesian space after sparsity).
+    pub pairs_total: u64,
+    /// Redundant products that were anticipated and never executed.
+    pub rcps_skipped: u64,
+    /// Redundant products that slipped through and executed.
+    pub rcps_executed: u64,
+    /// Multiplications executed — the conservative Alg. 2 window
+    /// (`effectual_macs + rcps_executed` on the outer-product machines).
+    pub mults: u64,
+    /// Executed multiplications contributing to a valid output — the ideal
+    /// Alg. 1 window.
+    pub effectual_macs: u64,
+    /// SRAM reads performed, in 16-bit words (kernel values + kernel
+    /// indices + row pointers + image).
+    pub sram_reads: u64,
+    /// Output accumulator SRAM writes performed.
+    pub sram_writes: u64,
+}
+
+impl RedundancyRecord {
+    /// Snapshots the redundancy view of `stats`.
+    pub fn from_stats(stats: &SimStats) -> Self {
+        RedundancyRecord {
+            pairs_total: stats.pairs_total,
+            rcps_skipped: stats.rcps_skipped,
+            rcps_executed: stats.rcps_executed,
+            mults: stats.mults,
+            effectual_macs: stats.effectual_macs(),
+            sram_reads: stats.sram_reads(),
+            sram_writes: stats.accumulator_writes,
+        }
+    }
+
+    /// All RCPs of the scope, executed or not.
+    pub fn rcps_total(&self) -> u64 {
+        self.rcps_executed + self.rcps_skipped
+    }
+
+    /// Fraction of RCPs eliminated by anticipation (paper Table 5
+    /// metric). 1.0 when the scope contained no RCPs.
+    pub fn rcps_avoided_fraction(&self) -> f64 {
+        let total = self.rcps_total();
+        if total == 0 {
+            1.0
+        } else {
+            self.rcps_skipped as f64 / total as f64
+        }
+    }
+
+    /// Measured outer-product efficiency: the fraction of non-zero
+    /// products that were useful. On dense operands this equals paper
+    /// Eq. 6's analytic `H_out*W_out / (H*W)`. 1.0 when the scope held no
+    /// products.
+    pub fn efficiency(&self) -> f64 {
+        if self.pairs_total == 0 {
+            1.0
+        } else {
+            self.effectual_macs as f64 / self.pairs_total as f64
+        }
+    }
+
+    /// Conservative-vs-ideal anticipation window ratio in `[0, 1]`
+    /// (ideal Alg. 1 products over conservative Alg. 2 products): 1.0
+    /// means every executed multiplication was useful; the shortfall is
+    /// [`RedundancyRecord::false_negatives`] executing anyway. 1.0 when
+    /// nothing executed.
+    pub fn window_tightness(&self) -> f64 {
+        if self.mults == 0 {
+            1.0
+        } else {
+            self.effectual_macs as f64 / self.mults as f64
+        }
+    }
+
+    /// RCPs the anticipation test failed to flag — admitted to the
+    /// multiplier array and executed (identical to `rcps_executed`, named
+    /// for the anticipation-efficacy reading).
+    pub fn false_negatives(&self) -> u64 {
+        self.rcps_executed
+    }
+
+    /// Component-wise integer accumulation.
+    pub fn accumulate(&mut self, other: &RedundancyRecord) {
+        self.pairs_total += other.pairs_total;
+        self.rcps_skipped += other.rcps_skipped;
+        self.rcps_executed += other.rcps_executed;
+        self.mults += other.mults;
+        self.effectual_macs += other.effectual_macs;
+        self.sram_reads += other.sram_reads;
+        self.sram_writes += other.sram_writes;
+    }
+
+    /// Named counters, in declaration order — the one enumeration used by
+    /// sidecars and reports.
+    pub fn fields(&self) -> [(&'static str, u64); 7] {
+        [
+            ("pairs_total", self.pairs_total),
+            ("rcps_skipped", self.rcps_skipped),
+            ("rcps_executed", self.rcps_executed),
+            ("mults", self.mults),
+            ("effectual_macs", self.effectual_macs),
+            ("sram_reads", self.sram_reads),
+            ("sram_writes", self.sram_writes),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_stats() -> SimStats {
+        SimStats {
+            mults: 120,
+            useful_mults: 100,
+            rcps_executed: 20,
+            rcps_skipped: 380,
+            pairs_total: 500,
+            kernel_value_reads: 40,
+            kernel_index_reads: 50,
+            rowptr_reads: 10,
+            image_reads: 200,
+            accumulator_writes: 100,
+            ..SimStats::default()
+        }
+    }
+
+    #[test]
+    fn record_mirrors_stats_counters() {
+        let stats = sample_stats();
+        let r = RedundancyRecord::from_stats(&stats);
+        assert_eq!(r.rcps_total(), stats.rcps_total());
+        assert_eq!(r.rcps_avoided_fraction(), stats.rcps_avoided_fraction());
+        assert_eq!(r.sram_reads, stats.sram_reads());
+        assert_eq!(r.effectual_macs, stats.effectual_macs());
+        assert_eq!(r.sram_writes, stats.accumulator_writes);
+        // Outer-product identity: every non-zero product is useful, an
+        // executed RCP, or an anticipated RCP.
+        assert_eq!(r.pairs_total, r.effectual_macs + r.rcps_total());
+    }
+
+    #[test]
+    fn derived_fractions_are_consistent() {
+        let r = RedundancyRecord::from_stats(&sample_stats());
+        assert!((r.rcps_avoided_fraction() - 380.0 / 400.0).abs() < 1e-12);
+        assert!((r.efficiency() - 100.0 / 500.0).abs() < 1e-12);
+        assert!((r.window_tightness() - 100.0 / 120.0).abs() < 1e-12);
+        assert_eq!(r.false_negatives(), 20);
+        // Algebra linking Eq. 6 efficiency to the avoided fraction on an
+        // outer-product machine: (1 - efficiency) * pairs == rcps_total
+        // and avoided * rcps_total == rcps_skipped.
+        let rcps = (1.0 - r.efficiency()) * r.pairs_total as f64;
+        assert!((rcps - r.rcps_total() as f64).abs() < 1e-9);
+        let skipped = r.rcps_avoided_fraction() * r.rcps_total() as f64;
+        assert!((skipped - r.rcps_skipped as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_scope_defaults_avoid_nan() {
+        let r = RedundancyRecord::default();
+        assert_eq!(r.rcps_avoided_fraction(), 1.0);
+        assert_eq!(r.efficiency(), 1.0);
+        assert_eq!(r.window_tightness(), 1.0);
+    }
+
+    #[test]
+    fn accumulate_is_componentwise() {
+        let mut a = RedundancyRecord::from_stats(&sample_stats());
+        let b = a;
+        a.accumulate(&b);
+        for ((name, doubled), (_, single)) in a.fields().iter().zip(b.fields().iter()) {
+            assert_eq!(*doubled, 2 * single, "{name}");
+        }
+    }
+}

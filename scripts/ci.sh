@@ -137,7 +137,9 @@ echo "== metrics exporter smoke (fig09 under ANT_METRICS_ADDR: /metrics grammar,
 # The same run records the trace JSONL the obsctl smoke below analyzes.
 METRICS_ADDR_FILE="target/experiments/ci_metrics.addr"
 OBSCTL_TRACE="target/experiments/ci_obsctl_trace.jsonl"
-rm -f "$METRICS_ADDR_FILE" "$OBSCTL_TRACE"
+FIG09_MANIFEST="target/experiments/fig09_speedup_energy.manifest.json"
+FIG09_REDUNDANCY="target/experiments/fig09_speedup_energy.redundancy.jsonl"
+rm -f "$METRICS_ADDR_FILE" "$OBSCTL_TRACE" "$FIG09_MANIFEST" "$FIG09_REDUNDANCY"
 ANT_METRICS_ADDR=127.0.0.1:0 ANT_METRICS_ADDR_FILE="$METRICS_ADDR_FILE" \
 ANT_METRICS_LINGER_MS=30000 ANT_TRACE=1 ANT_TRACE_FILE="$OBSCTL_TRACE" \
   ./target/release/fig09_speedup_energy >/dev/null 2>&1 &
@@ -167,15 +169,29 @@ assert status["schema"] == "ant-status/1", status
 assert status["state"] == "done", status
 assert "git_revision" in status, "live /status must carry git_revision"
 
+# A network publishes "done" per sweep; the manifest is only written at
+# experiment finish, after the redundancy gauges are recorded. Wait for
+# it so the /metrics scrape below sees the complete run.
+import os
+for _ in range(600):
+    if os.path.exists("target/experiments/fig09_speedup_energy.manifest.json"):
+        break
+    time.sleep(0.1)
+else:
+    raise AssertionError("fig09 manifest never appeared")
+
 code, body = fetch("/healthz")
 assert code == 200 and body == "ok\n", (code, body)
 
 # Line-by-line Prometheus text-exposition (0.0.4) grammar check: every
-# sample after its family's single TYPE line, names legal, values floats.
+# sample after its family's single TYPE line, names legal, optional
+# label sets well-formed, values floats.
 code, text = fetch("/metrics")
 assert code == 200, code
-name_re = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
-declared, seen = {}, set()
+sample_re = re.compile(
+    r"([a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?:[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\\n]|\\.)*\",?)*\})? (.+)")
+declared, seen, labeled = {}, set(), {}
 for line in text.splitlines():
     assert line and not line[0].isspace(), f"blank/indented line {line!r}"
     if line.startswith("#"):
@@ -184,18 +200,30 @@ for line in text.splitlines():
         assert m.group(1) not in declared, f"duplicate TYPE for {m.group(1)}"
         declared[m.group(1)] = m.group(2)
         continue
-    name, sep, value = line.partition(" ")
-    assert sep and name_re.fullmatch(name), f"bad sample line {line!r}"
+    m = sample_re.fullmatch(line)
+    assert m, f"bad sample line {line!r}"
+    name, value = m.group(1), m.group(2)
     assert name in declared, f"sample {name!r} before its TYPE line"
     assert name not in seen, f"duplicate sample for {name!r}"
     seen.add(name)
+    if "{" in line:
+        labeled[name] = line
     if value not in ("NaN", "+Inf", "-Inf"):
         float(value)
 assert seen == set(declared), f"TYPEd families without samples: {sorted(set(declared) - seen)}"
 counters = [n for n in seen if declared[n] == "counter" and n.startswith("ant_runner_")]
 assert counters, f"no runner.* counters exposed in {sorted(seen)[:10]}"
+# The constant build-info gauge carries the same git revision the run
+# manifest records in its host section.
+assert "ant_build_info" in labeled, "no ant_build_info sample"
+manifest = json.load(open("target/experiments/fig09_speedup_energy.manifest.json"))
+revision = manifest["host"].get("git_revision") or ""
+expected = f'ant_build_info{{git_revision="{revision}"}} 1'
+assert labeled["ant_build_info"] == expected, (labeled["ant_build_info"], expected)
+# The run's redundancy gauges are live on the same scrape.
+assert "ant_redundancy_rcps_total" in seen, "no redundancy gauges exposed"
 print(f"metrics exporter: {len(seen)} samples grammar-ok "
-      f"({len(counters)} runner.* counters)")
+      f"({len(counters)} runner.* counters, build info @ {revision[:12] or 'no-git'})")
 PY
 kill "$EXPORTER_PID" 2>/dev/null || true
 wait "$EXPORTER_PID" 2>/dev/null || true
@@ -250,6 +278,68 @@ assert listing["entries"] == len(listing["runs"]) > 0, listing["entries"]
 print(f"obsctl: {len(trace['spans'])} trace paths, "
       f"{len(trend_status)} trend verdicts == compare, "
       f"{listing['entries']} ledger entries listed")
+PY
+
+echo "== redundancy observatory smoke (sidecar schema + obsctl totals == manifest counters)"
+# The exporter-smoke fig09 run above wrote the ant-redundancy/1 sidecar
+# and mirrored its aggregate RCP counters into the manifest. Validate the
+# sidecar line by line, then assert `obsctl redundancy --json` totals
+# reproduce the manifest's counters exactly. A tab05 run then checks the
+# per-network ANT avoided fractions against its headline average.
+[[ -s "$FIG09_REDUNDANCY" ]] || { echo "fig09 wrote no redundancy sidecar" >&2; exit 1; }
+"$OBSCTL" redundancy "$FIG09_REDUNDANCY" --json \
+  > target/experiments/ci_obsctl_redundancy.json
+cargo run --release -q -p ant-bench --bin tab05_rcps_avoided >/dev/null
+"$OBSCTL" redundancy target/experiments/tab05_rcps_avoided.redundancy.jsonl \
+  --machine ANT --json > target/experiments/ci_obsctl_redundancy_tab05.json
+python3 - "$FIG09_REDUNDANCY" "$FIG09_MANIFEST" <<'PY'
+import json, sys
+
+rows = []
+for line in open(sys.argv[1]):
+    row = json.loads(line)
+    assert row["schema"] == "ant-redundancy/1", row["schema"]
+    keys = [k for k in row]
+    assert keys == sorted(keys), f"row keys must be sorted: {keys}"
+    assert row["rcps_executed"] + row["rcps_skipped"] == row["rcps_total"], row
+    assert row["phase"] in ("W*A", "W*G_A", "G_A*A"), row["phase"]
+    assert row["machine"] in ("ANT", "SCNN+"), row["machine"]
+    assert isinstance(row["partial"], bool) and not row["partial"], row
+    for key in ("pairs_total", "mults", "effectual_macs", "sram_reads", "sram_writes"):
+        assert isinstance(row[key], int) and row[key] >= 0, (key, row)
+    rows.append(row)
+assert rows, "empty redundancy sidecar"
+
+report = json.load(open("target/experiments/ci_obsctl_redundancy.json"))
+assert report["schema"] == "ant-redundancy-stats/1", report["schema"]
+assert report["lines_skipped"] == 0 and report["rows_matched"] == len(rows), report
+totals = report["totals"]
+for key in ("rcps_total", "rcps_executed", "rcps_skipped"):
+    summed = sum(r[key] for r in rows)
+    assert totals[key] == summed, (key, totals[key], summed)
+
+# The obsctl totals equal the aggregate counters the manifest mirrored.
+manifest = json.load(open(sys.argv[2]))
+stats = manifest["stats"]
+for key in ("rcps_total", "rcps_executed", "rcps_skipped"):
+    assert totals[key] == stats[key], (key, totals[key], stats[key])
+assert stats["redundancy_rows"] == len(rows), (stats["redundancy_rows"], len(rows))
+adv = report["advantage"]
+assert adv and all(a["machine"] == "ANT" and a["baseline"] == "SCNN+" for a in adv), \
+    "fig09 sidecar must attribute ANT advantage over SCNN+"
+
+# tab05: per-network ANT avoided fractions must average to the table's
+# headline stat (float sum order differs, hence the tolerance).
+tab = json.load(open("target/experiments/ci_obsctl_redundancy_tab05.json"))
+tab_manifest = json.load(open("target/experiments/tab05_rcps_avoided.manifest.json"))
+nets = tab["networks"]
+assert len(nets) == tab_manifest["stats"]["networks"], nets
+mean = sum(n["rcps_avoided_fraction"] for n in nets) / len(nets)
+expected = tab_manifest["stats"]["average_rcps_avoided"]
+assert abs(mean - expected) < 1e-9, (mean, expected)
+print(f"redundancy observatory: {len(rows)} fig09 rows schema-ok, "
+      f"obsctl totals == manifest counters, "
+      f"tab05 avoided mean {mean:.4f} == {expected:.4f}")
 PY
 
 echo "== steady-state allocation gate (warm worker must not touch the heap)"
