@@ -2,7 +2,7 @@
 //! compare entries with trend-aware regression gating.
 //!
 //! ```text
-//! bench_history record  [--label fig09|tiny] [--repeats K] [--file PATH]
+//! bench_history record  [--label fig09|fig09-warm|tiny|tiny-warm] [--repeats K] [--file PATH]
 //! bench_history compare [--file PATH] [--threshold T] [--window N]
 //!                       [--self] [--report PATH] [--json PATH] [REF_A REF_B]
 //! bench_history list    [--file PATH] [--json]
@@ -105,7 +105,9 @@ fn cmd_record(args: &[String]) -> ExitCode {
         return fail(&format!("unexpected arguments: {args:?}"));
     }
     let Some(set) = WorkloadSet::from_label(&label) else {
-        return fail(&format!("unknown label {label:?} (want fig09 or tiny)"));
+        return fail(&format!(
+            "unknown label {label:?} (want fig09, fig09-warm, tiny, or tiny-warm)"
+        ));
     };
 
     let mut exp = Experiment::start("bench_history", "Bench history: record");

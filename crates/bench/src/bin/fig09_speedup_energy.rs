@@ -146,6 +146,10 @@ fn main() {
     // Per-worker scheduler telemetry across the whole sweep (populated
     // only under ANT_TELEMETRY; see docs/OBSERVABILITY.md).
     let mut worker_table = ant_bench::telemetry::WorkerTable::new();
+    // Per-(network, machine) simulation-cache activity across the sweep
+    // (populated only under ANT_CACHE; `obsctl cache` reads it back from
+    // the manifest host section).
+    let mut cache_table = ant_bench::telemetry::CacheTable::new();
     // Per-(layer, phase, machine) RCP attribution for the whole sweep —
     // the `ant-redundancy/1` sidecar `obsctl redundancy` analyzes.
     let mut ledger = ant_bench::redundancy::RedundancyLedger::new();
@@ -159,6 +163,8 @@ fn main() {
         sim_wall_us += s.host_wall_us + a.host_wall_us;
         worker_table.add(&s.workers);
         worker_table.add(&a.workers);
+        cache_table.add(&s);
+        cache_table.add(&a);
         let sp = speedup(&s, &a);
         let er = energy_ratio(&s, &a, &energy);
         speedups.push(sp);
@@ -199,7 +205,12 @@ fn main() {
     let a = run(&ant, &net, &cfg, checkpoint.as_mut());
     worker_table.add(&s.workers);
     worker_table.add(&a.workers);
+    cache_table.add(&s);
+    cache_table.add(&a);
     for (key, value) in worker_table.host_stats() {
+        exp.manifest().host_stat(key, value);
+    }
+    for (key, value) in cache_table.host_stats() {
         exp.manifest().host_stat(key, value);
     }
     println!("\nper-phase multiplications, {} (SCNN+ vs ANT):", net.name);

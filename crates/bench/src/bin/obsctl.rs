@@ -9,28 +9,30 @@
 //! obsctl status     [PATH|URL] [--follow] [--interval-ms N]
 //! obsctl redundancy FILE [--network NET] [--machine M] [--layer L]
 //!                        [--phase P] [--top K] [--json]
+//! obsctl cache      MANIFEST [--network NET] [--machine M] [--json]
 //! ```
 //!
 //! Analysis only — every subcommand exits zero unless its input is
 //! unusable; regression *gating* stays with `bench_history compare`. The
 //! `--json` reports carry stable schemas (`ant-trace-stats/1`,
-//! `ant-flame-diff/1`, `ant-ledger-trend/1`, `ant-redundancy-stats/1`);
-//! see `docs/OBSERVABILITY.md` for a walkthrough.
+//! `ant-flame-diff/1`, `ant-ledger-trend/1`, `ant-redundancy-stats/1`,
+//! `ant-cache-stats/1`); see `docs/OBSERVABILITY.md` for a walkthrough.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use ant_bench::history::{self, DEFAULT_LEDGER, DEFAULT_THRESHOLD};
 use ant_bench::obsctl::{
-    flame, redundancy, status, take_flag, take_parsed, take_switch, trace, trend,
+    cache, flame, redundancy, status, take_flag, take_parsed, take_switch, trace, trend,
 };
 
-const USAGE: &str = "usage: obsctl <trace|flame|ledger|status|redundancy> [options]
+const USAGE: &str = "usage: obsctl <trace|flame|ledger|status|redundancy|cache> [options]
   trace      FILE [--name N] [--layer L] [--phase P] [--network NET] [--machine M] [--top K] [--json]
   flame      diff A.folded B.folded [--top K] [--json]
   ledger     trend [--file PATH] [--label L] [--metric SUBSTR] [--window N] [--threshold T] [--json]
   status     [PATH|URL] [--follow] [--interval-ms N]
-  redundancy FILE [--network NET] [--machine M] [--layer L] [--phase P] [--top K] [--json]";
+  redundancy FILE [--network NET] [--machine M] [--layer L] [--phase P] [--top K] [--json]
+  cache      MANIFEST [--network NET] [--machine M] [--json]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -44,6 +46,7 @@ fn main() -> ExitCode {
         "ledger" => cmd_ledger(rest),
         "status" => cmd_status(rest),
         "redundancy" => cmd_redundancy(rest),
+        "cache" => cmd_cache(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -185,6 +188,27 @@ fn cmd_redundancy(args: &[String]) -> Result<(), String> {
         println!("{}", redundancy::to_json(&report, top));
     } else {
         print!("{}", redundancy::to_markdown(&report, top));
+    }
+    Ok(())
+}
+
+fn cmd_cache(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let filter = cache::CacheFilter {
+        network: take_flag(&mut args, "--network")?,
+        machine: take_flag(&mut args, "--machine")?,
+    };
+    let json = take_switch(&mut args, "--json");
+    let [file] = args.as_slice() else {
+        return Err(format!("cache wants exactly one MANIFEST, got {args:?}"));
+    };
+    let text =
+        std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    let report = cache::analyze(&text, &filter).map_err(|e| format!("{file}: {e}"))?;
+    if json {
+        println!("{}", cache::to_json(&report));
+    } else {
+        print!("{}", cache::to_markdown(&report));
     }
     Ok(())
 }

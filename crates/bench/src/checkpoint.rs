@@ -23,36 +23,14 @@ use std::path::{Path, PathBuf};
 use ant_obs::json::{write_json_string, Json};
 use ant_sim::{AntError, SimStats};
 
+// The fingerprint type moved to the shared `fingerprint` module (the
+// simulation cache keys with the same scheme); the checkpoint wire format
+// is unchanged — see `fingerprint_wire_format_is_pinned` below.
+pub use crate::fingerprint::Fingerprint;
 use crate::runner::{ExperimentConfig, LayerCheckpoint};
 
 /// Schema tag on every checkpoint line; bump on incompatible change.
 pub const SCHEMA: &str = "ant-checkpoint/1";
-
-/// The experiment-config fingerprint stored on every line. Two runs with
-/// equal fingerprints synthesize identical operands for every layer, which
-/// is what makes replaying stored stats byte-identical.
-#[derive(Debug, Clone, PartialEq)]
-struct Fingerprint {
-    seed: u64,
-    max_channels: u64,
-    num_pes: u64,
-    sparsity: [f64; 3],
-}
-
-impl Fingerprint {
-    fn of(cfg: &ExperimentConfig) -> Self {
-        Self {
-            seed: cfg.seed,
-            max_channels: cfg.max_channels as u64,
-            num_pes: cfg.num_pes as u64,
-            sparsity: [
-                cfg.sparsity.weight,
-                cfg.sparsity.activation,
-                cfg.sparsity.gradient,
-            ],
-        }
-    }
-}
 
 type Key = (String, String, usize, String); // (network, machine, index, layer)
 
@@ -441,6 +419,59 @@ mod tests {
         assert_eq!(resumed.resumable_layers(), 0);
         drop(resumed);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_wire_format_is_pinned() {
+        // Guards the Fingerprint move into the shared `fingerprint` module:
+        // sidecar files written before the refactor must keep resuming, so
+        // both the emitted fingerprint prefix and the acceptance of a
+        // pre-refactor line are pinned to literal bytes here. Breaking this
+        // test means every existing checkpoint goes stale.
+        let cfg = ExperimentConfig::paper_default();
+        let line = emit_line(&Fingerprint::of(&cfg), "netA", "ANT", 0, "conv1", &sample_stats(7));
+        assert!(
+            line.starts_with(
+                "{\"schema\":\"ant-checkpoint/1\",\"seed\":2583,\"max_channels\":4,\
+                 \"num_pes\":64,\"sparsity\":[0.9,0.9,0.9],\"network\":\"netA\""
+            ),
+            "fingerprint prefix changed: {line}"
+        );
+
+        // A literal line captured from the pre-refactor emitter (empty
+        // counters keep it short); it must still parse as resumable.
+        let mut stored = String::from(
+            "{\"schema\":\"ant-checkpoint/1\",\"seed\":2583,\"max_channels\":4,\
+             \"num_pes\":64,\"sparsity\":[0.9,0.9,0.9],\"network\":\"netA\",\
+             \"machine\":\"ANT\",\"layer_index\":0,\"layer\":\"conv1\",\"phases\":[",
+        );
+        for pi in 0..3 {
+            if pi > 0 {
+                stored.push(',');
+            }
+            stored.push('{');
+            for (fi, (name, _)) in SimStats::default().fields().iter().enumerate() {
+                if fi > 0 {
+                    stored.push(',');
+                }
+                stored.push_str(&format!("\"{name}\":0"));
+            }
+            stored.push('}');
+        }
+        stored.push_str("]}");
+        let parsed = parse_line(&stored, &Fingerprint::of(&cfg))
+            .expect("pre-refactor line parses")
+            .expect("pre-refactor fingerprint matches");
+        assert_eq!(
+            parsed.0,
+            (
+                "netA".to_string(),
+                "ANT".to_string(),
+                0usize,
+                "conv1".to_string()
+            )
+        );
+        assert_eq!(parsed.1, [SimStats::default(); 3]);
     }
 
     #[test]

@@ -46,6 +46,7 @@ use ant_sim::EnergyModel;
 use ant_workloads::models::{figure9_networks, NetworkModel};
 
 use crate::runner::{simulate_network_parallel, ExperimentConfig};
+use crate::simcache;
 
 /// Schema tag written into (and required of) every ledger line.
 pub const SCHEMA: &str = "ant-bench-history/1";
@@ -662,15 +663,25 @@ pub fn compare(baseline: &HistoryEntry, candidate: &HistoryEntry, threshold: f64
     }
 }
 
-/// Which networks a [`record`] run simulates.
+/// Which networks a [`record`] run simulates, and whether the simulation
+/// cache serves them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WorkloadSet {
     /// The five Figure-9 networks at paper-default config — the tracked
     /// benchmark.
     Fig09,
+    /// The Figure-9 networks served warm from the simulation cache: an
+    /// untimed populate pass per network, then every timed repeat hits the
+    /// in-memory cache. Tracks the warm-sweep speed the cache exists for,
+    /// under its own `fig09-warm` label so warm wall times never blend
+    /// into the cold baseline.
+    Fig09Warm,
     /// One tiny synthetic network at a reduced channel sample — a
     /// seconds-scale smoke workload for CI.
     Tiny,
+    /// The tiny workload served warm from the simulation cache — the
+    /// seconds-scale counterpart of [`WorkloadSet::Fig09Warm`].
+    TinyWarm,
 }
 
 impl WorkloadSet {
@@ -678,7 +689,9 @@ impl WorkloadSet {
     pub fn from_label(label: &str) -> Option<WorkloadSet> {
         match label {
             "fig09" => Some(WorkloadSet::Fig09),
+            "fig09-warm" => Some(WorkloadSet::Fig09Warm),
             "tiny" => Some(WorkloadSet::Tiny),
+            "tiny-warm" => Some(WorkloadSet::TinyWarm),
             _ => None,
         }
     }
@@ -687,14 +700,22 @@ impl WorkloadSet {
     pub fn label(self) -> &'static str {
         match self {
             WorkloadSet::Fig09 => "fig09",
+            WorkloadSet::Fig09Warm => "fig09-warm",
             WorkloadSet::Tiny => "tiny",
+            WorkloadSet::TinyWarm => "tiny-warm",
         }
+    }
+
+    /// Whether [`record`] runs this set against a pre-warmed simulation
+    /// cache.
+    pub fn warm_cache(self) -> bool {
+        matches!(self, WorkloadSet::Fig09Warm | WorkloadSet::TinyWarm)
     }
 
     fn networks(self) -> Vec<NetworkModel> {
         match self {
-            WorkloadSet::Fig09 => figure9_networks(),
-            WorkloadSet::Tiny => vec![NetworkModel {
+            WorkloadSet::Fig09 | WorkloadSet::Fig09Warm => figure9_networks(),
+            WorkloadSet::Tiny | WorkloadSet::TinyWarm => vec![NetworkModel {
                 name: "tiny",
                 layers: vec![
                     ant_workloads::ConvLayerSpec::new("l1", 4, 2, 3, 16, 1, 1, 1),
@@ -706,8 +727,8 @@ impl WorkloadSet {
 
     fn config(self) -> ExperimentConfig {
         match self {
-            WorkloadSet::Fig09 => ExperimentConfig::paper_default(),
-            WorkloadSet::Tiny => ExperimentConfig {
+            WorkloadSet::Fig09 | WorkloadSet::Fig09Warm => ExperimentConfig::paper_default(),
+            WorkloadSet::Tiny | WorkloadSet::TinyWarm => ExperimentConfig {
                 max_channels: 2,
                 ..ExperimentConfig::paper_default()
             },
@@ -727,12 +748,24 @@ pub fn record(set: WorkloadSet, repeats: u32) -> HistoryEntry {
     let energy = EnergyModel::paper_7nm();
     let scnn = ScnnPlus::paper_default();
     let ant = AntAccelerator::paper_default();
+    // Warm sets measure against a freshly-activated in-memory simulation
+    // cache (no on-disk store, so the entry never depends on what an
+    // earlier process left behind); the override is restored to the
+    // environment default before returning.
+    if set.warm_cache() {
+        simcache::set_override(simcache::CacheOverride::On(simcache::SimCacheConfig::default()));
+    }
     let mut metrics = BTreeMap::new();
     for net in set.networks() {
         let mut walls: Vec<f64> = Vec::with_capacity(repeats as usize);
         let mut alloc_bytes: Vec<f64> = Vec::with_capacity(repeats as usize);
         let mut allocs: Vec<f64> = Vec::with_capacity(repeats as usize);
         let mut first = None;
+        if set.warm_cache() {
+            // Untimed populate pass: every timed repeat below is warm.
+            let _ = simulate_network_parallel(&scnn, &net, &cfg);
+            let _ = simulate_network_parallel(&ant, &net, &cfg);
+        }
         for _ in 0..repeats {
             let before = ant_obs::alloc::snapshot();
             let started = Instant::now();
@@ -771,6 +804,17 @@ pub fn record(set: WorkloadSet, repeats: u32) -> HistoryEntry {
             key("effectual_macs_per_sec"),
             combined.throughput(min_wall / 1e6).effectual_macs_per_sec,
         );
+        if set.warm_cache() {
+            // Informational (never gated): proves the timed repeats really
+            // were served from the cache, per network.
+            metrics.insert(
+                key("cache_hits"),
+                (s.cache_hits + a.cache_hits) as f64,
+            );
+        }
+    }
+    if set.warm_cache() {
+        simcache::set_override(simcache::CacheOverride::Env);
     }
     HistoryEntry {
         label: set.label().to_string(),

@@ -16,6 +16,8 @@
 //!   occupancy buffer.
 //! * `csr_compress` — once-per-layer CSR compression
 //!   ([`CsrMatrix::from_dense`]).
+//! * `fingerprint` — once-per-layer content keying for the simulation
+//!   cache ([`KeyBuilder::write_csr`] over a ResNet-scale plane).
 //!
 //! Each bench takes min-of-K batch timings (`std::hint::black_box` on every
 //! checksum so nothing folds away) and lands in the ledger as
@@ -39,6 +41,7 @@ use ant_sparse::{sparsify, Bitmask, CsrMatrix};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::fingerprint::KeyBuilder;
 use crate::history::HistoryEntry;
 
 /// Ledger label every microbench entry carries (the rolling-median baseline
@@ -289,9 +292,30 @@ pub fn standard_benches(grid: Grid) -> Vec<KernelBench> {
         let dense = sparsify::random_with_sparsity(64, 64, sparsity, &mut rng);
         benches.push(KernelBench::new(
             "csr_compress",
-            case,
+            case.clone(),
             64,
             Box::new(move || CsrMatrix::from_dense(&dense).nnz() as u64),
+        ));
+
+        // Content fingerprinting of a ResNet-scale CSR plane (256x256 ~ a
+        // flattened mid-network weight plane): the once-per-layer keying
+        // cost the simulation cache (`ANT_CACHE`) pays before it can skip a
+        // layer, timed over the same [`KeyBuilder`] path the runner uses.
+        let mut rng = StdRng::seed_from_u64(seed_for("fingerprint", sparsity));
+        let plane = CsrMatrix::from_dense(&sparsify::random_with_sparsity(
+            256, 256, sparsity, &mut rng,
+        ));
+        benches.push(KernelBench::new(
+            "fingerprint",
+            case,
+            64,
+            Box::new(move || {
+                let mut key = KeyBuilder::default();
+                key.write_str("microbench-fingerprint");
+                key.write_csr(&plane);
+                let key = key.finish();
+                key.hi ^ key.lo
+            }),
         ));
     }
     benches
@@ -351,7 +375,7 @@ mod tests {
     fn standard_benches_cover_every_kernel_at_every_point() {
         for (grid, points) in [(Grid::Full, 3), (Grid::Tiny, 1)] {
             let benches = standard_benches(grid);
-            assert_eq!(benches.len(), 5 * points);
+            assert_eq!(benches.len(), 6 * points);
             let names: std::collections::BTreeSet<String> = benches
                 .iter()
                 .map(|b| format!("{}/{}", b.kernel(), b.case()))
@@ -363,6 +387,7 @@ mod tests {
                 "fnir_scan",
                 "accum_conflict",
                 "csr_compress",
+                "fingerprint",
             ] {
                 assert_eq!(
                     benches.iter().filter(|b| b.kernel() == kernel).count(),
@@ -376,7 +401,7 @@ mod tests {
     #[test]
     fn tiny_grid_measures_and_builds_a_ledger_entry() {
         let (results, entry) = record(Grid::Tiny, 2);
-        assert_eq!(results.len(), 5);
+        assert_eq!(results.len(), 6);
         for r in &results {
             assert!(
                 r.measurement.ns_per_op > 0.0,
@@ -386,7 +411,7 @@ mod tests {
             assert!(r.measurement.spread >= 0.0);
         }
         assert_eq!(entry.label, LABEL);
-        assert_eq!(entry.metrics.len(), 10); // ns_per_op + _spread per bench
+        assert_eq!(entry.metrics.len(), 12); // ns_per_op + _spread per bench
         for r in &results {
             let name = r.metric_name();
             assert_eq!(entry.metrics[&name], r.measurement.ns_per_op);

@@ -38,6 +38,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod checkpoint;
+pub mod fingerprint;
 pub mod history;
 pub mod kernels;
 pub mod obs;
@@ -45,6 +46,7 @@ pub mod obsctl;
 pub mod redundancy;
 pub mod report;
 pub mod runner;
+pub mod simcache;
 pub mod telemetry;
 
 pub use obs::Experiment;

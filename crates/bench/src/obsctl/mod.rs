@@ -1,9 +1,11 @@
 //! `obsctl`: unified offline analysis over the observability artifacts.
 //!
-//! The stack writes six sidecar formats — span traces (JSONL), collapsed
+//! The stack writes seven sidecar formats — span traces (JSONL), collapsed
 //! flamegraph stacks (`.folded`), Perfetto timelines, the bench-history
-//! ledger (`BENCH_history.jsonl`), the live `ant-status/1` file, and the
-//! per-(layer, phase, machine) `ant-redundancy/1` RCP-attribution ledger.
+//! ledger (`BENCH_history.jsonl`), the live `ant-status/1` file, the
+//! per-(layer, phase, machine) `ant-redundancy/1` RCP-attribution ledger,
+//! and the `ant-manifest/1` run manifest (whose `host` section carries the
+//! simulation-cache table `obsctl cache` reads).
 //! Each had its own ad-hoc consumer; this module is the one query tool over
 //! all of them, exposed by the `obsctl` binary:
 //!
@@ -16,6 +18,7 @@
 //! obsctl status     [PATH|URL] [--follow] [--interval-ms N]
 //! obsctl redundancy FILE [--network NET] [--machine M] [--layer L]
 //!                        [--phase P] [--top K] [--json]
+//! obsctl cache      MANIFEST [--network NET] [--machine M] [--json]
 //! ```
 //!
 //! Every subcommand is an *analysis* tool: it renders a report (markdown
@@ -25,6 +28,7 @@
 //! ([`crate::history::compare`]), so its per-metric verdicts always match
 //! the gate's.
 
+pub mod cache;
 pub mod flame;
 pub mod redundancy;
 pub mod status;

@@ -16,6 +16,7 @@ use std::time::{Duration, Instant};
 use ant_conv::efficiency::TrainingPhase;
 use ant_conv::ConvShape;
 use ant_nn::trace::ConvPair;
+use ant_sim::cache::{CacheKey, MODEL_VERSION};
 use ant_sim::chaos::{self, Fault};
 use ant_sim::{AntError, ConvSim, SimScratch, SimStats};
 use ant_sparse::CsrMatrix;
@@ -23,6 +24,9 @@ use ant_workloads::models::NetworkModel;
 use ant_workloads::synth::{synthesize_layer, LayerSparsity};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+use crate::fingerprint::{Fingerprint, KeyBuilder};
+use crate::simcache;
 
 /// Configuration of one network-level experiment.
 #[derive(Debug, Clone, Copy)]
@@ -241,6 +245,15 @@ pub struct NetworkResult {
     /// when [`RunOptions::telemetry`] (or `ANT_TELEMETRY`) is on; empty
     /// otherwise (and always empty from the serial runner).
     pub workers: Vec<WorkerTelemetry>,
+    /// Layers whose finalized stats came from the simulation cache
+    /// (`ANT_CACHE`); zero when the cache is off.
+    pub cache_hits: u64,
+    /// Layers that were cacheable but had to be simulated afresh (they are
+    /// recorded for the next run); zero when the cache is off.
+    pub cache_misses: u64,
+    /// Pair jobs answered by the tier-2 analytic fast path instead of being
+    /// dispatched to the worker pool; zero when the cache is off.
+    pub analytic_pairs: u64,
 }
 
 impl NetworkResult {
@@ -260,6 +273,9 @@ impl NetworkResult {
             failures: FailureReport::default(),
             partial: false,
             workers: Vec::new(),
+            cache_hits: 0,
+            cache_misses: 0,
+            analytic_pairs: 0,
         }
     }
 
@@ -720,6 +736,19 @@ fn run_network_parallel<S: ConvSim + Sync + ?Sized>(
     let progress = progress_requested || ant_obs::export::active();
     let chaos_cfg = chaos::active();
 
+    // The two-tier redundancy eliminator (docs/PERFORMANCE.md): both tiers
+    // are strictly opt-in (`ANT_CACHE` / `ANT_CACHE_DIR` or a test
+    // override) and stand down whenever chaos injection could taint results
+    // or detail tracing needs to observe every pair. A machine that returns
+    // no identity string is uncacheable and also keeps the analytic tier
+    // off, so one flag governs both.
+    let cache_identity: Option<String> =
+        if simcache::enabled() && chaos_cfg.is_none() && !ant_obs::detail_enabled() {
+            pe.cache_identity()
+        } else {
+            None
+        };
+
     // Resume: layers a previous run already completed merge from storage.
     let prior: Vec<Option<[SimStats; 3]>> = net
         .layers
@@ -733,10 +762,33 @@ fn run_network_parallel<S: ConvSim + Sync + ?Sized>(
         .collect();
     let resumed = prior.iter().filter(|p| p.is_some()).count();
 
+    // Tier 1, pre-synthesis: resolve each pending layer's memo key against
+    // the cache. A hit skips synthesis, hashing, and simulation — the warm
+    // sweep's fast path.
+    let synth_keys: Vec<Option<CacheKey>> = net
+        .layers
+        .iter()
+        .enumerate()
+        .map(|(li, layer)| {
+            cache_identity
+                .as_deref()
+                .map(|id| synth_cache_key(id, layer, li, cfg))
+        })
+        .collect();
+    let mut cached: Vec<Option<[SimStats; 3]>> = vec![None; net.layers.len()];
+    for (li, skey) in synth_keys.iter().enumerate() {
+        if prior[li].is_some() {
+            continue;
+        }
+        if let Some(skey) = skey {
+            cached[li] = simcache::lookup_memo(skey);
+        }
+    }
+
     // Stage 1: synthesize the pending layers, claiming indices from a
     // shared atomic.
     let pending: Vec<usize> = (0..net.layers.len())
-        .filter(|&li| prior[li].is_none())
+        .filter(|&li| prior[li].is_none() && cached[li].is_none())
         .collect();
     let slots: Vec<OnceLock<Result<LayerWork, AntError>>> =
         (0..net.layers.len()).map(|_| OnceLock::new()).collect();
@@ -769,16 +821,58 @@ fn run_network_parallel<S: ConvSim + Sync + ?Sized>(
         }
     }
 
-    // Pair-granularity job list, in serial simulation order.
+    // Tier 1, post-synthesis: content-address the freshly synthesized
+    // layers. A hit here (e.g. a cache populated by a different config that
+    // synthesized identical planes) still skips every pair job; the
+    // association is recorded so the *next* run resolves pre-synthesis.
+    let mut content_keys: Vec<Option<CacheKey>> = vec![None; net.layers.len()];
+    if let Some(id) = cache_identity.as_deref() {
+        for (li, work) in layer_work.iter().enumerate() {
+            let Some(work) = work else { continue };
+            let ckey = content_cache_key(id, work);
+            if let Some(phases) = simcache::lookup(&ckey) {
+                if let Some(skey) = synth_keys[li] {
+                    simcache::record(skey, ckey, &phases);
+                }
+                cached[li] = Some(phases);
+            }
+            content_keys[li] = Some(ckey);
+        }
+    }
+    let cache_hits = cached.iter().filter(|c| c.is_some()).count() as u64;
+
+    // Pair-granularity job list, in serial simulation order. Tier 2: pairs
+    // whose machine provides a closed form (byte-identical by the golden
+    // proptests) are answered inline instead of dispatched.
+    let analytic_active = cache_identity.is_some();
+    let mut analytic_partial: Vec<SimStats> = Vec::new();
+    let mut analytic_pairs = 0u64;
+    if analytic_active {
+        analytic_partial.resize(net.layers.len() * 3, SimStats::default());
+    }
     let mut jobs: Vec<PairTask> = Vec::new();
     for (li, work) in layer_work.iter().enumerate() {
         let Some(work) = work else { continue };
+        if cached[li].is_some() {
+            continue;
+        }
         for (pi, (_, pairs, _)) in work.phases.iter().enumerate() {
-            jobs.extend((0..pairs.len()).map(|pair| PairTask {
-                layer: li,
-                phase: pi,
-                pair,
-            }));
+            for (pair_index, pair) in pairs.iter().enumerate() {
+                if analytic_active {
+                    if let Some(stats) =
+                        pe.analytic_conv_pair(&pair.kernel, &pair.image, &pair.shape)
+                    {
+                        analytic_partial[li * 3 + pi].accumulate(&stats);
+                        analytic_pairs += 1;
+                        continue;
+                    }
+                }
+                jobs.push(PairTask {
+                    layer: li,
+                    phase: pi,
+                    pair: pair_index,
+                });
+            }
         }
     }
     let workers = threads.clamp(1, jobs.len().max(1));
@@ -789,19 +883,29 @@ fn run_network_parallel<S: ConvSim + Sync + ?Sized>(
         .record("scheduler", "work-steal")
         .record("jobs", jobs.len())
         .record("resumed_layers", resumed);
+    if analytic_active {
+        span.record("cache_hits", cache_hits)
+            .record("analytic_pairs", analytic_pairs);
+    }
 
     // Live-progress state: per-layer outstanding-job counters (a layer is
     // "done" when its last pair lands) plus the run-wide shared counters
     // the reporter thread snapshots. Resumed layers count as done up front.
     let progress_shared = progress.then(ProgressShared::default);
-    if let Some(shared) = &progress_shared {
-        shared.layers_done.store(resumed as u64, Ordering::Relaxed);
-    }
     let layer_remaining: Vec<AtomicU64> = (0..net.layers.len())
         .map(|_| AtomicU64::new(0))
         .collect();
     for task in &jobs {
         layer_remaining[task.layer].fetch_add(1, Ordering::Relaxed);
+    }
+    if let Some(shared) = &progress_shared {
+        // Layers with no outstanding jobs — resumed, cache-resolved, or
+        // fully answered by the analytic tier — count as done up front.
+        let upfront_done = layer_remaining
+            .iter()
+            .filter(|r| r.load(Ordering::Relaxed) == 0)
+            .count();
+        shared.layers_done.store(upfront_done as u64, Ordering::Relaxed);
     }
     let status_base = ant_obs::RunStatus {
         name: net.name.to_string(),
@@ -1078,11 +1182,30 @@ fn run_network_parallel<S: ConvSim + Sync + ?Sized>(
     // order so every downstream aggregate matches the serial runner.
     let mut merged = NetworkResult::empty(net.name, pe.name());
     merged.per_layer.reserve(net.layers.len());
+    let mut cache_misses = 0u64;
     for (li, layer) in net.layers.iter().enumerate() {
         let mut layer_total = SimStats::default();
         if let Some(stored) = &prior[li] {
             // Resumed layer: the stored stats are the finalized per-phase
             // outputs of an identical earlier run.
+            for (pi, scaled) in stored.iter().enumerate() {
+                merged.total.accumulate(scaled);
+                merged.per_phase[pi].1.accumulate(scaled);
+                layer_total.accumulate(scaled);
+            }
+            merged.per_layer.push(LayerStats {
+                index: li,
+                name: layer.name.clone(),
+                stats: layer_total,
+                phases: *stored,
+            });
+            continue;
+        }
+        if let Some(stored) = &cached[li] {
+            // Cache-resolved layer: the stored phases are the finalized
+            // outputs of a byte-identical earlier simulation (same content
+            // key, same machine identity, same model version). Like
+            // checkpoint-resumed layers, nothing fresh is recorded.
             for (pi, scaled) in stored.iter().enumerate() {
                 merged.total.accumulate(scaled);
                 merged.per_phase[pi].1.accumulate(scaled);
@@ -1119,6 +1242,12 @@ fn run_network_parallel<S: ConvSim + Sync + ?Sized>(
             for out in &outputs {
                 phase_stats.accumulate(&out.partial[li * 3 + pi]);
             }
+            // Pairs answered by the analytic tier fold in here; their stats
+            // are byte-identical to the dispatched path and the counters
+            // are u64 sums, so accumulation order cannot matter.
+            if let Some(partial) = analytic_partial.get(li * 3 + pi) {
+                phase_stats.accumulate(partial);
+            }
             let scaled = finalize_phase(phase_stats, *distinct_images, work.scale);
             // Same phase-delta contract as the serial runner's spans; the
             // pairs ran interleaved across workers, so no per-phase host
@@ -1142,6 +1271,16 @@ fn run_network_parallel<S: ConvSim + Sync + ?Sized>(
         if let Some(ckpt) = checkpoint.as_deref_mut() {
             ckpt.record(li, &layer.name, &scaled_phases, !failed_layers.contains(&li));
         }
+        if content_keys[li].is_some() {
+            cache_misses += 1;
+        }
+        // Cache only clean layers: quarantined pairs leave the stats
+        // incomplete, and replaying them would poison every later run.
+        if !failed_layers.contains(&li) {
+            if let (Some(skey), Some(ckey)) = (synth_keys[li], content_keys[li]) {
+                simcache::record(skey, ckey, &scaled_phases);
+            }
+        }
         merged.per_layer.push(LayerStats {
             index: li,
             name: layer.name.clone(),
@@ -1151,6 +1290,19 @@ fn run_network_parallel<S: ConvSim + Sync + ?Sized>(
     }
     merged.partial = !report.is_clean();
     merged.failures = report;
+    if cache_identity.is_some() {
+        merged.cache_hits = cache_hits;
+        merged.cache_misses = cache_misses;
+        merged.analytic_pairs = analytic_pairs;
+        // Registry counters only materialize on cache-enabled runs, so
+        // manifests of cache-off runs keep their existing key set.
+        let registry = ant_obs::registry();
+        registry.counter("runner.cache.hits").add(cache_hits);
+        registry.counter("runner.cache.misses").add(cache_misses);
+        registry
+            .counter("runner.cache.analytic_hits")
+            .add(analytic_pairs);
+    }
     merged.wall_cycles = merged
         .total
         .total_cycles()
@@ -1264,6 +1416,75 @@ struct LayerWork {
     /// Per-phase sampled pairs and the distinct resident-image count that
     /// bounds the start-up charge.
     phases: [(TrainingPhase, Vec<ConvPair>, u64); 3],
+}
+
+/// The pre-synthesis memo key for one layer: hashes everything that
+/// *determines* the synthesized operands and their finalized stats by
+/// construction — the experiment fingerprint (seed, sampling, sparsities),
+/// the layer spec and its index (per-layer RNG seeds derive from the
+/// index), the machine identity string, and [`MODEL_VERSION`]. A warm run
+/// that resolves this key skips synthesis entirely; the authoritative
+/// content key below is what entries are stored under.
+fn synth_cache_key(
+    machine_identity: &str,
+    layer: &ant_workloads::ConvLayerSpec,
+    layer_index: usize,
+    cfg: &ExperimentConfig,
+) -> CacheKey {
+    let mut key = KeyBuilder::default();
+    key.write_str("ant-simcache-synth");
+    key.write_u64(u64::from(MODEL_VERSION));
+    key.write_str(machine_identity);
+    Fingerprint::of(cfg).write_to(&mut key);
+    key.write_usize(layer_index);
+    key.write_str(&layer.name);
+    for dim in [
+        layer.out_channels,
+        layer.in_channels,
+        layer.kernel_h,
+        layer.kernel_w,
+        layer.input_h,
+        layer.input_w,
+        layer.stride,
+        layer.padding,
+        layer.count,
+    ] {
+        key.write_usize(dim);
+    }
+    key.finish()
+}
+
+/// The content-addressed cache key for one synthesized layer: hashes the
+/// actual CSR planes and shapes of every sampled pair in every phase, the
+/// scaling constants, the machine identity string, and [`MODEL_VERSION`].
+/// Two layers with equal content keys produce byte-identical finalized
+/// stats on the same machine, whatever config synthesized them.
+fn content_cache_key(machine_identity: &str, work: &LayerWork) -> CacheKey {
+    let mut key = KeyBuilder::default();
+    key.write_str("ant-simcache-content");
+    key.write_u64(u64::from(MODEL_VERSION));
+    key.write_str(machine_identity);
+    key.write_f64(work.scale);
+    for (phase, pairs, distinct_images) in &work.phases {
+        key.write_str(phase.paper_name());
+        key.write_u64(*distinct_images);
+        key.write_usize(pairs.len());
+        for pair in pairs {
+            for dim in [
+                pair.shape.kernel_h(),
+                pair.shape.kernel_w(),
+                pair.shape.image_h(),
+                pair.shape.image_w(),
+                pair.shape.stride(),
+                pair.shape.dilation(),
+            ] {
+                key.write_usize(dim);
+            }
+            key.write_csr(&pair.kernel);
+            key.write_csr(&pair.image);
+        }
+    }
+    key.finish()
 }
 
 /// Synthesizes one layer's [`LayerWork`]. The RNG seed derives from

@@ -17,10 +17,17 @@
 //!   into the run manifest's `host` section as `worker.NN.*` entries.
 //!   Indices are zero-padded so the sorted manifest keys keep numeric
 //!   order.
+//! * [`CacheTable`] — the simulation-cache counterpart: per-(network,
+//!   machine) hit/miss/analytic counters from each [`NetworkResult`],
+//!   folded into the manifest `host` section as `cache.*` entries that
+//!   `obsctl cache` reads back. Runs with no cache activity (`ANT_CACHE`
+//!   off) record nothing, so cache-off manifests keep their key set.
+
+use std::collections::BTreeMap;
 
 use ant_obs::{Timeline, Value};
 
-use crate::runner::WorkerTelemetry;
+use crate::runner::{NetworkResult, WorkerTelemetry};
 
 /// Zero-padded worker index (`7` -> `"07"`), width 2 up to 99 workers and
 /// growing with the fleet beyond that, so lexicographic key order is
@@ -137,6 +144,81 @@ impl WorkerTable {
             out.push((format!("worker.{name}.idle_us"), Value::U64(row.idle_ns / 1_000)));
             out.push((format!("worker.{name}.utilization"), Value::F64(util)));
         }
+        out
+    }
+}
+
+/// Per-(network, machine) simulation-cache activity accumulated over every
+/// run of a sweep, for the manifest `host` section.
+///
+/// Keys follow `cache.<network>.<machine>.<field>` with three totals rows
+/// (`cache.hits`, `cache.misses`, `cache.analytic`). Machine labels never
+/// contain `.`, so `obsctl cache` can split the keys back unambiguously
+/// even when a network label does (`ResNet18/CIFAR` is dot-free today, but
+/// the parser right-splits to stay safe).
+#[derive(Debug, Clone, Default)]
+pub struct CacheTable {
+    rows: BTreeMap<(String, String), CacheRow>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct CacheRow {
+    hits: u64,
+    misses: u64,
+    analytic: u64,
+}
+
+impl CacheTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether no cache activity was ever recorded (cache off, or every
+    /// run reported zero hits, misses, and analytic pairs).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Folds one run's cache counters into the table under the result's
+    /// own `(network, machine)` labels. A run with zero activity is
+    /// skipped entirely: a cache-off sweep leaves the table empty and the
+    /// manifest key set unchanged.
+    pub fn add(&mut self, result: &NetworkResult) {
+        if result.cache_hits == 0 && result.cache_misses == 0 && result.analytic_pairs == 0 {
+            return;
+        }
+        let row = self
+            .rows
+            .entry((result.network.to_string(), result.machine.to_string()))
+            .or_default();
+        row.hits += result.cache_hits;
+        row.misses += result.cache_misses;
+        row.analytic += result.analytic_pairs;
+    }
+
+    /// The `host`-section entries: `cache.<network>.<machine>.hits`,
+    /// `.misses`, and `.analytic` per row, plus the sweep-wide totals
+    /// `cache.hits` / `cache.misses` / `cache.analytic`. Empty when
+    /// [`CacheTable::is_empty`].
+    pub fn host_stats(&self) -> Vec<(String, Value)> {
+        if self.rows.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.rows.len() * 3 + 3);
+        let mut total = CacheRow::default();
+        for ((network, machine), row) in &self.rows {
+            total.hits += row.hits;
+            total.misses += row.misses;
+            total.analytic += row.analytic;
+            let prefix = format!("cache.{network}.{machine}");
+            out.push((format!("{prefix}.hits"), Value::U64(row.hits)));
+            out.push((format!("{prefix}.misses"), Value::U64(row.misses)));
+            out.push((format!("{prefix}.analytic"), Value::U64(row.analytic)));
+        }
+        out.push(("cache.hits".to_string(), Value::U64(total.hits)));
+        out.push(("cache.misses".to_string(), Value::U64(total.misses)));
+        out.push(("cache.analytic".to_string(), Value::U64(total.analytic)));
         out
     }
 }
@@ -329,6 +411,66 @@ mod tests {
             Value::F64(u) => assert!((u - 0.5).abs() < 1e-9),
             other => panic!("utilization should be F64, got {other:?}"),
         }
+    }
+
+    fn cache_result(
+        network: &'static str,
+        machine: &'static str,
+        hits: u64,
+        misses: u64,
+        analytic: u64,
+    ) -> crate::runner::NetworkResult {
+        use ant_conv::efficiency::TrainingPhase;
+        crate::runner::NetworkResult {
+            network,
+            machine,
+            total: ant_sim::SimStats::default(),
+            per_phase: [
+                (TrainingPhase::Forward, ant_sim::SimStats::default()),
+                (TrainingPhase::Backward, ant_sim::SimStats::default()),
+                (TrainingPhase::Update, ant_sim::SimStats::default()),
+            ],
+            per_layer: Vec::new(),
+            wall_cycles: 0,
+            host_wall_us: 0,
+            failures: crate::runner::FailureReport::default(),
+            partial: false,
+            workers: Vec::new(),
+            cache_hits: hits,
+            cache_misses: misses,
+            analytic_pairs: analytic,
+        }
+    }
+
+    #[test]
+    fn cache_table_accumulates_and_skips_inactive_runs() {
+        let mut table = CacheTable::new();
+        assert!(table.is_empty());
+        assert!(table.host_stats().is_empty());
+        // Cache-off runs (all zeros) leave no trace in the manifest.
+        table.add(&cache_result("net-a", "SCNN+", 0, 0, 0));
+        assert!(table.is_empty());
+        table.add(&cache_result("net-a", "SCNN+", 0, 3, 0));
+        table.add(&cache_result("net-a", "SCNN+", 3, 0, 0));
+        table.add(&cache_result("net-a", "ANT", 1, 2, 0));
+        table.add(&cache_result("net-b", "Dense", 0, 1, 24));
+        let stats = table.host_stats();
+        let get = |key: &str| {
+            stats
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| panic!("missing {key}"))
+        };
+        // Reruns of the same (network, machine) fold into one row.
+        assert_eq!(get("cache.net-a.SCNN+.hits"), Value::U64(3));
+        assert_eq!(get("cache.net-a.SCNN+.misses"), Value::U64(3));
+        assert_eq!(get("cache.net-a.ANT.hits"), Value::U64(1));
+        assert_eq!(get("cache.net-b.Dense.analytic"), Value::U64(24));
+        assert_eq!(get("cache.hits"), Value::U64(4));
+        assert_eq!(get("cache.misses"), Value::U64(6));
+        assert_eq!(get("cache.analytic"), Value::U64(24));
+        assert_eq!(stats.len(), 3 * 3 + 3);
     }
 
     #[test]

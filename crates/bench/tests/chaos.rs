@@ -16,6 +16,7 @@ use ant_bench::redundancy::RedundancyLedger;
 use ant_bench::runner::{
     pair_jobs, simulate_network, try_simulate_network_parallel, ExperimentConfig, RunOptions,
 };
+use ant_bench::simcache::{self, CacheOverride, SimCacheConfig};
 use ant_conv::efficiency::TrainingPhase;
 use ant_sim::chaos::{self, ChaosConfig};
 use ant_sim::scnn::ScnnPlus;
@@ -218,4 +219,37 @@ fn seeded_chaos_quarantines_exactly_the_injected_failures() {
     assert!(!clean_parallel.partial);
     assert_eq!(clean_parallel.failures.retries, 0);
     assert_eq!(clean_parallel.total, clean_serial.total);
+
+    // The simulation cache must stand down entirely under chaos injection:
+    // no lookups, no analytic substitution, and — critically — no entries
+    // recorded from a run whose layers may be quarantined.
+    simcache::set_override(CacheOverride::On(SimCacheConfig::default()));
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    chaos::set_override(Some(config));
+    let chaos_cached = try_simulate_network_parallel(&pe, &net, &cfg, &opts)
+        .expect("chaos run with cache enabled completes");
+    chaos::set_override(None);
+    std::panic::set_hook(prev_hook);
+    assert_eq!(chaos_cached.total, run_a.total, "cache changed a chaos run");
+    assert_eq!(chaos_cached.cache_hits, 0);
+    assert_eq!(chaos_cached.cache_misses, 0);
+    assert_eq!(chaos_cached.analytic_pairs, 0);
+    let stats = simcache::stats().expect("cache override active");
+    assert_eq!(
+        stats.entries, 0,
+        "a chaos run (quarantined layers included) must record nothing"
+    );
+
+    // With chaos cleared the same cache activation records every layer,
+    // and the warm run serves all of them byte-identically.
+    let cache_cold = try_simulate_network_parallel(&pe, &net, &cfg, &opts)
+        .expect("clean cache run completes");
+    assert_eq!(cache_cold.total, clean_serial.total);
+    assert_eq!(cache_cold.cache_misses, net.layers.len() as u64);
+    let cache_warm = try_simulate_network_parallel(&pe, &net, &cfg, &opts)
+        .expect("warm cache run completes");
+    assert_eq!(cache_warm.total, clean_serial.total);
+    assert_eq!(cache_warm.cache_hits, net.layers.len() as u64);
+    simcache::set_override(CacheOverride::Env);
 }

@@ -185,6 +185,18 @@ fn baseline_snapshot_interoperates_with_recorded_entries() {
 fn unknown_label_is_rejected_but_known_labels_parse() {
     assert_eq!(WorkloadSet::from_label("fig09"), Some(WorkloadSet::Fig09));
     assert_eq!(WorkloadSet::from_label("tiny"), Some(WorkloadSet::Tiny));
+    assert_eq!(
+        WorkloadSet::from_label("fig09-warm"),
+        Some(WorkloadSet::Fig09Warm)
+    );
+    assert_eq!(
+        WorkloadSet::from_label("tiny-warm"),
+        Some(WorkloadSet::TinyWarm)
+    );
+    assert!(WorkloadSet::Fig09Warm.warm_cache());
+    assert!(!WorkloadSet::Fig09.warm_cache());
+    assert_eq!(WorkloadSet::Fig09Warm.label(), "fig09-warm");
+    assert_eq!(WorkloadSet::TinyWarm.label(), "tiny-warm");
     assert_eq!(WorkloadSet::from_label("bogus"), None);
 }
 

@@ -130,6 +130,37 @@ pub trait ConvSim {
         self.simulate_conv_pair(kernel, image, shape)
     }
 
+    /// A stable identity string covering the machine's name and every
+    /// hardware parameter that influences its results — the machine's
+    /// contribution to a content-addressed cache key. `None` (the default)
+    /// declares the machine uncacheable: the result cache must never store
+    /// or replay its pairs. Implementations MUST fold every
+    /// behaviour-affecting parameter into the string; two machines with
+    /// equal identity strings must produce byte-identical stats for
+    /// identical operands.
+    fn cache_identity(&self) -> Option<String> {
+        None
+    }
+
+    /// Closed-form fast path: returns `Some(stats)` when this machine's
+    /// result for the pair is computable without cycle-accurate emulation
+    /// (see [`crate::analytic`]), `None` when emulation is required.
+    ///
+    /// The contract mirrors [`ConvSim::simulate_conv_pair_scratch`]:
+    /// `Some` results MUST be byte-identical to the emulated path (pinned
+    /// by the golden proptests). Callers that substitute this result for a
+    /// dispatched job should only do so while detail tracing is off — the
+    /// fast path intentionally skips per-pair trace events.
+    fn analytic_conv_pair(
+        &self,
+        kernel: &CsrMatrix,
+        image: &CsrMatrix,
+        shape: &ConvShape,
+    ) -> Option<SimStats> {
+        let _ = (kernel, image, shape);
+        None
+    }
+
     /// Validated entry point: rejects operands that disagree with `shape`
     /// with a typed [`AntError::InvalidOperand`] before simulating, instead
     /// of panicking (or silently mis-simulating) inside the machine.

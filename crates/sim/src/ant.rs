@@ -12,7 +12,7 @@ use ant_conv::ConvShape;
 use ant_core::anticipator::{AntConfig, AntCounters, Anticipator};
 use ant_sparse::CsrMatrix;
 
-use crate::accelerator::{ConvSim, MatmulSim, STARTUP_CYCLES};
+use crate::accelerator::{ConvSim, MatmulSim};
 use crate::accum::AccumulatorBanks;
 use crate::breakdown::CycleBreakdown;
 use crate::scratch::{with_thread_scratch, SimScratch};
@@ -66,18 +66,19 @@ impl AntAccelerator {
     }
 
     fn map_counters(&self, c: &AntCounters, accum_conflicts: u64) -> SimStats {
-        // Each FNIR window is one pipeline cycle; a group whose scan
-        // touches nothing still costs its image-fetch cycle.
-        let scan_floor = c.scan_cycles.max(c.groups);
-        let pe_cycles = scan_floor + accum_conflicts;
-        let startup_cycles = if c.pairs_total > 0 { STARTUP_CYCLES } else { 0 };
-        // Scan cycles that issued multiplications are compute; the rest of
-        // the scan is FNIR window-walk stall; the group-fetch floor beyond
-        // the scan is SRAM fetch pressure.
-        let compute = c.mult_cycles.min(c.scan_cycles);
+        // The scan counters need emulation (FNIR feedback); mapping them to
+        // the cycle attribution is the closed-form part, shared with the
+        // analytic module and pinned by the golden proptests.
+        let terms = crate::analytic::ant_cycle_terms(
+            c.scan_cycles,
+            c.mult_cycles,
+            c.groups,
+            c.pairs_total,
+            accum_conflicts,
+        );
         let stats = SimStats {
-            pe_cycles,
-            startup_cycles,
+            pe_cycles: terms.pe_cycles,
+            startup_cycles: terms.startup,
             mults: c.multiplications,
             useful_mults: c.useful,
             rcps_executed: c.rcps_executed,
@@ -91,11 +92,11 @@ impl AntAccelerator {
             accumulator_writes: c.accumulator_writes,
             accumulator_adds: c.useful,
             cycles: CycleBreakdown {
-                compute,
-                fnir_scan: c.scan_cycles - compute,
+                compute: terms.compute,
+                fnir_scan: terms.fnir_scan,
                 accum_conflict: accum_conflicts,
-                sram_fetch: scan_floor - c.scan_cycles,
-                startup: startup_cycles,
+                sram_fetch: terms.sram_fetch,
+                startup: terms.startup,
                 ..CycleBreakdown::default()
             },
         };
@@ -150,6 +151,14 @@ impl ConvSim for AntAccelerator {
         crate::accelerator::trace_pair(ConvSim::name(self), "conv", kernel, image, &stats);
         stats
     }
+
+    fn cache_identity(&self) -> Option<String> {
+        // Debug output covers the full AntConfig and the optional banked
+        // accumulator — every behaviour-affecting parameter.
+        Some(format!("{self:?}"))
+    }
+    // No `analytic_conv_pair`: the FNIR scan has feedback, so ANT pairs
+    // always dispatch; only the counter->attribution mapping is closed-form.
 }
 
 impl MatmulSim for AntAccelerator {

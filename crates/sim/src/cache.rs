@@ -1,0 +1,156 @@
+//! Content-addressed result-cache substrate (tier 1 of the simulator's own
+//! redundancy eliminator).
+//!
+//! Per-pair simulation is a pure function of (machine configuration, layer
+//! geometry, operand sparsity structure), so a sweep that re-runs an
+//! identical layer is redundant computation — the same waste the paper
+//! eliminates in hardware, showing up in the simulator itself. This module
+//! holds the machine-side pieces:
+//!
+//! * [`CacheKey`] — a 128-bit content key. Keys are produced by the bench
+//!   crate's `fingerprint` module (which hashes CSR planes, layer shape,
+//!   and the machine's identity string); this crate only defines the key
+//!   type so machines and stores can share it without a dependency cycle.
+//! * [`MODEL_VERSION`] — bumped whenever any machine model *or* the
+//!   operand-synthesis pipeline changes behaviour, so stale on-disk
+//!   entries invalidate cleanly instead of replaying wrong numbers.
+//! * [`LayerCache`] — the in-memory layer-granularity store: finalized
+//!   per-phase [`SimStats`] triples keyed by content, plus a memo index
+//!   from cheap pre-synthesis keys to content keys so a warm run can skip
+//!   operand synthesis as well as simulation.
+//!
+//! Policy (what may be cached, when lookups are allowed) lives with the
+//! runner in `ant-bench`; this store is policy-free.
+
+use std::collections::HashMap;
+
+use crate::stats::SimStats;
+
+/// Version stamp carried by every persisted cache entry. Bump on ANY
+/// behaviour change to a machine model, the cycle attribution, the stats
+/// schema, or the bench operand-synthesis pipeline: entries written under
+/// a different version are stale and must be skipped, never replayed.
+pub const MODEL_VERSION: u32 = 1;
+
+/// A 128-bit content-addressed cache key (two independent 64-bit hash
+/// passes over the same keyed byte stream).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CacheKey {
+    /// First-pass digest.
+    pub hi: u64,
+    /// Second-pass digest.
+    pub lo: u64,
+}
+
+impl CacheKey {
+    /// Renders the key as 32 lowercase hex digits (stable wire format —
+    /// JSON numbers are `f64` and cannot carry full 64-bit hashes).
+    pub fn to_hex(self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+
+    /// Parses [`CacheKey::to_hex`] output.
+    pub fn from_hex(s: &str) -> Option<Self> {
+        if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        let hi = u64::from_str_radix(&s[..16], 16).ok()?;
+        let lo = u64::from_str_radix(&s[16..], 16).ok()?;
+        Some(Self { hi, lo })
+    }
+}
+
+/// One cached layer: the finalized (scaled) per-phase stats the runner
+/// would otherwise recompute.
+pub type LayerPhases = [SimStats; 3];
+
+/// In-memory layer-result cache plus the synthesis memo index.
+#[derive(Debug, Default)]
+pub struct LayerCache {
+    entries: HashMap<CacheKey, LayerPhases>,
+    /// Pre-synthesis key -> content key. The memo lets a warm run resolve
+    /// a layer before synthesizing its operand planes; the content key
+    /// remains the authoritative identity of the stored result.
+    memo: HashMap<CacheKey, CacheKey>,
+}
+
+impl LayerCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stored layer results.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a layer by content key.
+    pub fn get(&self, key: &CacheKey) -> Option<&LayerPhases> {
+        self.entries.get(key)
+    }
+
+    /// Stores a layer result under its content key.
+    pub fn insert(&mut self, key: CacheKey, phases: LayerPhases) {
+        self.entries.insert(key, phases);
+    }
+
+    /// Resolves a pre-synthesis memo key to its content key, if known.
+    pub fn memo(&self, synth_key: &CacheKey) -> Option<CacheKey> {
+        self.memo.get(synth_key).copied()
+    }
+
+    /// Records that `synth_key` resolves to `content_key`.
+    pub fn remember(&mut self, synth_key: CacheKey, content_key: CacheKey) {
+        self.memo.insert(synth_key, content_key);
+    }
+
+    /// One-step warm lookup: memo key -> content key -> stored phases.
+    pub fn get_memoized(&self, synth_key: &CacheKey) -> Option<&LayerPhases> {
+        self.memo.get(synth_key).and_then(|k| self.entries.get(k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(hi: u64, lo: u64) -> CacheKey {
+        CacheKey { hi, lo }
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        for k in [
+            key(0, 0),
+            key(u64::MAX, 1),
+            key(0xdead_beef_0123_4567, 0x89ab_cdef_fedc_ba98),
+        ] {
+            assert_eq!(CacheKey::from_hex(&k.to_hex()), Some(k));
+        }
+        assert_eq!(CacheKey::from_hex("xyz"), None);
+        assert_eq!(CacheKey::from_hex(&"0".repeat(31)), None);
+        assert_eq!(CacheKey::from_hex(&"g".repeat(32)), None);
+    }
+
+    #[test]
+    fn store_and_memo_resolve() {
+        let mut cache = LayerCache::new();
+        assert!(cache.is_empty());
+        let content = key(1, 2);
+        let synth = key(3, 4);
+        let phases = [SimStats::default(); 3];
+        cache.insert(content, phases);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(&content), Some(&phases));
+        assert_eq!(cache.get_memoized(&synth), None);
+        cache.remember(synth, content);
+        assert_eq!(cache.memo(&synth), Some(content));
+        assert_eq!(cache.get_memoized(&synth), Some(&phases));
+    }
+}

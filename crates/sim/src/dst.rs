@@ -137,6 +137,10 @@ impl ConvSim for DstAccelerator {
             shape.out_h() as u64 * shape.out_w() as u64,
         )
     }
+
+    fn cache_identity(&self) -> Option<String> {
+        Some(format!("{self:?}"))
+    }
 }
 
 impl MatmulSim for DstAccelerator {

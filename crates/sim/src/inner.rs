@@ -19,8 +19,8 @@ use ant_conv::matmul::MatmulShape;
 use ant_conv::ConvShape;
 use ant_sparse::CsrMatrix;
 
-use crate::accelerator::{ConvSim, MatmulSim, STARTUP_CYCLES};
-use crate::breakdown::CycleBreakdown;
+use crate::accelerator::{ConvSim, MatmulSim};
+use crate::analytic;
 use crate::stats::SimStats;
 
 /// A DaDianNao-like dense inner-product PE: every MAC of the direct
@@ -47,38 +47,7 @@ impl DenseInnerProduct {
     }
 
     fn simulate_macs(&self, macs: u64, outputs: u64) -> SimStats {
-        if macs == 0 {
-            return SimStats::default();
-        }
-        let pe_cycles = macs.div_ceil(self.multipliers as u64);
-        let stats = SimStats {
-            pe_cycles,
-            startup_cycles: STARTUP_CYCLES,
-            mults: macs,
-            useful_mults: macs,
-            rcps_executed: 0,
-            rcps_skipped: 0,
-            pairs_total: macs,
-            // IM2COL: one (duplicated) image word and one weight word per
-            // MAC; dense machines fetch dense data (values only, no index
-            // streams).
-            kernel_value_reads: macs,
-            kernel_index_reads: 0,
-            rowptr_reads: 0,
-            image_reads: macs,
-            index_ops: 0,
-            accumulator_writes: outputs,
-            accumulator_adds: macs,
-            // The dense array never stalls: every cycle multiplies, zero
-            // operands included.
-            cycles: CycleBreakdown {
-                compute: pe_cycles,
-                startup: STARTUP_CYCLES,
-                ..CycleBreakdown::default()
-            },
-        };
-        stats.debug_assert_cycles_attributed("DaDianNao");
-        stats
+        analytic::dense_macs(self.multipliers, macs, outputs)
     }
 }
 
@@ -99,6 +68,25 @@ impl ConvSim for DenseInnerProduct {
         );
         crate::accelerator::trace_pair(ConvSim::name(self), "conv", kernel, image, &stats);
         stats
+    }
+
+    fn cache_identity(&self) -> Option<String> {
+        Some(format!("{self:?}"))
+    }
+
+    fn analytic_conv_pair(
+        &self,
+        kernel: &CsrMatrix,
+        image: &CsrMatrix,
+        shape: &ConvShape,
+    ) -> Option<SimStats> {
+        // Dense execution ignores operand content entirely; only the O(1)
+        // shape scalars feed the closed form.
+        let _ = (kernel, image);
+        Some(self.simulate_macs(
+            shape.direct_products(),
+            shape.out_h() as u64 * shape.out_w() as u64,
+        ))
     }
 }
 
@@ -162,52 +150,18 @@ impl TensorDash {
     /// The speedup over dense for a one-sided density `rho` (fraction of
     /// the exploited operand that is non-zero).
     pub fn speedup(&self, rho: f64) -> f64 {
-        if rho <= 0.0 {
-            return (self.lookahead + 1) as f64 * self.packing_efficiency;
-        }
-        let ideal = 1.0 / rho;
-        let window_bound = (self.lookahead + 1) as f64 * self.packing_efficiency;
-        ideal.min(window_bound).max(1.0)
+        analytic::tensordash_speedup(self.lookahead, self.packing_efficiency, rho)
     }
 
     fn simulate_macs(&self, dense_macs: u64, rho: f64, outputs: u64) -> SimStats {
-        if dense_macs == 0 {
-            return SimStats::default();
-        }
-        let speedup = self.speedup(rho);
-        let dense_cycles = dense_macs.div_ceil(self.multipliers as u64);
-        let cycles = ((dense_cycles as f64 / speedup).ceil() as u64).max(1);
-        // Executed multiplications: at least the non-zero work, padded by
-        // whatever the window could not compact.
-        let mults = ((dense_macs as f64 / speedup).ceil() as u64)
-            .max((dense_macs as f64 * rho).ceil() as u64);
-        // Cycles the non-zero work strictly needs are compute; the excess is
-        // lanes the bounded lookahead window failed to refill (drain).
-        let compute = mults.div_ceil(self.multipliers as u64).min(cycles);
-        let stats = SimStats {
-            pe_cycles: cycles,
-            startup_cycles: STARTUP_CYCLES,
-            mults,
-            useful_mults: mults,
-            rcps_executed: 0,
-            rcps_skipped: 0,
-            pairs_total: dense_macs,
-            kernel_value_reads: mults,
-            kernel_index_reads: mults,
-            rowptr_reads: 0,
-            image_reads: dense_macs,
-            index_ops: mults,
-            accumulator_writes: outputs,
-            accumulator_adds: mults,
-            cycles: CycleBreakdown {
-                compute,
-                drain: cycles - compute,
-                startup: STARTUP_CYCLES,
-                ..CycleBreakdown::default()
-            },
-        };
-        stats.debug_assert_cycles_attributed("TensorDash");
-        stats
+        analytic::tensordash_macs(
+            self.multipliers,
+            self.lookahead,
+            self.packing_efficiency,
+            dense_macs,
+            rho,
+            outputs,
+        )
     }
 }
 
@@ -230,6 +184,27 @@ impl ConvSim for TensorDash {
         );
         crate::accelerator::trace_pair(ConvSim::name(self), "conv", kernel, image, &stats);
         stats
+    }
+
+    fn cache_identity(&self) -> Option<String> {
+        Some(format!("{self:?}"))
+    }
+
+    fn analytic_conv_pair(
+        &self,
+        kernel: &CsrMatrix,
+        image: &CsrMatrix,
+        shape: &ConvShape,
+    ) -> Option<SimStats> {
+        // The only operand-dependent input is the kernel's nonzero count
+        // (one-sided sparsity), read from the CSR header in O(1).
+        let _ = image;
+        let rho = kernel.nnz() as f64 / (kernel.rows() * kernel.cols()) as f64;
+        Some(self.simulate_macs(
+            shape.direct_products(),
+            rho,
+            shape.out_h() as u64 * shape.out_w() as u64,
+        ))
     }
 }
 

@@ -162,6 +162,10 @@ impl ConvSim for IntersectionAccelerator {
             shape.out_h() as u64 * shape.out_w() as u64,
         )
     }
+
+    fn cache_identity(&self) -> Option<String> {
+        Some(format!("{self:?}"))
+    }
 }
 
 impl MatmulSim for IntersectionAccelerator {

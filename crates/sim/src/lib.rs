@@ -55,8 +55,10 @@
 
 pub mod accelerator;
 pub mod accum;
+pub mod analytic;
 pub mod ant;
 pub mod breakdown;
+pub mod cache;
 pub mod chaos;
 pub mod dst;
 pub mod energy;
@@ -75,6 +77,7 @@ pub use accelerator::{
 };
 pub use ant_core::AntError;
 pub use breakdown::{CycleBreakdown, CycleCause};
+pub use cache::{CacheKey, LayerCache, MODEL_VERSION};
 pub use chaos::{ChaosConfig, Fault};
 pub use energy::EnergyModel;
 pub use redundancy::RedundancyRecord;

@@ -17,8 +17,8 @@ use ant_conv::rcp::count_useful_products_with;
 use ant_conv::ConvShape;
 use ant_sparse::CsrMatrix;
 
-use crate::accelerator::{ConvSim, MatmulSim, STARTUP_CYCLES};
-use crate::breakdown::CycleBreakdown;
+use crate::accelerator::{ConvSim, MatmulSim};
+use crate::analytic;
 use crate::scratch::{with_thread_scratch, SimScratch};
 use crate::stats::SimStats;
 
@@ -56,42 +56,7 @@ impl ScnnPlus {
         kernel_rows: usize,
         useful: u64,
     ) -> SimStats {
-        if nnz_kernel == 0 || nnz_image == 0 {
-            return SimStats::default();
-        }
-        let n = self.n as u64;
-        let groups = (nnz_image as u64).div_ceil(n);
-        let kernel_batches = (nnz_kernel as u64).div_ceil(n);
-        let mults = nnz_kernel as u64 * nnz_image as u64;
-        let pe_cycles = groups * kernel_batches;
-        let stats = SimStats {
-            pe_cycles,
-            startup_cycles: STARTUP_CYCLES,
-            mults,
-            useful_mults: useful,
-            rcps_executed: mults - useful,
-            rcps_skipped: 0,
-            pairs_total: mults,
-            // The whole compressed kernel streams past each image group.
-            kernel_value_reads: groups * nnz_kernel as u64,
-            kernel_index_reads: groups * nnz_kernel as u64,
-            rowptr_reads: groups * (kernel_rows as u64 + 1),
-            image_reads: 2 * nnz_image as u64,
-            // One output-index computation per executed product.
-            index_ops: mults,
-            accumulator_writes: useful,
-            accumulator_adds: useful,
-            // Every array cycle executes the full cartesian product, RCPs
-            // included — the waste *is* compute here; ANT's win shows up as
-            // attributing fewer compute cycles, not as a different cause.
-            cycles: CycleBreakdown {
-                compute: pe_cycles,
-                startup: STARTUP_CYCLES,
-                ..CycleBreakdown::default()
-            },
-        };
-        stats.debug_assert_cycles_attributed("SCNN+");
-        stats
+        analytic::scnn_products(self.n, nnz_kernel, nnz_image, kernel_rows, useful)
     }
 }
 
@@ -123,6 +88,12 @@ impl ConvSim for ScnnPlus {
         crate::accelerator::trace_pair(ConvSim::name(self), "conv", kernel, image, &stats);
         stats
     }
+
+    fn cache_identity(&self) -> Option<String> {
+        Some(format!("{self:?}"))
+    }
+    // No `analytic_conv_pair`: the useful-product count requires a pass
+    // over the operands' index structure, so SCNN+ pairs always dispatch.
 }
 
 impl MatmulSim for ScnnPlus {

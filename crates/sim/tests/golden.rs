@@ -11,6 +11,8 @@
 
 use ant_conv::matmul::MatmulShape;
 use ant_conv::ConvShape;
+use ant_core::anticipator::{AntConfig, Anticipator};
+use ant_sim::analytic;
 use ant_sim::ant::AntAccelerator;
 use ant_sim::dst::DstAccelerator;
 use ant_sim::inner::{DenseInnerProduct, TensorDash};
@@ -195,5 +197,87 @@ proptest! {
         for (label, stats) in exact {
             prop_assert_eq!(stats.useful_mults, useful, "{} matmul useful", label);
         }
+    }
+
+    /// Tier-2 fast path: any machine advertising `analytic_conv_pair` must
+    /// return byte-identical stats to its emulated path (the runner
+    /// substitutes the closed form for dispatched pair jobs), and the set of
+    /// machines that advertise it is pinned — operand-dependent scans (ANT's
+    /// FNIR feedback, the useful-product counters) must keep dispatching.
+    #[test]
+    fn analytic_conv_fast_path_is_byte_identical((shape, sparsity, seed) in conv_case()) {
+        let (kernel, image) = conv_operands(&shape, sparsity, seed);
+        let mut advertised = 0usize;
+        for machine in conv_machines() {
+            if let Some(closed) = machine.analytic_conv_pair(&kernel, &image, &shape) {
+                advertised += 1;
+                let emulated = machine.simulate_conv_pair(&kernel, &image, &shape);
+                prop_assert_eq!(&closed, &emulated, "analytic diverged on {}", machine.name());
+            }
+        }
+        // Exactly the inner-product machines (dense, TensorDash) are
+        // closed-form; everyone else must emulate.
+        prop_assert_eq!(advertised, 2);
+        prop_assert!(DenseInnerProduct::paper_default()
+            .analytic_conv_pair(&kernel, &image, &shape)
+            .is_some());
+        prop_assert!(TensorDash::paper_default()
+            .analytic_conv_pair(&kernel, &image, &shape)
+            .is_some());
+        prop_assert!(AntAccelerator::paper_default()
+            .analytic_conv_pair(&kernel, &image, &shape)
+            .is_none());
+        prop_assert!(ScnnPlus::paper_default()
+            .analytic_conv_pair(&kernel, &image, &shape)
+            .is_none());
+    }
+
+    /// SCNN+'s closed form given the reference useful-product count is
+    /// byte-identical to full emulation: `useful` is the *only*
+    /// operand-dependent input to the machine.
+    #[test]
+    fn scnn_closed_form_needs_only_the_useful_count((shape, sparsity, seed) in conv_case()) {
+        let (kernel, image) = conv_operands(&shape, sparsity, seed);
+        let useful = reference::conv_useful_products(&kernel, &image, &shape);
+        let machine = ScnnPlus::paper_default();
+        let emulated = machine.simulate_conv_pair(&kernel, &image, &shape);
+        let closed = analytic::scnn_products(
+            machine.n(),
+            kernel.nnz(),
+            image.nnz(),
+            kernel.rows(),
+            useful,
+        );
+        prop_assert_eq!(&closed, &emulated, "SCNN+ closed form diverged");
+    }
+
+    /// ANT's cycle attribution is a closed form over the anticipator's
+    /// counters: re-running the `ant-core` pipeline directly and mapping its
+    /// counters through `analytic::ant_cycle_terms` reproduces every cycle
+    /// field of the accelerator's stats.
+    #[test]
+    fn ant_attribution_is_closed_form_over_counters((shape, sparsity, seed) in conv_case()) {
+        let (kernel, image) = conv_operands(&shape, sparsity, seed);
+        // The accelerator returns all-zero stats for empty operands before
+        // the counter mapping runs; the closed form only applies to
+        // dispatched pairs.
+        prop_assume!(kernel.nnz() > 0 && image.nnz() > 0);
+        let stats = AntAccelerator::paper_default().simulate_conv_pair(&kernel, &image, &shape);
+        let counters = Anticipator::new(AntConfig::paper_default())
+            .run_conv(&kernel, &image, &shape)
+            .expect("operands match the shape")
+            .counters;
+        let terms = analytic::ant_cycle_terms(
+            counters.scan_cycles,
+            counters.mult_cycles,
+            counters.groups,
+            counters.pairs_total,
+            0,
+        );
+        prop_assert_eq!(terms.pe_cycles, stats.pe_cycles, "pe_cycles");
+        prop_assert_eq!(terms.startup, stats.startup_cycles, "startup");
+        prop_assert_eq!(terms.compute, stats.cycles.compute, "compute");
+        prop_assert_eq!(terms.fnir_scan, stats.cycles.fnir_scan, "fnir_scan");
+        prop_assert_eq!(terms.sram_fetch, stats.cycles.sram_fetch, "sram_fetch");
     }
 }
