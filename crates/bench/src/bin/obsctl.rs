@@ -7,6 +7,7 @@
 //! obsctl ledger     trend [--file PATH] [--label L] [--metric SUBSTR]
 //!                         [--window N] [--threshold T] [--json]
 //! obsctl status     [PATH|URL] [--follow] [--interval-ms N]
+//! obsctl jobs       URL|FILE [--follow] [--interval-ms N]
 //! obsctl redundancy FILE [--network NET] [--machine M] [--layer L]
 //!                        [--phase P] [--top K] [--json]
 //! obsctl cache      MANIFEST [--network NET] [--machine M] [--json]
@@ -23,14 +24,15 @@ use std::process::ExitCode;
 
 use ant_bench::history::{self, DEFAULT_LEDGER, DEFAULT_THRESHOLD};
 use ant_bench::obsctl::{
-    cache, flame, redundancy, status, take_flag, take_parsed, take_switch, trace, trend,
+    cache, flame, jobs, redundancy, status, take_flag, take_parsed, take_switch, trace, trend,
 };
 
-const USAGE: &str = "usage: obsctl <trace|flame|ledger|status|redundancy|cache> [options]
+const USAGE: &str = "usage: obsctl <trace|flame|ledger|status|jobs|redundancy|cache> [options]
   trace      FILE [--name N] [--layer L] [--phase P] [--network NET] [--machine M] [--top K] [--json]
   flame      diff A.folded B.folded [--top K] [--json]
   ledger     trend [--file PATH] [--label L] [--metric SUBSTR] [--window N] [--threshold T] [--json]
   status     [PATH|URL] [--follow] [--interval-ms N]
+  jobs       URL|FILE [--follow] [--interval-ms N]
   redundancy FILE [--network NET] [--machine M] [--layer L] [--phase P] [--top K] [--json]
   cache      MANIFEST [--network NET] [--machine M] [--json]";
 
@@ -45,6 +47,7 @@ fn main() -> ExitCode {
         "flame" => cmd_flame(rest),
         "ledger" => cmd_ledger(rest),
         "status" => cmd_status(rest),
+        "jobs" => cmd_jobs(rest),
         "redundancy" => cmd_redundancy(rest),
         "cache" => cmd_cache(rest),
         "--help" | "-h" | "help" => {
@@ -228,6 +231,26 @@ fn cmd_status(args: &[String]) -> Result<(), String> {
         let block = status::render(&text)?;
         print!("{block}");
         if !follow || status::is_done(&text) {
+            return Ok(());
+        }
+        println!("---");
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}
+
+fn cmd_jobs(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let follow = take_switch(&mut args, "--follow");
+    let interval_ms = take_parsed(&mut args, "--interval-ms", 500u64)?.max(50);
+    let [operand] = args.as_slice() else {
+        return Err(format!("jobs wants exactly one URL|FILE, got {args:?}"));
+    };
+    let source = jobs::Source::resolve(operand);
+    loop {
+        let text = source.fetch()?;
+        let board = jobs::render(&text)?;
+        print!("{board}");
+        if !follow || jobs::all_terminal(&text) {
             return Ok(());
         }
         println!("---");

@@ -21,6 +21,7 @@ use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 
 use ant_obs::json::{write_json_string, Json};
+use ant_sim::chaos::{self, IoDomain, IoFault};
 use ant_sim::{AntError, SimStats};
 
 // The fingerprint type moved to the shared `fingerprint` module (the
@@ -45,6 +46,9 @@ pub struct CheckpointFile {
     /// sweep keeps simulating, it just stops checkpointing.
     writer: Option<BufWriter<File>>,
     ignored: usize,
+    /// Lines appended so far — the deterministic index for injected IO
+    /// faults (`ANT_CHAOS` `torn=`/`enospc=`).
+    appended: u64,
 }
 
 impl CheckpointFile {
@@ -59,6 +63,7 @@ impl CheckpointFile {
             entries: HashMap::new(),
             writer: Some(BufWriter::new(file)),
             ignored: 0,
+            appended: 0,
         })
     }
 
@@ -110,6 +115,7 @@ impl CheckpointFile {
             entries,
             writer: Some(BufWriter::new(file)),
             ignored,
+            appended: 0,
         })
     }
 
@@ -138,6 +144,38 @@ impl CheckpointFile {
         let Some(writer) = self.writer.as_mut() else {
             return;
         };
+        let index = self.appended;
+        self.appended += 1;
+        match chaos::active().and_then(|c| c.io_fault_for(IoDomain::Checkpoint, index)) {
+            Some(IoFault::TornWrite) => {
+                // A torn write leaves a truncated line on disk. It cannot
+                // parse back as a resumable entry, so a resume skips it and
+                // re-simulates the layer — degraded, never wrong.
+                let torn = &line.as_bytes()[..line.len() / 2];
+                let _ = writer
+                    .write_all(torn)
+                    .and_then(|()| writer.write_all(b"\n"))
+                    .and_then(|()| writer.flush());
+                ant_obs::registry().counter("checkpoint.io_torn").incr();
+                eprintln!(
+                    "ant-bench: checkpoint {}: injected torn write at line {index}; \
+                     entry will re-simulate on resume",
+                    self.path.display()
+                );
+                return;
+            }
+            Some(IoFault::Enospc) => {
+                ant_obs::registry().counter("checkpoint.io_enospc").incr();
+                eprintln!(
+                    "ant-bench: checkpoint {}: injected ENOSPC at line {index}; \
+                     checkpointing disabled, sweep continues",
+                    self.path.display()
+                );
+                self.writer = None;
+                return;
+            }
+            None => {}
+        }
         let ok = writer
             .write_all(line.as_bytes())
             .and_then(|()| writer.write_all(b"\n"))

@@ -28,6 +28,10 @@
 //! * [`obsctl`] — the unified offline analysis CLI (`obsctl` binary) over
 //!   the observability sidecars: trace JSONL aggregation, folded-flamegraph
 //!   diffing, bench-history trend reports, and live status pretty-printing.
+//! * [`serve`] — `ant-sweepd` (`sweepd` binary): a fault-tolerant
+//!   multi-tenant sweep service over the runner, with weighted-fair
+//!   queueing, supervised retry/backoff, job deadlines, and crash recovery
+//!   from spooled checkpoints (see `docs/ROBUSTNESS.md`).
 //!
 //! Every binary linking this crate gets the counting global allocator
 //! compiled in (below). It is **disabled** unless `ANT_ALLOC=1` is set or a
@@ -46,6 +50,7 @@ pub mod obsctl;
 pub mod redundancy;
 pub mod report;
 pub mod runner;
+pub mod serve;
 pub mod simcache;
 pub mod telemetry;
 

@@ -16,6 +16,7 @@
 //! obsctl ledger     trend [--file PATH] [--label L] [--metric SUBSTR]
 //!                         [--window N] [--threshold T] [--json]
 //! obsctl status     [PATH|URL] [--follow] [--interval-ms N]
+//! obsctl jobs       URL|FILE [--follow] [--interval-ms N]
 //! obsctl redundancy FILE [--network NET] [--machine M] [--layer L]
 //!                        [--phase P] [--top K] [--json]
 //! obsctl cache      MANIFEST [--network NET] [--machine M] [--json]
@@ -30,6 +31,7 @@
 
 pub mod cache;
 pub mod flame;
+pub mod jobs;
 pub mod redundancy;
 pub mod status;
 pub mod trace;

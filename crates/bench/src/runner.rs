@@ -86,6 +86,16 @@ pub struct RunOptions {
     /// status snapshots read shared counters that are only ever *written*
     /// when reporting is on.
     pub progress: Option<bool>,
+    /// Wall-clock budget for the *whole run*, in microseconds from run
+    /// start — the job-level generalization of `pair_budget_us` used by the
+    /// sweepd deadline scheduler. Once exceeded, workers cancel at the next
+    /// pair-job boundary: remaining jobs are skipped (counted in
+    /// [`FailureReport::deadline_skipped`]), the affected layers are left
+    /// out of checkpoint and cache (a resumed run re-simulates exactly
+    /// them), and the result is flagged
+    /// [`NetworkResult::deadline_exceeded`] + partial. `None` (the
+    /// default) never cancels.
+    pub deadline_us: Option<u64>,
 }
 
 /// One quarantined pair job: the job failed its first attempt and its
@@ -104,6 +114,23 @@ pub struct PairFailure {
     pub machine: &'static str,
     /// The error from the final (retry) attempt.
     pub error: AntError,
+    /// Total attempts made before quarantining (currently always 2: the
+    /// first attempt plus one retry).
+    pub attempts: u32,
+}
+
+/// A pair job whose first attempt failed but whose retry succeeded — the
+/// per-pair detail behind the `runner.pair_retries` counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairRetry {
+    /// Index of the source layer in the network spec.
+    pub layer_index: usize,
+    /// Phase index (0 = forward, 1 = backward, 2 = update).
+    pub phase: usize,
+    /// Pair index within the phase.
+    pub pair: usize,
+    /// Total attempts made (currently always 2).
+    pub attempts: u32,
 }
 
 /// A pair job that completed but exceeded the configured wall budget.
@@ -128,9 +155,17 @@ pub struct FailureReport {
     pub failures: Vec<PairFailure>,
     /// Completed jobs that exceeded the watchdog's wall budget.
     pub slow: Vec<SlowJob>,
+    /// Pairs whose first attempt failed but whose retry succeeded, in
+    /// deterministic `(layer, phase, pair)` order — the per-pair detail the
+    /// `runner.pair_retries` counter alone loses.
+    pub retried: Vec<PairRetry>,
     /// First-attempt failures that triggered a retry (including those whose
-    /// retry then also failed).
+    /// retry then also failed): `retried.len() + failures.len()` as a `u64`.
     pub retries: u64,
+    /// Pair jobs skipped because the run exceeded its
+    /// [`RunOptions::deadline_us`] budget; their layers are re-simulated on
+    /// resume.
+    pub deadline_skipped: u64,
 }
 
 impl FailureReport {
@@ -254,6 +289,11 @@ pub struct NetworkResult {
     /// Pair jobs answered by the tier-2 analytic fast path instead of being
     /// dispatched to the worker pool; zero when the cache is off.
     pub analytic_pairs: u64,
+    /// True when the run was cancelled at a pair-job boundary because it
+    /// exceeded [`RunOptions::deadline_us`]. The checkpoint (if any) holds
+    /// every completed layer, so a resumed run picks up where this one
+    /// stopped.
+    pub deadline_exceeded: bool,
 }
 
 impl NetworkResult {
@@ -276,6 +316,7 @@ impl NetworkResult {
             cache_hits: 0,
             cache_misses: 0,
             analytic_pairs: 0,
+            deadline_exceeded: false,
         }
     }
 
@@ -652,7 +693,10 @@ struct WorkerOutput {
     stolen: u64,
     failures: Vec<PairFailure>,
     slow: Vec<SlowJob>,
+    retried: Vec<PairRetry>,
     retries: u64,
+    /// Jobs this worker drained unexecuted after the run deadline passed.
+    skipped: u64,
     /// Scheduler telemetry; stays zeroed (and slice-free) when telemetry
     /// is off for the run.
     telemetry: WorkerTelemetry,
@@ -742,8 +786,12 @@ fn run_network_parallel<S: ConvSim + Sync + ?Sized>(
     // or detail tracing needs to observe every pair. A machine that returns
     // no identity string is uncacheable and also keeps the analytic tier
     // off, so one flag governs both.
+    // IO- and service-only chaos specs (torn writes, ENOSPC, job death)
+    // strike around the simulation and cannot taint counters, so only a
+    // result-perturbing spec stands the cache down.
+    let chaos_taints = chaos_cfg.is_some_and(|c| c.perturbs_results());
     let cache_identity: Option<String> =
-        if simcache::enabled() && chaos_cfg.is_none() && !ant_obs::detail_enabled() {
+        if simcache::enabled() && !chaos_taints && !ant_obs::detail_enabled() {
             pe.cache_identity()
         } else {
             None
@@ -895,6 +943,13 @@ fn run_network_parallel<S: ConvSim + Sync + ?Sized>(
     let layer_remaining: Vec<AtomicU64> = (0..net.layers.len())
         .map(|_| AtomicU64::new(0))
         .collect();
+    // Per-layer count of jobs skipped after the run deadline passed; a
+    // layer with any skipped job is incomplete and must not be recorded to
+    // checkpoint or cache. Only touched on the (cold) cancellation path.
+    let deadline_us = opts.deadline_us;
+    let layer_skipped: Vec<AtomicU64> = (0..net.layers.len())
+        .map(|_| AtomicU64::new(0))
+        .collect();
     for task in &jobs {
         layer_remaining[task.layer].fetch_add(1, Ordering::Relaxed);
     }
@@ -960,7 +1015,9 @@ fn run_network_parallel<S: ConvSim + Sync + ?Sized>(
             stolen: 0,
             failures: Vec::new(),
             slow: Vec::new(),
+            retried: Vec::new(),
             retries: 0,
+            skipped: 0,
             telemetry: WorkerTelemetry {
                 worker: me,
                 dealt: dealt[me],
@@ -993,6 +1050,16 @@ fn run_network_parallel<S: ConvSim + Sync + ?Sized>(
             // No new jobs are ever produced, so one full empty
             // scan means the pool is drained for good.
             let Some(task) = task else { break };
+            // Job-level deadline: cancellation happens only at this
+            // pair-job boundary (a running pair holds no cancellable
+            // resources, same contract as the watchdog). Remaining jobs
+            // drain unexecuted; their layers are left out of checkpoint
+            // and cache so a resumed run re-simulates exactly them.
+            if deadline_us.is_some_and(|d| started.elapsed().as_micros() as u64 >= d) {
+                out.skipped += 1;
+                layer_skipped[task.layer].fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
             let Some(work) = layer_work[task.layer].as_ref() else {
                 continue;
             };
@@ -1014,6 +1081,7 @@ fn run_network_parallel<S: ConvSim + Sync + ?Sized>(
                 chaos_cfg.and_then(|c| c.fault_for(task.layer, task.phase, task.pair, attempt))
             };
             let mut result = run_pair_job(pe, pair, fault(0), &mut scratch);
+            let mut attempts = 1u32;
             if result.is_err() {
                 out.retries += 1;
                 if let Some(shared) = &progress_shared {
@@ -1024,6 +1092,15 @@ fn run_network_parallel<S: ConvSim + Sync + ?Sized>(
                 // stays allocation-free).
                 scratch = SimScratch::new();
                 result = run_pair_job(pe, pair, fault(1), &mut scratch);
+                attempts = 2;
+                if result.is_ok() {
+                    out.retried.push(PairRetry {
+                        layer_index: task.layer,
+                        phase: task.phase,
+                        pair: task.pair,
+                        attempts,
+                    });
+                }
             }
             if let Some((since_run_start, job_t0)) = telemetry_started {
                 let dur = job_t0.elapsed();
@@ -1065,6 +1142,7 @@ fn run_network_parallel<S: ConvSim + Sync + ?Sized>(
                         pair: task.pair,
                         machine: pe.name(),
                         error,
+                        attempts,
                     });
                     if let Some(shared) = &progress_shared {
                         shared.failures.fetch_add(1, Ordering::Relaxed);
@@ -1147,14 +1225,23 @@ fn run_network_parallel<S: ConvSim + Sync + ?Sized>(
     for out in &outputs {
         report.failures.extend(out.failures.iter().cloned());
         report.slow.extend(out.slow.iter().copied());
+        report.retried.extend(out.retried.iter().copied());
         report.retries += out.retries;
+        report.deadline_skipped += out.skipped;
     }
     report
         .failures
         .sort_by_key(|f| (f.layer_index, f.phase as usize, f.pair));
     report.slow.sort_by_key(|s| (s.layer_index, s.phase, s.pair));
+    report.retried.sort_by_key(|r| (r.layer_index, r.phase, r.pair));
     let failed_layers: std::collections::BTreeSet<usize> =
         report.failures.iter().map(|f| f.layer_index).collect();
+    let skipped_layers: std::collections::BTreeSet<usize> = layer_skipped
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.load(Ordering::Relaxed) > 0)
+        .map(|(li, _)| li)
+        .collect();
     if ant_obs::enabled() {
         for f in &report.failures {
             ant_obs::event(
@@ -1170,6 +1257,18 @@ fn run_network_parallel<S: ConvSim + Sync + ?Sized>(
                 ],
             );
         }
+        for r in &report.retried {
+            ant_obs::event(
+                "pair_retry",
+                &[
+                    ("layer_index", (r.layer_index as u64).into()),
+                    ("phase", (r.phase as u64).into()),
+                    ("pair", (r.pair as u64).into()),
+                    ("machine", pe.name().into()),
+                    ("attempts", r.attempts.into()),
+                ],
+            );
+        }
     }
     ant_obs::registry()
         .counter("runner.pair_failures")
@@ -1177,6 +1276,11 @@ fn run_network_parallel<S: ConvSim + Sync + ?Sized>(
     ant_obs::registry()
         .counter("runner.pair_retries")
         .add(report.retries);
+    if report.deadline_skipped > 0 {
+        ant_obs::registry()
+            .counter("runner.deadline_skipped")
+            .add(report.deadline_skipped);
+    }
 
     // Stage 3: sum partials across workers, then finalize in serial layer
     // order so every downstream aggregate matches the serial runner.
@@ -1268,15 +1372,17 @@ fn run_network_parallel<S: ConvSim + Sync + ?Sized>(
             layer_total.accumulate(&scaled);
             scaled_phases[pi] = scaled;
         }
+        // A layer is clean only when no pair was quarantined *and* none was
+        // skipped by deadline cancellation — either way its stats are
+        // incomplete and replaying them would poison every later run.
+        let clean = !failed_layers.contains(&li) && !skipped_layers.contains(&li);
         if let Some(ckpt) = checkpoint.as_deref_mut() {
-            ckpt.record(li, &layer.name, &scaled_phases, !failed_layers.contains(&li));
+            ckpt.record(li, &layer.name, &scaled_phases, clean);
         }
         if content_keys[li].is_some() {
             cache_misses += 1;
         }
-        // Cache only clean layers: quarantined pairs leave the stats
-        // incomplete, and replaying them would poison every later run.
-        if !failed_layers.contains(&li) {
+        if clean {
             if let (Some(skey), Some(ckey)) = (synth_keys[li], content_keys[li]) {
                 simcache::record(skey, ckey, &scaled_phases);
             }
@@ -1288,7 +1394,8 @@ fn run_network_parallel<S: ConvSim + Sync + ?Sized>(
             phases: scaled_phases,
         });
     }
-    merged.partial = !report.is_clean();
+    merged.deadline_exceeded = report.deadline_skipped > 0;
+    merged.partial = !report.is_clean() || merged.deadline_exceeded;
     merged.failures = report;
     if cache_identity.is_some() {
         merged.cache_hits = cache_hits;

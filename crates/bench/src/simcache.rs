@@ -31,6 +31,7 @@ use std::sync::Mutex;
 
 use ant_obs::json::Json;
 use ant_sim::cache::{CacheKey, LayerCache, LayerPhases, MODEL_VERSION};
+use ant_sim::chaos::{self, IoDomain, IoFault};
 use ant_sim::SimStats;
 
 use crate::fingerprint::StableHasher;
@@ -86,6 +87,9 @@ struct Store {
     skipped_stale: usize,
     skipped_poisoned: usize,
     dropped_writes: usize,
+    /// Lines appended so far — the deterministic index for injected IO
+    /// faults (`ANT_CHAOS` `torn=`/`enospc=`).
+    appended: u64,
 }
 
 #[derive(Debug)]
@@ -190,6 +194,7 @@ impl Store {
             skipped_stale: 0,
             skipped_poisoned: 0,
             dropped_writes: 0,
+            appended: 0,
         };
         let Some(dir) = config.dir else {
             return store;
@@ -274,6 +279,39 @@ impl Store {
         let Some(writer) = self.writer.as_mut() else {
             return;
         };
+        let index = self.appended;
+        self.appended += 1;
+        match chaos::active().and_then(|c| c.io_fault_for(IoDomain::SimCache, index)) {
+            Some(IoFault::TornWrite) => {
+                // A torn write leaves a truncated line on disk; it fails to
+                // parse at the next load and degrades to a cache miss. The
+                // in-memory entry stays exact for this process.
+                let torn = &line.as_bytes()[..line.len() / 2];
+                let _ = writer
+                    .write_all(torn)
+                    .and_then(|()| writer.write_all(b"\n"))
+                    .and_then(|()| writer.flush());
+                self.dropped_writes += 1;
+                ant_obs::registry().counter("simcache.io_torn").incr();
+                eprintln!(
+                    "ant-bench: simcache: injected torn write at line {index}; \
+                     entry {} degrades to a miss on reload",
+                    content_key.to_hex()
+                );
+                return;
+            }
+            Some(IoFault::Enospc) => {
+                self.dropped_writes += 1;
+                ant_obs::registry().counter("simcache.io_enospc").incr();
+                eprintln!(
+                    "ant-bench: simcache: injected ENOSPC at line {index}; \
+                     persistence disabled, run continues"
+                );
+                self.writer = None;
+                return;
+            }
+            None => {}
+        }
         let ok = writer
             .write_all(line.as_bytes())
             .and_then(|()| writer.write_all(b"\n"))

@@ -435,6 +435,7 @@ mod tests {
             host_wall_us: 0,
             failures: crate::runner::FailureReport::default(),
             partial: false,
+            deadline_exceeded: false,
             workers: Vec::new(),
             cache_hits: hits,
             cache_misses: misses,

@@ -73,10 +73,10 @@ fn seeded_chaos_quarantines_exactly_the_injected_failures() {
     let mut found = None;
     for seed in 0..5_000u64 {
         let config = ChaosConfig {
-            seed,
             panic_prob: 0.10,
             truncate_prob: 0.05,
             shape_prob: 0.05,
+            ..ChaosConfig::quiet(seed)
         };
         let quarantined: BTreeSet<(usize, usize, usize)> = coords
             .iter()

@@ -10,25 +10,41 @@
 //! * [`Fault::CorruptShape`] — the job's shape disagrees with its operands,
 //!   exercising the `try_simulate_*` operand checks.
 //!
-//! Faults are a **pure function** of `(seed, layer, phase, pair, attempt)`:
-//! the same configuration injects exactly the same faults regardless of
-//! thread count, steal order, or wall-clock time. Tests can therefore
-//! compute the expected quarantine set up front by calling
-//! [`ChaosConfig::fault_for`] themselves. Including the retry attempt in the
-//! hash means a fault can be configured to strike the first attempt but
-//! spare the retry (or strike both), so both the retried-success and the
-//! quarantined paths are reachable deterministically.
+//! Two further fault families target the layers *around* the simulator:
+//!
+//! * [`IoFault`] — short/torn writes and simulated `ENOSPC` against the
+//!   sidecar writers (`ant-checkpoint/1`, `ant-simcache/1`, the sweepd
+//!   spool). Both stores must degrade to misses/fresh runs with counted
+//!   warnings, never to wrong results.
+//! * [`ServiceFault`] — whole-job faults for the `ant-sweepd` supervisor:
+//!   job-worker death (a panic around the entire job) and slow-job stalls,
+//!   so the retry/backoff/quarantine loop is testable deterministically.
+//!
+//! Faults are a **pure function** of `(seed, layer, phase, pair, attempt)`
+//! (pair faults), `(seed, domain, index)` (IO faults), or
+//! `(seed, job, attempt)` (service faults): the same configuration injects
+//! exactly the same faults regardless of thread count, steal order, or
+//! wall-clock time. Tests can therefore compute the expected quarantine set
+//! up front by calling [`ChaosConfig::fault_for`] themselves. Including the
+//! retry attempt in the hash means a fault can be configured to strike the
+//! first attempt but spare the retry (or strike both), so both the
+//! retried-success and the quarantined paths are reachable
+//! deterministically.
 //!
 //! Activation is environment-gated: set `ANT_CHAOS` to a spec like
 //!
 //! ```text
 //! ANT_CHAOS="seed=42,panic=0.02,truncate=0.01,shape=0.01"
+//! ANT_CHAOS="seed=7,torn=0.2,enospc=0.05,job=0.5,stall=0.1,spool=0.1"
 //! ```
 //!
 //! Omitted probabilities default to zero; `seed` defaults to zero. Tests
 //! use [`chaos::set_override`](set_override) to install a configuration
 //! without touching the process environment. When neither is present the
-//! hot path costs one atomic load.
+//! hot path costs one atomic load. Only the *pair* faults can perturb
+//! simulated counters; [`ChaosConfig::perturbs_results`] tells the runner
+//! whether the simulation cache must stand down, so an IO- or service-only
+//! spec keeps the cache path testable end to end.
 
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Mutex;
@@ -57,6 +73,72 @@ impl Fault {
     }
 }
 
+/// An IO fault injected into a sidecar writer's append path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFault {
+    /// Persist only a prefix of the record (a short/torn write): the line
+    /// lands corrupt on disk and the next load must skip it with a counted
+    /// warning.
+    TornWrite,
+    /// Simulate `ENOSPC`: the write fails outright and the writer must
+    /// disable persistence while the run continues.
+    Enospc,
+}
+
+impl IoFault {
+    /// Stable tag for reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            IoFault::TornWrite => "torn_write",
+            IoFault::Enospc => "enospc",
+        }
+    }
+}
+
+/// Which sidecar writer an [`IoFault`] decision is for. The domain salts
+/// the hash so the checkpoint and cache writers draw independent faults
+/// from one seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoDomain {
+    /// The `ant-checkpoint/1` sidecar writer.
+    Checkpoint,
+    /// The `ant-simcache/1` store writer.
+    SimCache,
+    /// The sweepd spool (job records and results).
+    Spool,
+}
+
+impl IoDomain {
+    fn salt(self) -> u64 {
+        match self {
+            IoDomain::Checkpoint => 0xC4E0,
+            IoDomain::SimCache => 0x51CA,
+            IoDomain::Spool => 0x5900,
+        }
+    }
+}
+
+/// A service-level fault injected into one sweepd job attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceFault {
+    /// The job worker dies (a panic around the whole job), exercising the
+    /// supervisor's `catch_unwind` + retry/backoff + quarantine loop.
+    JobDeath,
+    /// The job stalls before running, exercising deadline enforcement and
+    /// the watchdog's slow-job accounting.
+    Stall,
+}
+
+impl ServiceFault {
+    /// Stable tag for reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ServiceFault::JobDeath => "job_death",
+            ServiceFault::Stall => "stall",
+        }
+    }
+}
+
 /// A seeded fault-injection configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChaosConfig {
@@ -68,6 +150,16 @@ pub struct ChaosConfig {
     pub truncate_prob: f64,
     /// Probability of [`Fault::CorruptShape`] per (job, attempt).
     pub shape_prob: f64,
+    /// Probability of [`IoFault::TornWrite`] per appended sidecar record.
+    pub torn_prob: f64,
+    /// Probability of [`IoFault::Enospc`] per appended sidecar record.
+    pub enospc_prob: f64,
+    /// Probability of [`ServiceFault::JobDeath`] per (sweepd job, attempt).
+    pub job_prob: f64,
+    /// Probability of [`ServiceFault::Stall`] per (sweepd job, attempt).
+    pub stall_prob: f64,
+    /// Probability that one sweepd spool write fails per record.
+    pub spool_prob: f64,
 }
 
 impl ChaosConfig {
@@ -78,11 +170,26 @@ impl ChaosConfig {
             panic_prob: 0.0,
             truncate_prob: 0.0,
             shape_prob: 0.0,
+            torn_prob: 0.0,
+            enospc_prob: 0.0,
+            job_prob: 0.0,
+            stall_prob: 0.0,
+            spool_prob: 0.0,
         }
     }
 
+    /// Whether this configuration can alter simulated counters. Only the
+    /// pair faults (`panic`/`truncate`/`shape`) quarantine work out of the
+    /// stats; IO and service faults strike *around* the simulation and
+    /// degrade to misses, retries, or fresh runs. The runner keeps the
+    /// simulation cache armed when this is false.
+    pub fn perturbs_results(&self) -> bool {
+        self.panic_prob > 0.0 || self.truncate_prob > 0.0 || self.shape_prob > 0.0
+    }
+
     /// Parses an `ANT_CHAOS` spec: comma-separated `key=value` entries with
-    /// keys `seed`, `panic`, `truncate`, `shape`.
+    /// keys `seed`, `panic`, `truncate`, `shape`, `torn`, `enospc`, `job`,
+    /// `stall`, `spool`.
     ///
     /// # Errors
     ///
@@ -107,7 +214,8 @@ impl ChaosConfig {
                         )
                     })?;
                 }
-                key @ ("panic" | "truncate" | "shape") => {
+                key @ ("panic" | "truncate" | "shape" | "torn" | "enospc" | "job" | "stall"
+                | "spool") => {
                     let prob: f64 = value.trim().parse().map_err(|_| {
                         AntError::invalid_config(
                             "ANT_CHAOS",
@@ -123,7 +231,12 @@ impl ChaosConfig {
                     match key {
                         "panic" => config.panic_prob = prob,
                         "truncate" => config.truncate_prob = prob,
-                        _ => config.shape_prob = prob,
+                        "shape" => config.shape_prob = prob,
+                        "torn" => config.torn_prob = prob,
+                        "enospc" => config.enospc_prob = prob,
+                        "job" => config.job_prob = prob,
+                        "stall" => config.stall_prob = prob,
+                        _ => config.spool_prob = prob,
                     }
                 }
                 other => {
@@ -157,6 +270,46 @@ impl ChaosConfig {
         } else {
             None
         }
+    }
+
+    /// The IO fault (if any) to inject into the `index`-th record appended
+    /// by `domain`'s writer. Pure: depends only on the arguments and `self`.
+    pub fn io_fault_for(&self, domain: IoDomain, index: u64) -> Option<IoFault> {
+        let draw = self.draw(&[domain.salt(), index]);
+        if draw < self.torn_prob {
+            Some(IoFault::TornWrite)
+        } else if draw < self.torn_prob + self.enospc_prob {
+            Some(IoFault::Enospc)
+        } else {
+            None
+        }
+    }
+
+    /// The service-level fault (if any) to inject into attempt `attempt` of
+    /// the sweepd job with sequence number `job`. Pure.
+    pub fn service_fault_for(&self, job: u64, attempt: usize) -> Option<ServiceFault> {
+        let draw = self.draw(&[0x5EED, job, attempt as u64]);
+        if draw < self.job_prob {
+            Some(ServiceFault::JobDeath)
+        } else if draw < self.job_prob + self.stall_prob {
+            Some(ServiceFault::Stall)
+        } else {
+            None
+        }
+    }
+
+    /// Whether the `index`-th sweepd spool write should fail. Pure.
+    pub fn spool_fault_for(&self, index: u64) -> bool {
+        self.draw(&[IoDomain::Spool.salt(), 0x5BAD, index]) < self.spool_prob
+    }
+
+    /// One uniform draw in `[0, 1)` from the seed and the given words.
+    fn draw(&self, words: &[u64]) -> f64 {
+        let mut h = self.seed ^ 0x9E37_79B9_7F4A_7C15;
+        for &word in words {
+            h = splitmix64(h ^ word.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        }
+        (h >> 11) as f64 / (1u64 << 53) as f64
     }
 }
 
@@ -241,10 +394,10 @@ mod tests {
     #[test]
     fn faults_are_deterministic_and_seed_sensitive() {
         let c = ChaosConfig {
-            seed: 9,
             panic_prob: 0.2,
             truncate_prob: 0.2,
             shape_prob: 0.2,
+            ..ChaosConfig::quiet(9)
         };
         let draws: Vec<_> = (0..64).map(|p| c.fault_for(1, 0, p, 0)).collect();
         assert_eq!(draws, (0..64).map(|p| c.fault_for(1, 0, p, 0)).collect::<Vec<_>>());
@@ -260,10 +413,8 @@ mod tests {
     #[test]
     fn attempt_changes_the_draw() {
         let c = ChaosConfig {
-            seed: 3,
             panic_prob: 0.5,
-            truncate_prob: 0.0,
-            shape_prob: 0.0,
+            ..ChaosConfig::quiet(3)
         };
         // Over enough jobs, some faults must strike attempt 0 but spare
         // attempt 1 (the retried-success path) and some must strike both
@@ -286,10 +437,8 @@ mod tests {
     #[test]
     fn probabilities_are_roughly_honored() {
         let c = ChaosConfig {
-            seed: 1234,
             panic_prob: 0.1,
-            truncate_prob: 0.0,
-            shape_prob: 0.0,
+            ..ChaosConfig::quiet(1234)
         };
         let hits = (0..10_000)
             .filter(|&p| c.fault_for(0, 0, p, 0).is_some())
@@ -301,15 +450,78 @@ mod tests {
     fn zero_probabilities_never_fire() {
         let c = ChaosConfig::quiet(99);
         assert!((0..1000).all(|p| c.fault_for(0, 1, p, 0).is_none()));
+        assert!((0..1000).all(|i| c.io_fault_for(IoDomain::Checkpoint, i).is_none()));
+        assert!((0..1000).all(|j| c.service_fault_for(j, 0).is_none()));
+        assert!((0..1000).all(|i| !c.spool_fault_for(i)));
+    }
+
+    #[test]
+    fn parse_accepts_service_and_io_keys() {
+        let c = ChaosConfig::parse("seed=7,torn=0.2,enospc=0.1,job=0.5,stall=0.25,spool=0.3")
+            .unwrap();
+        assert_eq!(c.seed, 7);
+        assert!((c.torn_prob - 0.2).abs() < 1e-12);
+        assert!((c.enospc_prob - 0.1).abs() < 1e-12);
+        assert!((c.job_prob - 0.5).abs() < 1e-12);
+        assert!((c.stall_prob - 0.25).abs() < 1e-12);
+        assert!((c.spool_prob - 0.3).abs() < 1e-12);
+        assert!(!c.perturbs_results(), "io/service faults never taint stats");
+        assert!(ChaosConfig::parse("panic=0.1").unwrap().perturbs_results());
+        assert!(ChaosConfig::parse("job=2.0").is_err());
+    }
+
+    #[test]
+    fn io_faults_are_deterministic_and_domain_salted() {
+        let c = ChaosConfig {
+            torn_prob: 0.25,
+            enospc_prob: 0.25,
+            ..ChaosConfig::quiet(11)
+        };
+        let ckpt: Vec<_> = (0..128).map(|i| c.io_fault_for(IoDomain::Checkpoint, i)).collect();
+        assert_eq!(
+            ckpt,
+            (0..128).map(|i| c.io_fault_for(IoDomain::Checkpoint, i)).collect::<Vec<_>>()
+        );
+        let cache: Vec<_> = (0..128).map(|i| c.io_fault_for(IoDomain::SimCache, i)).collect();
+        assert_ne!(ckpt, cache, "domains must draw independently");
+        assert!(ckpt.iter().any(|f| *f == Some(IoFault::TornWrite)));
+        assert!(ckpt.iter().any(|f| *f == Some(IoFault::Enospc)));
+        assert!(ckpt.iter().any(|f| f.is_none()));
+    }
+
+    #[test]
+    fn service_faults_cover_death_retry_and_quarantine_paths() {
+        let c = ChaosConfig {
+            job_prob: 0.4,
+            stall_prob: 0.2,
+            ..ChaosConfig::quiet(21)
+        };
+        let draws: Vec<_> = (0..256).map(|j| c.service_fault_for(j, 0)).collect();
+        assert_eq!(draws, (0..256).map(|j| c.service_fault_for(j, 0)).collect::<Vec<_>>());
+        assert!(draws.iter().any(|f| *f == Some(ServiceFault::JobDeath)));
+        assert!(draws.iter().any(|f| *f == Some(ServiceFault::Stall)));
+        assert!(draws.iter().any(|f| f.is_none()));
+        // Some job must die on attempt 0 but survive attempt 1 (the
+        // retried-success path) and some must die on enough consecutive
+        // attempts to quarantine.
+        let retried = (0..256u64).any(|j| {
+            c.service_fault_for(j, 0) == Some(ServiceFault::JobDeath)
+                && c.service_fault_for(j, 1).is_none()
+        });
+        let quarantined = (0..256u64).any(|j| {
+            (0..3).all(|a| c.service_fault_for(j, a) == Some(ServiceFault::JobDeath))
+        });
+        assert!(retried, "no retried-success path reachable");
+        assert!(quarantined, "no quarantine path reachable");
     }
 
     #[test]
     fn cumulative_bands_partition_fault_kinds() {
         let c = ChaosConfig {
-            seed: 5,
             panic_prob: 0.3,
             truncate_prob: 0.3,
             shape_prob: 0.3,
+            ..ChaosConfig::quiet(5)
         };
         let mut seen = [false; 3];
         for pair in 0..512 {

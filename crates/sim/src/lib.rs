@@ -78,7 +78,7 @@ pub use accelerator::{
 pub use ant_core::AntError;
 pub use breakdown::{CycleBreakdown, CycleCause};
 pub use cache::{CacheKey, LayerCache, MODEL_VERSION};
-pub use chaos::{ChaosConfig, Fault};
+pub use chaos::{ChaosConfig, Fault, IoDomain, IoFault, ServiceFault};
 pub use energy::EnergyModel;
 pub use redundancy::RedundancyRecord;
 pub use scratch::{with_thread_scratch, SimScratch};

@@ -434,11 +434,142 @@ ANT_CHAOS="seed=7,panic=0.02,truncate=0.01,shape=0.01" \
 echo "chaos smoke: fig09 sweep survived injection" \
   "($(grep -c 'quarantined' "$CHAOS_ERR" || true) partial-run warning(s))"
 
+echo "== sweepd smoke (kill -9 mid-job, restart: recovery + byte-identical results, typed shedding)"
+# Three daemon phases over the same two-tenant job mix:
+#   1. reference: a clean run; both jobs complete, results copied aside.
+#   2. interrupted: stall chaos pins job 1 inside its first attempt so a
+#      kill -9 provably lands mid-job, leaving running/queued spool records.
+#   3. restart on the same spool: both jobs recover; seeded job-death chaos
+#      (seed=4, job=0.05 strikes exactly job 1 attempt 1) exercises the
+#      supervised retry, and a deadline_ms=0 submission the typed 503 shed.
+#      Recovered results must be byte-identical to the reference run.
+SWEEPD=./target/release/sweepd
+SWEEPD_DIR=target/experiments/ci_sweepd
+rm -rf "$SWEEPD_DIR"
+mkdir -p "$SWEEPD_DIR"
+SPEC_ALICE='{"tenant":"alice","model":"tiny","machines":["ant","scnn+"],"sparsities":[0.5,0.9]}'
+SPEC_BOB='{"tenant":"bob","model":"tiny","machines":["ant"],"sparsities":[0.7],"weight":2}'
+
+sweepd_start() { # spool addr_file [EXTRA_ENV=...]
+  local spool=$1 addr_file=$2
+  shift 2
+  rm -f "$addr_file"
+  env ANT_SWEEPD_ADDR=127.0.0.1:0 ANT_SWEEPD_SPOOL="$spool" \
+    ANT_SWEEPD_ADDR_FILE="$addr_file" "$@" \
+    "$SWEEPD" >>"$SWEEPD_DIR/daemon.log" 2>&1 &
+  SWEEPD_PID=$!
+  for _ in $(seq 1 100); do
+    [[ -s "$addr_file" ]] && break
+    sleep 0.05
+  done
+  [[ -s "$addr_file" ]] || { echo "sweepd never wrote $addr_file" >&2; exit 1; }
+  SWEEPD_BASE="http://$(cat "$addr_file")"
+}
+
+sweepd_post() { # base spec -> prints the HTTP status code
+  python3 - "$1" "$2" <<'PY'
+import sys, urllib.error, urllib.request
+req = urllib.request.Request(sys.argv[1] + "/jobs", data=sys.argv[2].encode(),
+                             headers={"Content-Type": "application/json"})
+try:
+    with urllib.request.urlopen(req, timeout=10) as r:
+        print(r.status)
+except urllib.error.HTTPError as e:
+    print(e.code)
+PY
+}
+
+sweepd_wait() { # base: poll /jobs until every job is terminal and done
+  python3 - "$1" <<'PY'
+import json, sys, time, urllib.request
+base = sys.argv[1]
+for _ in range(1200):
+    with urllib.request.urlopen(base + "/jobs", timeout=10) as r:
+        board = json.load(r)
+    states = [j["state"] for j in board["jobs"]]
+    if states and all(s in ("done", "quarantined", "expired") for s in states):
+        assert all(s == "done" for s in states), f"jobs ended badly: {states}"
+        sys.exit(0)
+    time.sleep(0.1)
+raise AssertionError("sweepd jobs never finished")
+PY
+}
+
+# Phase 1: the uninterrupted reference run.
+sweepd_start "$SWEEPD_DIR/ref-spool" "$SWEEPD_DIR/ref.addr"
+[[ $(sweepd_post "$SWEEPD_BASE" "$SPEC_ALICE") == 202 ]] \
+  || { echo "reference alice submit refused" >&2; exit 1; }
+[[ $(sweepd_post "$SWEEPD_BASE" "$SPEC_BOB") == 202 ]] \
+  || { echo "reference bob submit refused" >&2; exit 1; }
+sweepd_wait "$SWEEPD_BASE"
+kill "$SWEEPD_PID" 2>/dev/null || true
+wait "$SWEEPD_PID" 2>/dev/null || true
+
+# Phase 2: same jobs, kill -9 inside job 1's chaos stall (25ms window).
+sweepd_start "$SWEEPD_DIR/spool" "$SWEEPD_DIR/kill.addr" ANT_CHAOS=stall=1.0
+[[ $(sweepd_post "$SWEEPD_BASE" "$SPEC_ALICE") == 202 ]] \
+  || { echo "interrupted alice submit refused" >&2; exit 1; }
+[[ $(sweepd_post "$SWEEPD_BASE" "$SPEC_BOB") == 202 ]] \
+  || { echo "interrupted bob submit refused" >&2; exit 1; }
+sleep 0.01
+kill -9 "$SWEEPD_PID"
+wait "$SWEEPD_PID" 2>/dev/null || true
+
+# Phase 3: restart on the killed spool; recover, retry once, shed once.
+sweepd_start "$SWEEPD_DIR/spool" "$SWEEPD_DIR/restart.addr" \
+  ANT_CHAOS=seed=4,job=0.05
+[[ $(sweepd_post "$SWEEPD_BASE" \
+    '{"tenant":"carol","model":"tiny","machines":["ant"],"sparsities":[0.5],"deadline_ms":0}') == 503 ]] \
+  || { echo "past-deadline submit was not shed with 503" >&2; exit 1; }
+sweepd_wait "$SWEEPD_BASE"
+for f in job-1.result.csv job-1.result.jsonl job-2.result.csv job-2.result.jsonl; do
+  cmp -s "$SWEEPD_DIR/ref-spool/$f" "$SWEEPD_DIR/spool/$f" \
+    || { echo "recovered $f diverged from the uninterrupted reference" >&2; exit 1; }
+done
+python3 - "$SWEEPD_BASE" "$SWEEPD_DIR" <<'PY'
+import json, sys, urllib.request
+base, outdir = sys.argv[1], sys.argv[2]
+def fetch(path):
+    with urllib.request.urlopen(base + path, timeout=10) as r:
+        return r.read().decode()
+metrics = {}
+for line in fetch("/metrics").splitlines():
+    if line.startswith("#"):
+        continue
+    name, _, value = line.partition(" ")
+    metrics[name.split("{")[0]] = float(value)
+# Both jobs were non-terminal at the kill, job 1 died once under the
+# seeded chaos, and only the past-deadline submission was shed.
+assert metrics.get("ant_sweepd_job_recovered") == 2, metrics
+assert metrics.get("ant_sweepd_job_retries") == 1, metrics
+assert metrics.get("ant_sweepd_job_shed") == 1, metrics
+assert metrics.get("ant_sweepd_job_quarantined", 0) == 0, metrics
+assert metrics.get("ant_sweepd_job_completed") == 2, metrics
+board = fetch("/jobs")
+open(f"{outdir}/jobs.json", "w").write(board)
+doc = json.loads(board)
+assert doc["schema"] == "ant-sweepd-jobs/1", doc["schema"]
+assert sum(j["recovered"] for j in doc["jobs"]) == 2, doc
+job1 = next(j for j in doc["jobs"] if j["seq"] == 1)
+assert job1["attempt_count"] == 1, job1
+assert "job-worker death" in job1["attempts"][0]["error"], job1
+assert job1["attempts"][0]["backoff_ms"] is not None, job1
+print(f"sweepd smoke: {len(doc['jobs'])} jobs recovered to byte-identical "
+      f"results, retry/shed counters ok")
+PY
+"$OBSCTL" jobs "$SWEEPD_DIR/jobs.json" | grep -q 'recovered from spool' \
+  || { echo "obsctl jobs lost the recovery marker" >&2; exit 1; }
+kill "$SWEEPD_PID" 2>/dev/null || true
+wait "$SWEEPD_PID" 2>/dev/null || true
+
 echo "== panic-site budget (non-test src/ lines with unwrap()/expect(/panic!)"
 # Robustness ratchet: the typed-error refactor drove non-test panic sites
 # down to this count; new code must not grow it. Lower the pin when you
 # remove sites; raising it needs a reviewed justification.
-MAX_PANIC_SITES=104
+# 105: +1 for the single intentional `panic!` in serve/daemon.rs that
+# injects a supervised job-worker death under seeded ANT_CHAOS — it is the
+# fault the catch_unwind supervision exists to absorb, not an error path.
+MAX_PANIC_SITES=105
 PANIC_SITES=0
 for f in $(find crates -path '*/src/*.rs' | sort); do
   n=$(awk '/#\[cfg\(test\)\]/{exit} /unwrap\(\)|expect\(|panic!/{n++} END{print n+0}' "$f")
